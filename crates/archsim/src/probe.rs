@@ -1,0 +1,256 @@
+//! The [`Probe`] trait and its implementations.
+//!
+//! Workload kernels are generic over `P: Probe`. With [`NullProbe`]
+//! every call compiles to nothing, giving native-speed throughput runs;
+//! with [`SimProbe`] every call drives the machine model.
+
+use crate::layout::{AddressSpace, CodeRegion};
+use crate::machine::{MachineConfig, MachineSim};
+use crate::metrics::{CharacterizationReport, InstructionMix};
+
+/// Receiver of micro-architectural events emitted by instrumented kernels.
+///
+/// All methods have empty default bodies so probe implementations only
+/// override what they observe; [`NullProbe`] overrides nothing.
+pub trait Probe {
+    /// A memory load of `bytes` bytes at synthetic address `addr`.
+    #[inline(always)]
+    fn load(&mut self, addr: u64, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+
+    /// A memory store of `bytes` bytes at synthetic address `addr`.
+    #[inline(always)]
+    fn store(&mut self, addr: u64, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+
+    /// `n` integer ALU instructions.
+    #[inline(always)]
+    fn int_ops(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// `n` floating-point instructions.
+    #[inline(always)]
+    fn fp_ops(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// One branch instruction, with its outcome.
+    #[inline(always)]
+    fn branch(&mut self, taken: bool) {
+        let _ = taken;
+    }
+
+    /// Invocation of the function body `region` (instruction fetch).
+    #[inline(always)]
+    fn call(&mut self, region: CodeRegion) {
+        let _ = region;
+    }
+
+    /// Whether this probe actually records anything. Kernels may use this
+    /// to skip building characterization-only structures.
+    #[inline(always)]
+    fn is_active(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op probe: all events vanish at compile time.
+///
+/// # Example
+///
+/// ```
+/// use bdb_archsim::{NullProbe, Probe};
+/// let mut p = NullProbe;
+/// p.load(0, 8);
+/// p.int_ops(100);
+/// assert!(!p.is_active());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline(always)]
+    fn is_active(&self) -> bool {
+        false
+    }
+}
+
+/// A probe that tallies the instruction mix but simulates no hardware.
+/// Useful in tests and for quick instruction-count estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    mix: InstructionMix,
+    bytes: u64,
+}
+
+impl CountingProbe {
+    /// The instruction mix observed so far.
+    pub fn mix(&self) -> InstructionMix {
+        self.mix
+    }
+
+    /// Total bytes requested by loads and stores.
+    pub fn requested_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Probe for CountingProbe {
+    fn load(&mut self, _addr: u64, bytes: u32) {
+        self.mix.loads += 1;
+        self.bytes += bytes as u64;
+    }
+
+    fn store(&mut self, _addr: u64, bytes: u32) {
+        self.mix.stores += 1;
+        self.bytes += bytes as u64;
+    }
+
+    fn int_ops(&mut self, n: u64) {
+        self.mix.int_ops += n;
+    }
+
+    fn fp_ops(&mut self, n: u64) {
+        self.mix.fp_ops += n;
+    }
+
+    fn branch(&mut self, _taken: bool) {
+        self.mix.branches += 1;
+    }
+
+    fn call(&mut self, region: CodeRegion) {
+        self.mix.credit_code(region.instructions as u64);
+    }
+}
+
+/// The full-simulation probe: feeds every event through a [`MachineSim`]
+/// and owns the synthetic [`AddressSpace`] kernels allocate from.
+///
+/// # Example
+///
+/// ```
+/// use bdb_archsim::{MachineConfig, SimProbe, Probe};
+/// let mut p = SimProbe::new(MachineConfig::xeon_e5310());
+/// let a = p.address_space_mut().alloc(1 << 16, "buf");
+/// for i in 0..1000 {
+///     p.load(a + i * 64, 8);
+///     p.int_ops(2);
+/// }
+/// let report = p.finish();
+/// assert_eq!(report.machine, "Xeon E5310");
+/// assert!(report.l3.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimProbe {
+    machine: MachineSim,
+    address_space: AddressSpace,
+}
+
+impl SimProbe {
+    /// Builds a probe simulating `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            machine: MachineSim::new(config),
+            address_space: AddressSpace::new(),
+        }
+    }
+
+    /// The synthetic address space for data/code allocation.
+    pub fn address_space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.address_space
+    }
+
+    /// Read access to the underlying machine simulator.
+    pub fn machine(&self) -> &MachineSim {
+        &self.machine
+    }
+
+    /// Finishes the run and produces the characterization report.
+    pub fn finish(self) -> CharacterizationReport {
+        self.machine.report()
+    }
+
+    /// Produces a report of the events so far without consuming the probe.
+    pub fn snapshot(&self) -> CharacterizationReport {
+        self.machine.report()
+    }
+
+    /// Zeroes all statistics while keeping cache/TLB contents — call
+    /// after a warm-up phase so reports reflect steady state, as the
+    /// paper does ("we collect performance data after a ramp up
+    /// period").
+    pub fn reset_stats(&mut self) {
+        self.machine.reset_stats();
+    }
+}
+
+impl Probe for SimProbe {
+    fn load(&mut self, addr: u64, bytes: u32) {
+        self.machine.data_access(addr, bytes, false);
+    }
+
+    fn store(&mut self, addr: u64, bytes: u32) {
+        self.machine.data_access(addr, bytes, true);
+    }
+
+    fn int_ops(&mut self, n: u64) {
+        self.machine.int_ops(n);
+    }
+
+    fn fp_ops(&mut self, n: u64) {
+        self.machine.fp_ops(n);
+    }
+
+    fn branch(&mut self, taken: bool) {
+        self.machine.branch(taken);
+    }
+
+    fn call(&mut self, region: CodeRegion) {
+        self.machine.ifetch(region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CodeRegion;
+
+    #[test]
+    fn counting_probe_tallies() {
+        let mut p = CountingProbe::default();
+        p.load(0, 8);
+        p.store(8, 4);
+        p.int_ops(5);
+        p.fp_ops(2);
+        p.branch(true);
+        p.call(CodeRegion::new(0x400000, 128, 40));
+        let m = p.mix();
+        assert!(m.loads >= 1 + 8, "explicit load + decomposed code loads");
+        assert_eq!(p.requested_bytes(), 12, "code loads carry no data bytes");
+        assert_eq!(m.total(), 10 + 40, "explicit events + region instructions");
+    }
+
+    #[test]
+    fn null_probe_is_inactive() {
+        assert!(!NullProbe.is_active());
+        assert!(CountingProbe::default().is_active());
+    }
+
+    #[test]
+    fn sim_probe_produces_report() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5645());
+        let base = p.address_space_mut().alloc(1 << 20, "x");
+        for i in 0..10_000u64 {
+            p.load(base + (i * 8) % (1 << 20), 8);
+            p.int_ops(1);
+        }
+        let r = p.finish();
+        assert_eq!(r.mix.loads, 10_000);
+        assert!(r.l3.is_some());
+        assert!(r.cycles > 0);
+        assert!(r.mips() > 0.0);
+    }
+}

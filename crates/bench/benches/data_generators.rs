@@ -1,0 +1,61 @@
+//! Criterion benches for BDGS: generator throughput per data flavor
+//! (the "volume" V — generation must outpace the workloads consuming
+//! it).
+
+use bdb_datagen::text::TextGenerator;
+use bdb_datagen::{EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(20);
+
+    group.throughput(Throughput::Bytes(256 * 1024));
+    group.bench_function("text_256KiB", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            TextGenerator::wikipedia(seed).corpus(256 * 1024)
+        })
+    });
+
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("rmat_web_4k_nodes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            GraphGenerator::new(RmatParams::google_web(), seed).generate(4096)
+        })
+    });
+
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("ecommerce_5k_orders", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            EcommerceGenerator::new(seed).generate(5000)
+        })
+    });
+
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("reviews_5k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ReviewGenerator::new(seed).generate(5000)
+        })
+    });
+
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("resumes_5k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ResumeGenerator::new(seed).generate(5000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

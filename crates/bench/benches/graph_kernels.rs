@@ -1,0 +1,48 @@
+//! Criterion benches for the graph kernels (BFS, PageRank, Connected
+//! Components) over R-MAT graphs fitted to the paper's seeds.
+
+use bdb_datagen::{GraphGenerator, RmatParams};
+use bdb_graph::{bfs, cc, pagerank, CsrGraph, PageRankConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn web_graph(vertices: u32) -> CsrGraph {
+    let g = GraphGenerator::new(RmatParams::google_web(), 7).generate(vertices);
+    CsrGraph::from_edges(g.nodes, &g.edges)
+}
+
+fn social_graph(vertices: u32) -> CsrGraph {
+    let g = GraphGenerator::new(RmatParams::facebook_social(), 7).generate(vertices);
+    CsrGraph::from_edges(g.nodes, &g.edges)
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+
+    for scale in [1u32 << 12, 1 << 14] {
+        let g = web_graph(scale);
+        group.throughput(Throughput::Elements(g.edges()));
+        group.bench_with_input(BenchmarkId::new("bfs_serial", scale), &g, |b, g| {
+            b.iter(|| bfs::bfs(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_partitioned4", scale), &g, |b, g| {
+            b.iter(|| bfs::bfs_partitioned(g, 0, 4))
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", scale), &g, |b, g| {
+            b.iter(|| {
+                pagerank::pagerank(g, PageRankConfig { max_iterations: 10, ..Default::default() })
+            })
+        });
+        let s = social_graph(scale / 4);
+        group.bench_with_input(BenchmarkId::new("cc_label_prop", scale / 4), &s, |b, s| {
+            b.iter(|| cc::label_propagation(s))
+        });
+        group.bench_with_input(BenchmarkId::new("cc_union_find", scale / 4), &s, |b, s| {
+            b.iter(|| cc::connected_components(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

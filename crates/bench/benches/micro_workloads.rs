@@ -1,0 +1,29 @@
+//! Criterion benches for the micro-benchmark workloads (paper Table 6
+//! rows 1–4): native throughput of Sort, Grep, WordCount and BFS at the
+//! baseline and 8x inputs. The figure-level sweeps live in the
+//! `reproduce` binary; these benches track substrate performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bigdatabench::{Suite, WorkloadId};
+
+fn bench_micro(c: &mut Criterion) {
+    let suite = Suite::with_fraction(1.0 / 8.0);
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(10);
+    for id in [WorkloadId::Sort, WorkloadId::Grep, WorkloadId::WordCount, WorkloadId::Bfs] {
+        for mult in [1u32, 8] {
+            // Report throughput in input bytes (DPS, the paper's metric).
+            let probe_run = suite.run_native(id, mult);
+            group.throughput(Throughput::Bytes(probe_run.input_bytes.max(1)));
+            group.bench_with_input(
+                BenchmarkId::new(id.name(), format!("{mult}x")),
+                &mult,
+                |b, &m| b.iter(|| suite.run_native(id, m)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

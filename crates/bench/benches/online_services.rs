@@ -1,0 +1,49 @@
+//! Criterion benches for the three online-service request handlers
+//! (paper Table 6 rows 11, 14, 17): per-request cost of the Nutch-,
+//! Olio- and Rubis-style servers.
+
+use bdb_archsim::NullProbe;
+use bdb_serving::auction::AuctionServer;
+use bdb_serving::search::SearchServer;
+use bdb_serving::server::Server;
+use bdb_serving::social::SocialServer;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_services(c: &mut Criterion) {
+    let mut group = c.benchmark_group("services");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(1));
+
+    let mut search = SearchServer::build(2000, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("nutch_request", |b| {
+        b.iter(|| {
+            let req = search.sample_request(&mut rng);
+            search.handle(&req, &mut NullProbe)
+        })
+    });
+
+    let mut social = SocialServer::build(2000, 20, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("olio_request", |b| {
+        b.iter(|| {
+            let req = social.sample_request(&mut rng);
+            social.handle(&req, &mut NullProbe)
+        })
+    });
+
+    let mut auction = AuctionServer::build(5000, 20, 1000, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    group.bench_function("rubis_request", |b| {
+        b.iter(|| {
+            let req = auction.sample_request(&mut rng);
+            auction.handle(&req, &mut NullProbe)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_services);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the relational-query workloads (paper Table 6
+//! rows 8–10) over Table-3-shaped data.
+
+use bdb_sql::exec::{aggregate, hash_join, select, Aggregation};
+use bdb_sql::expr::{col, lit};
+use bigdatabench::workloads::query::build_tables;
+use bigdatabench::RunScale;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_queries(c: &mut Criterion) {
+    let scale = RunScale::baseline();
+    let (orders, items) = build_tables(&scale, 10_000);
+    let bytes = (orders.byte_size() + items.byte_size()) as u64;
+
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("select", |b| {
+        b.iter(|| {
+            select(&items, &col("GOODS_PRICE").gt(lit(50.0)), &["ITEM_ID", "GOODS_AMOUNT"])
+                .expect("query")
+        })
+    });
+    group.bench_function("aggregate", |b| {
+        b.iter(|| {
+            aggregate(
+                &items,
+                "GOODS_ID",
+                &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
+            )
+            .expect("query")
+        })
+    });
+    group.bench_function("join", |b| {
+        b.iter(|| hash_join(&orders, "ORDER_ID", &items, "ORDER_ID").expect("join"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

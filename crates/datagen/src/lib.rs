@@ -1,0 +1,51 @@
+//! BDGS — the Big Data Generator Suite of BigDataBench-RS.
+//!
+//! The paper's Section 5 describes a three-step data-synthesis pipeline:
+//! start from representative real-world seed data sets, estimate the
+//! parameters of a data model from each seed, then generate synthetic
+//! data of user-chosen volume from the fitted models so the "4V"
+//! properties (volume, variety, velocity, veracity) are preserved.
+//!
+//! We cannot redistribute the six real seed data sets (Wikipedia, Amazon
+//! movie reviews, Google web graph, Facebook social graph, a proprietary
+//! e-commerce transaction table pair, and ProfSearch resumés), so
+//! [`seeds`] embeds *seed descriptors*: the published sizes from the
+//! paper's Table 2 together with model parameters matched to the public
+//! statistics of each set (Zipf exponents for vocabularies, R-MAT
+//! parameters for degree distributions, schema and value distributions
+//! for the tables). Every generator fits the same model family BDGS fits,
+//! so the synthetic outputs preserve the *characteristics* the paper
+//! cares about, which is BDGS's own definition of veracity.
+//!
+//! Generators are deterministic given a seed, scale linearly in the
+//! requested size, and expose conversion helpers ([`convert`]) that turn
+//! generated records into the input formats the workloads consume.
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_datagen::text::TextGenerator;
+//!
+//! let mut gen = TextGenerator::wikipedia(42);
+//! let doc = gen.document(120);
+//! assert_eq!(doc.split_whitespace().count(), 120);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod graph;
+pub mod resume;
+pub mod review;
+pub mod seeds;
+pub mod stats;
+pub mod table;
+pub mod text;
+
+pub use graph::{EdgeList, GraphGenerator, RmatParams};
+pub use resume::{Resume, ResumeGenerator};
+pub use review::{Review, ReviewGenerator};
+pub use seeds::{SeedDataset, SeedKind, SEED_DATASETS};
+pub use table::{EcommerceGenerator, OrderItemRow, OrderRow};
+pub use text::{TextGenerator, Vocabulary};

@@ -1,0 +1,173 @@
+//! Semi-structured resumé generation for the ProfSearch seed.
+//!
+//! The seed holds 278,956 researcher resumés extracted from ~20M web
+//! pages of ~200 universities and institutions; the paper uses them as
+//! the row payload of the "Cloud OLTP" workloads (HBase Read / Write /
+//! Scan). What matters for those workloads is the record shape: a
+//! primary key plus a handful of variable-length fields of realistic
+//! sizes, with affiliation popularity following the ~200-institution
+//! skew.
+
+use crate::table::zipf_sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FIELDS_OF_STUDY: [&str; 16] = [
+    "computer architecture", "distributed systems", "databases", "machine learning",
+    "operating systems", "compilers", "networking", "security", "graphics", "hci",
+    "theory", "bioinformatics", "robotics", "quantum computing", "storage systems",
+    "programming languages",
+];
+
+const GIVEN: [&str; 16] = [
+    "wei", "lei", "jian", "yu", "min", "hao", "ling", "chen", "anna", "james", "maria", "david",
+    "sofia", "omar", "ravi", "elena",
+];
+
+const SURNAME: [&str; 16] = [
+    "wang", "zhang", "li", "chen", "liu", "smith", "garcia", "kumar", "mueller", "tanaka",
+    "ivanov", "rossi", "kim", "nguyen", "silva", "dubois",
+];
+
+/// One synthesized resumé record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resume {
+    /// Stable primary key (row key in the Cloud OLTP store).
+    pub id: u64,
+    /// Person name.
+    pub name: String,
+    /// Institution id in `1..=200` (Zipf-skewed popularity).
+    pub institution: u64,
+    /// Research interests, 1–4 fields.
+    pub interests: Vec<&'static str>,
+    /// Publication count (heavy-tailed).
+    pub publications: u32,
+    /// Free-form biography text sized like a real resumé abstract.
+    pub bio: String,
+}
+
+impl Resume {
+    /// Serializes to the tagged key/value line format the Cloud OLTP
+    /// workloads store as the cell value.
+    pub fn to_record(&self) -> String {
+        format!(
+            "name={};inst={};interests={};pubs={};bio={}",
+            self.name,
+            self.institution,
+            self.interests.join(","),
+            self.publications,
+            self.bio
+        )
+    }
+}
+
+/// Generator for resumé streams.
+///
+/// # Example
+///
+/// ```
+/// use bdb_datagen::ResumeGenerator;
+/// let rs = ResumeGenerator::new(3).generate(10);
+/// assert_eq!(rs.len(), 10);
+/// assert!(rs[0].to_record().contains("inst="));
+/// ```
+#[derive(Debug)]
+pub struct ResumeGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl ResumeGenerator {
+    /// A generator fitted to the ProfSearch seed (~200 institutions).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), next_id: 1 }
+    }
+
+    /// Generates `n` resumés with sequential ids.
+    pub fn generate(&mut self, n: u64) -> Vec<Resume> {
+        (0..n).map(|_| self.one()).collect()
+    }
+
+    fn one(&mut self) -> Resume {
+        let id = self.next_id;
+        self.next_id += 1;
+        let name = format!(
+            "{} {}",
+            GIVEN[self.rng.gen_range(0..GIVEN.len())],
+            SURNAME[self.rng.gen_range(0..SURNAME.len())]
+        );
+        let n_interests = self.rng.gen_range(1..=4);
+        let mut interests = Vec::with_capacity(n_interests);
+        for _ in 0..n_interests {
+            let f = FIELDS_OF_STUDY[self.rng.gen_range(0..FIELDS_OF_STUDY.len())];
+            if !interests.contains(&f) {
+                interests.push(f);
+            }
+        }
+        // Heavy-tailed publication counts: most have few, some have many.
+        let publications = (zipf_sample(&mut self.rng, 400, 1.1) - 1) as u32;
+        let bio_words = self.rng.gen_range(20..120);
+        let mut bio = String::new();
+        for w in 0..bio_words {
+            if w > 0 {
+                bio.push(' ');
+            }
+            bio.push_str(FIELDS_OF_STUDY[self.rng.gen_range(0..FIELDS_OF_STUDY.len())].split(' ').next().unwrap());
+        }
+        Resume {
+            id,
+            name,
+            institution: zipf_sample(&mut self.rng, 200, 0.7),
+            interests,
+            publications,
+            bio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        let rs = ResumeGenerator::new(1).generate(100);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(r.id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn institutions_bounded_and_skewed() {
+        let rs = ResumeGenerator::new(2).generate(10_000);
+        assert!(rs.iter().all(|r| (1..=200).contains(&r.institution)));
+        let top = rs.iter().filter(|r| r.institution == 1).count();
+        assert!(top > 10_000 / 200, "institution 1 should be over-represented");
+    }
+
+    #[test]
+    fn record_format_roundtrip_fields() {
+        let rs = ResumeGenerator::new(3).generate(5);
+        for r in &rs {
+            let rec = r.to_record();
+            assert!(rec.contains(&format!("inst={}", r.institution)));
+            assert!(rec.contains(&format!("pubs={}", r.publications)));
+        }
+    }
+
+    #[test]
+    fn variable_record_sizes() {
+        let rs = ResumeGenerator::new(4).generate(500);
+        let min = rs.iter().map(|r| r.to_record().len()).min().unwrap();
+        let max = rs.iter().map(|r| r.to_record().len()).max().unwrap();
+        assert!(max > min * 2, "records should vary in size: {min}..{max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            ResumeGenerator::new(9).generate(20),
+            ResumeGenerator::new(9).generate(20)
+        );
+    }
+}

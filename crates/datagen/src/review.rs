@@ -1,0 +1,166 @@
+//! Semi-structured review generation for the Amazon movie review seed.
+//!
+//! The seed holds 7,911,684 reviews of 889,176 movies by 253,059 users
+//! (Aug 1997 – Oct 2012). Two workloads consume it: Naive Bayes
+//! (sentiment classification over review text + score) and Collaborative
+//! Filtering (user×item rating matrix). The generator therefore
+//! preserves: the users-per-item and reviews-per-user skew, the J-shaped
+//! rating distribution typical of online reviews (many 5s, some 1s), and
+//! score-correlated review text so a sentiment classifier has signal to
+//! learn.
+
+use crate::table::zipf_sample;
+use crate::text::TextGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Positive sentiment words mixed into high-scoring reviews.
+const POSITIVE: [&str; 12] = [
+    "great", "excellent", "wonderful", "amazing", "loved", "perfect", "best", "brilliant",
+    "beautiful", "superb", "masterpiece", "favorite",
+];
+
+/// Negative sentiment words mixed into low-scoring reviews.
+const NEGATIVE: [&str; 12] = [
+    "terrible", "awful", "boring", "waste", "worst", "disappointing", "bad", "poor", "dull",
+    "horrible", "mess", "unwatchable",
+];
+
+/// One synthesized review record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Review {
+    /// Reviewer id, Zipf-skewed (prolific reviewers exist).
+    pub user_id: u64,
+    /// Product (movie) id, Zipf-skewed (blockbusters exist).
+    pub product_id: u64,
+    /// Star rating 1..=5 with the J-shaped marginal of the seed.
+    pub score: u8,
+    /// Review text, sentiment-correlated with the score.
+    pub text: String,
+}
+
+impl Review {
+    /// Whether the review is positive (score ≥ 4), the label Naive Bayes
+    /// trains against.
+    pub fn is_positive(&self) -> bool {
+        self.score >= 4
+    }
+}
+
+/// Generator for review streams.
+///
+/// # Example
+///
+/// ```
+/// use bdb_datagen::ReviewGenerator;
+/// let reviews = ReviewGenerator::new(5).generate(100);
+/// assert_eq!(reviews.len(), 100);
+/// assert!(reviews.iter().all(|r| (1..=5).contains(&r.score)));
+/// ```
+#[derive(Debug)]
+pub struct ReviewGenerator {
+    rng: StdRng,
+    text: TextGenerator,
+    /// users ≈ reviews × this factor (seed: 253,059 / 7,911,684).
+    users_factor: f64,
+    /// products ≈ reviews × this factor (seed: 889,176 / 7,911,684).
+    products_factor: f64,
+}
+
+impl ReviewGenerator {
+    /// A generator with seed-fitted population ratios.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            text: TextGenerator::reviews(seed ^ 0xABCD),
+            users_factor: 253_059.0 / 7_911_684.0,
+            products_factor: 889_176.0 / 7_911_684.0,
+        }
+    }
+
+    /// Generates `n` reviews.
+    pub fn generate(&mut self, n: u64) -> Vec<Review> {
+        let users = ((n as f64 * self.users_factor).ceil() as u64).max(1);
+        let products = ((n as f64 * self.products_factor).ceil() as u64).max(1);
+        (0..n).map(|_| self.one(users, products)).collect()
+    }
+
+    /// The J-shaped score marginal of online reviews: P(5) dominates,
+    /// P(1) > P(2)..P(3).
+    fn sample_score(&mut self) -> u8 {
+        let u: f64 = self.rng.gen();
+        match u {
+            _ if u < 0.55 => 5,
+            _ if u < 0.73 => 4,
+            _ if u < 0.82 => 3,
+            _ if u < 0.89 => 2,
+            _ => 1,
+        }
+    }
+
+    fn one(&mut self, users: u64, products: u64) -> Review {
+        let score = self.sample_score();
+        let base_len = self.rng.gen_range(30..200);
+        let mut text = self.text.document(base_len);
+        // Blend in sentiment vocabulary proportional to score intensity.
+        let sentiment_words = 2 + base_len / 25;
+        let pool: &[&str] = if score >= 4 { &POSITIVE } else if score <= 2 { &NEGATIVE } else { &[] };
+        for _ in 0..sentiment_words {
+            if pool.is_empty() {
+                break;
+            }
+            text.push(' ');
+            text.push_str(pool[self.rng.gen_range(0..pool.len())]);
+        }
+        Review {
+            user_id: zipf_sample(&mut self.rng, users, 0.9),
+            product_id: zipf_sample(&mut self.rng, products, 0.9),
+            score,
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_marginal_is_j_shaped() {
+        let reviews = ReviewGenerator::new(1).generate(20_000);
+        let mut counts = [0u64; 6];
+        for r in &reviews {
+            counts[r.score as usize] += 1;
+        }
+        assert!(counts[5] > counts[4]);
+        assert!(counts[4] > counts[3]);
+        assert!(counts[1] > counts[3], "J shape: 1-star beats 3-star");
+    }
+
+    #[test]
+    fn sentiment_correlates_with_score() {
+        let reviews = ReviewGenerator::new(2).generate(2000);
+        let pos_hits = |r: &Review| POSITIVE.iter().filter(|w| r.text.contains(*w)).count();
+        let neg_hits = |r: &Review| NEGATIVE.iter().filter(|w| r.text.contains(*w)).count();
+        let pos_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(|r| pos_hits(r)).sum();
+        let neg_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(|r| neg_hits(r)).sum();
+        assert!(pos_in_pos > neg_in_pos * 2, "positive reviews carry positive words");
+    }
+
+    #[test]
+    fn population_ratios_match_seed() {
+        let reviews = ReviewGenerator::new(3).generate(50_000);
+        let users: std::collections::HashSet<_> = reviews.iter().map(|r| r.user_id).collect();
+        let products: std::collections::HashSet<_> = reviews.iter().map(|r| r.product_id).collect();
+        // Far fewer users than reviews, more products than users (as in seed).
+        assert!(users.len() < reviews.len() / 10);
+        assert!(products.len() > users.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ReviewGenerator::new(7).generate(50);
+        let b = ReviewGenerator::new(7).generate(50);
+        assert_eq!(a, b);
+    }
+}

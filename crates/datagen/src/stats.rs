@@ -1,0 +1,143 @@
+//! Distribution-shape estimation used to validate generator veracity.
+//!
+//! BDGS's pitch is that synthetic data must *preserve the characteristics
+//! of the seed*. These helpers quantify the characteristics we preserve —
+//! Zipf exponents of frequency distributions and power-law tails of
+//! degree distributions — so tests (and users) can check generated data
+//! against the seed statistics instead of taking it on faith.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Counts occurrences and returns frequencies sorted descending.
+pub fn rank_frequencies<T: Eq + Hash, I: IntoIterator<Item = T>>(items: I) -> Vec<u64> {
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    for item in items {
+        *counts.entry(item).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<u64> = counts.into_values().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    freqs
+}
+
+/// Estimates the Zipf exponent of a rank/frequency curve by least-squares
+/// regression of log(freq) on log(rank) over the head of the ranking.
+///
+/// Returns `None` when fewer than 8 distinct ranks are available.
+pub fn estimate_zipf_exponent(freqs: &[u64]) -> Option<f64> {
+    let head = freqs.iter().take(1000).filter(|&&f| f > 0).count();
+    if head < 8 {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = freqs
+        .iter()
+        .take(head)
+        .enumerate()
+        .map(|(i, &f)| (((i + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    let slope = linear_slope(&pts)?;
+    Some(-slope)
+}
+
+/// Estimates the power-law exponent alpha of a degree distribution using
+/// the discrete maximum-likelihood estimator (Clauset et al.) with
+/// `x_min = 1`: `alpha ≈ 1 + n / Σ ln(x_i / (x_min - 0.5))`.
+///
+/// Returns `None` when there are fewer than 8 positive degrees.
+pub fn estimate_power_law_alpha(degrees: &[u32]) -> Option<f64> {
+    let xs: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    if xs.len() < 8 {
+        return None;
+    }
+    let sum: f64 = xs.iter().map(|x| (x / 0.5).ln()).sum();
+    Some(1.0 + xs.len() as f64 / sum)
+}
+
+/// Least-squares slope of `y` on `x`. Returns `None` for degenerate input.
+pub fn linear_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Shannon entropy (bits) of a frequency vector — a scale-free summary
+/// used to compare generated vs. seed diversity.
+pub fn entropy_bits(freqs: &[u64]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    freqs
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::Vocabulary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_frequencies_sorted() {
+        let f = rank_frequencies(vec!["a", "b", "a", "c", "a", "b"]);
+        assert_eq!(f, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((linear_slope(&pts).unwrap() - 2.0).abs() < 1e-9);
+        assert!(linear_slope(&[(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn recovers_zipf_exponent_from_samples() {
+        let v = Vocabulary::new(2000, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<usize> = (0..200_000).map(|_| v.sample_rank(&mut rng)).collect();
+        let freqs = rank_frequencies(samples);
+        let s = estimate_zipf_exponent(&freqs).unwrap();
+        assert!((s - 1.0).abs() < 0.25, "estimated exponent {s} should be near 1.0");
+    }
+
+    #[test]
+    fn zipf_estimator_needs_data() {
+        assert!(estimate_zipf_exponent(&[5, 3]).is_none());
+    }
+
+    #[test]
+    fn power_law_alpha_reasonable() {
+        // Degrees drawn from a discrete power law-ish set.
+        let mut degrees = Vec::new();
+        for d in 1u32..=100 {
+            let copies = (10_000.0 / (d as f64).powf(2.0)) as usize;
+            degrees.extend(std::iter::repeat(d).take(copies.max(0)));
+        }
+        let alpha = estimate_power_law_alpha(&degrees).unwrap();
+        assert!(alpha > 1.5 && alpha < 3.0, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let e = entropy_bits(&[10, 10, 10, 10]);
+        assert!((e - 2.0).abs() < 1e-9);
+        assert_eq!(entropy_bits(&[]), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Synthetic text generation with a Zipfian vocabulary model.
+//!
+//! BDGS's text generator fits a latent-topic/word-frequency model to the
+//! Wikipedia seed and samples documents from it. The dominant
+//! characteristic for the micro benchmarks (Sort, Grep, WordCount,
+//! Index) is the word-frequency distribution — English famously follows
+//! Zipf's law with exponent ≈ 1 — together with realistic document
+//! lengths. [`TextGenerator`] reproduces both: a [`Vocabulary`] of real
+//! high-frequency English words plus a synthetically pronounceable tail,
+//! sampled under Zipf(s), assembled into sentences and documents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The most frequent English words, used for the head of the vocabulary
+/// so generated text looks like (and tokenizes like) natural language.
+const COMMON_WORDS: [&str; 96] = [
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
+    "on", "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or", "have", "an",
+    "they", "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we",
+    "him", "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what",
+    "up", "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
+    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
+    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
+    "must", "through", "years", "where", "much", "your", "way",
+];
+
+const SYLLABLES: [&str; 24] = [
+    "ka", "ri", "to", "mu", "sel", "dor", "vin", "pa", "lo", "za", "qui", "fer", "gan", "hel",
+    "ixi", "jor", "ken", "lum", "nar", "ost", "pra", "rus", "tev", "wor",
+];
+
+/// A ranked vocabulary with Zipfian sampling.
+///
+/// # Example
+///
+/// ```
+/// use bdb_datagen::Vocabulary;
+/// let v = Vocabulary::new(1000, 1.0);
+/// assert_eq!(v.len(), 1000);
+/// assert_eq!(v.word(0), "the"); // rank 0 is the most common English word
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative unnormalized Zipf weights for binary-search sampling.
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary of `size` words under Zipf exponent `s`.
+    ///
+    /// The head of the ranking reuses real English high-frequency words;
+    /// the tail is synthesized from syllables, deterministically per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `s` is negative.
+    pub fn new(size: usize, s: f64) -> Self {
+        assert!(size > 0, "vocabulary must be non-empty");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut words = Vec::with_capacity(size);
+        for rank in 0..size {
+            if rank < COMMON_WORDS.len() {
+                words.push(COMMON_WORDS[rank].to_owned());
+            } else {
+                words.push(synth_word(rank));
+            }
+        }
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for rank in 0..size {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { words, cumulative, exponent: s }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The Zipf exponent the vocabulary was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The word at `rank` (0 = most frequent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of bounds.
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Samples a rank according to the Zipf distribution.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.words.len() - 1)
+    }
+
+    /// Samples a word according to the Zipf distribution.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R) -> &'a str {
+        let rank = self.sample_rank(rng);
+        &self.words[rank]
+    }
+}
+
+/// Deterministically synthesizes a pronounceable word for `rank` by
+/// encoding the rank in base-24 syllable digits (injective, so tail
+/// words never collide).
+fn synth_word(rank: usize) -> String {
+    let mut x = rank as u64;
+    let mut w = String::new();
+    loop {
+        w.push_str(SYLLABLES[(x % SYLLABLES.len() as u64) as usize]);
+        x /= SYLLABLES.len() as u64;
+        if x == 0 {
+            break;
+        }
+    }
+    w
+}
+
+/// Generates documents of Zipf-sampled words with sentence structure.
+///
+/// # Example
+///
+/// ```
+/// use bdb_datagen::TextGenerator;
+/// let mut g = TextGenerator::wikipedia(7);
+/// let a = g.document(50);
+/// let mut g2 = TextGenerator::wikipedia(7);
+/// let b = g2.document(50);
+/// assert_eq!(a, b, "same seed, same text");
+/// ```
+#[derive(Debug)]
+pub struct TextGenerator {
+    vocabulary: Vocabulary,
+    rng: StdRng,
+    /// Mean document length in words (geometric-ish around this mean).
+    mean_doc_words: usize,
+}
+
+impl TextGenerator {
+    /// A generator fitted to the Wikipedia seed: Zipf exponent 1.0,
+    /// 40,000-word vocabulary, mean article length ≈ 430 words.
+    pub fn wikipedia(seed: u64) -> Self {
+        Self::new(40_000, 1.0, 430, seed)
+    }
+
+    /// A generator fitted to review text (shorter docs, slightly flatter
+    /// vocabulary, matching the Amazon movie review seed).
+    pub fn reviews(seed: u64) -> Self {
+        Self::new(20_000, 0.9, 120, seed)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size` or `mean_doc_words` is zero.
+    pub fn new(vocab_size: usize, zipf_s: f64, mean_doc_words: usize, seed: u64) -> Self {
+        assert!(mean_doc_words > 0);
+        Self {
+            vocabulary: Vocabulary::new(vocab_size, zipf_s),
+            rng: StdRng::seed_from_u64(seed),
+            mean_doc_words,
+        }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Generates a document of exactly `words` words.
+    pub fn document(&mut self, words: usize) -> String {
+        let mut out = String::with_capacity(words * 6);
+        let mut sentence_left = self.rng.gen_range(5..20);
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            let rank = self.vocabulary.sample_rank(&mut self.rng);
+            out.push_str(self.vocabulary.word(rank));
+            sentence_left -= 1;
+            if sentence_left == 0 {
+                out.push('.');
+                sentence_left = self.rng.gen_range(5..20);
+            }
+        }
+        out
+    }
+
+    /// Generates a document with a length sampled around the configured
+    /// mean (uniform in `[mean/2, 3*mean/2]`).
+    pub fn document_natural(&mut self) -> String {
+        let lo = (self.mean_doc_words / 2).max(1);
+        let hi = self.mean_doc_words * 3 / 2;
+        let words = self.rng.gen_range(lo..=hi);
+        self.document(words)
+    }
+
+    /// Generates approximately `bytes` of text as newline-separated
+    /// documents. Returns the corpus; its length is within one document
+    /// of the request.
+    pub fn corpus(&mut self, bytes: usize) -> String {
+        let mut out = String::with_capacity(bytes + 1024);
+        while out.len() < bytes {
+            out.push_str(&self.document_natural());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Streams `n` documents through a callback without materializing the
+    /// corpus — BDGS's "parallelism-bounded" volume story at library
+    /// scale.
+    pub fn documents<F: FnMut(String)>(&mut self, n: usize, mut f: F) {
+        for _ in 0..n {
+            f(self.document_natural());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn vocabulary_head_is_english() {
+        let v = Vocabulary::new(200, 1.0);
+        assert_eq!(v.word(0), "the");
+        assert_eq!(v.word(1), "of");
+        assert!(v.word(150).len() >= 4, "tail words are synthesized");
+    }
+
+    #[test]
+    fn synth_words_are_unique_enough() {
+        let v = Vocabulary::new(5000, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for r in 96..5000 {
+            assert!(seen.insert(v.word(r).to_owned()), "duplicate tail word {}", v.word(r));
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed() {
+        let v = Vocabulary::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(v.sample_rank(&mut rng)).or_insert(0u64) += 1;
+        }
+        let top = counts.get(&0).copied().unwrap_or(0);
+        let mid = counts.get(&100).copied().unwrap_or(0);
+        // Zipf(1): rank 0 should be ~100x rank 100.
+        assert!(top > mid * 20, "rank0={top} rank100={mid}");
+    }
+
+    #[test]
+    fn uniform_exponent_is_flat() {
+        let v = Vocabulary::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[v.sample_rank(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "uniform sampling should be flat");
+    }
+
+    #[test]
+    fn document_word_count_exact() {
+        let mut g = TextGenerator::wikipedia(3);
+        let d = g.document(77);
+        assert_eq!(d.split_whitespace().count(), 77);
+    }
+
+    #[test]
+    fn corpus_reaches_requested_bytes() {
+        let mut g = TextGenerator::wikipedia(4);
+        let c = g.corpus(10_000);
+        assert!(c.len() >= 10_000);
+        assert!(c.len() < 10_000 + 10_000); // within one doc of target
+        assert!(c.ends_with('\n'));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TextGenerator::new(500, 1.0, 50, 99);
+        let mut b = TextGenerator::new(500, 1.0, 50, 99);
+        assert_eq!(a.corpus(2000), b.corpus(2000));
+    }
+
+    #[test]
+    fn documents_callback_count() {
+        let mut g = TextGenerator::reviews(5);
+        let mut n = 0;
+        g.documents(10, |_| n += 1);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocabulary_panics() {
+        Vocabulary::new(0, 1.0);
+    }
+}

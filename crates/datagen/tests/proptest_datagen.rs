@@ -1,0 +1,99 @@
+//! Property-based tests for the BDGS generators: determinism, bounds
+//! and shape preservation under arbitrary seeds and sizes.
+
+use bdb_datagen::convert::{edges_to_text, text_to_edges};
+use bdb_datagen::table::zipf_sample;
+use bdb_datagen::text::{TextGenerator, Vocabulary};
+use bdb_datagen::{EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Text generation is deterministic per seed and exact in length.
+    #[test]
+    fn text_deterministic_and_exact(seed in any::<u64>(), words in 1usize..300) {
+        let a = TextGenerator::new(500, 1.0, 50, seed).document(words);
+        let b = TextGenerator::new(500, 1.0, 50, seed).document(words);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.split_whitespace().count(), words);
+    }
+
+    /// Vocabulary sampling stays in bounds for any exponent.
+    #[test]
+    fn vocab_sampling_bounded(seed in any::<u64>(), s in 0.0f64..2.5, size in 1usize..2000) {
+        let v = Vocabulary::new(size, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(v.sample_rank(&mut rng) < size);
+        }
+    }
+
+    /// Zipf sampling is always within `1..=n`.
+    #[test]
+    fn zipf_bounds(seed in any::<u64>(), n in 1u64..10_000, s in 0.0f64..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = zipf_sample(&mut rng, n, s);
+            prop_assert!((1..=n).contains(&x));
+        }
+    }
+
+    /// Graph generation: edges in range, no self loops, deterministic.
+    #[test]
+    fn graph_well_formed(seed in any::<u64>(), nodes in 8u32..512) {
+        let g1 = GraphGenerator::new(RmatParams::google_web(), seed).generate(nodes);
+        let g2 = GraphGenerator::new(RmatParams::google_web(), seed).generate(nodes);
+        prop_assert_eq!(&g1, &g2);
+        for &(s, d) in &g1.edges {
+            prop_assert!(s < nodes && d < nodes);
+            prop_assert_ne!(s, d);
+        }
+    }
+
+    /// Edge-list text round-trips.
+    #[test]
+    fn edge_text_roundtrip(seed in any::<u64>(), nodes in 8u32..128) {
+        let g = GraphGenerator::new(RmatParams::facebook_social(), seed).generate(nodes);
+        let text = edges_to_text(&g);
+        let back = text_to_edges(&text).expect("own format parses");
+        prop_assert_eq!(back.edges, g.edges);
+    }
+
+    /// E-commerce: line totals always equal number x price; foreign keys
+    /// always resolve.
+    #[test]
+    fn ecommerce_consistent(seed in any::<u64>(), orders in 1u64..300) {
+        let (os, is) = EcommerceGenerator::new(seed).generate(orders);
+        prop_assert_eq!(os.len() as u64, orders);
+        for it in &is {
+            prop_assert!((it.goods_amount - it.goods_number * it.goods_price).abs() < 1e-6);
+            prop_assert!(it.order_id >= 1 && it.order_id <= orders);
+        }
+    }
+
+    /// Reviews: scores in 1..=5, non-empty text, deterministic.
+    #[test]
+    fn reviews_well_formed(seed in any::<u64>(), n in 1u64..200) {
+        let a = ReviewGenerator::new(seed).generate(n);
+        let b = ReviewGenerator::new(seed).generate(n);
+        prop_assert_eq!(a.len() as u64, n);
+        prop_assert_eq!(&a, &b);
+        for r in &a {
+            prop_assert!((1..=5).contains(&r.score));
+            prop_assert!(!r.text.is_empty());
+        }
+    }
+
+    /// Resumés: ids sequential, institutions in 1..=200, records parse.
+    #[test]
+    fn resumes_well_formed(seed in any::<u64>(), n in 1u64..200) {
+        let rs = ResumeGenerator::new(seed).generate(n);
+        for (i, r) in rs.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64 + 1);
+            prop_assert!((1..=200).contains(&r.institution));
+            let record = r.to_record();
+            prop_assert!(record.contains("name=") && record.contains(";bio="));
+        }
+    }
+}

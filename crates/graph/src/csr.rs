@@ -1,0 +1,144 @@
+//! Compressed sparse-row adjacency.
+
+/// An immutable directed graph in CSR form.
+///
+/// # Example
+///
+/// ```
+/// use bdb_graph::CsrGraph;
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (2, 0)]);
+/// assert_eq!(g.nodes(), 3);
+/// assert_eq!(g.edges(), 3);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.out_degree(1), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph over `nodes` vertices from directed edges.
+    /// Edge order within a source is preserved after a stable sort by
+    /// source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= nodes`.
+    pub fn from_edges(nodes: u32, edges: &[(u32, u32)]) -> Self {
+        let n = nodes as usize;
+        let mut degree = vec![0u64; n];
+        for &(s, d) in edges {
+            assert!(s < nodes && d < nodes, "edge ({s},{d}) out of range {nodes}");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            *c += 1;
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-neighbors of `v` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The CSR offset of `v`'s adjacency (for traced address modeling).
+    pub fn offset_of(&self, v: u32) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// The transposed graph (in-edges become out-edges).
+    pub fn transpose(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        for v in 0..self.nodes() {
+            for &t in self.neighbors(v) {
+                edges.push((t, v));
+            }
+        }
+        CsrGraph::from_edges(self.nodes(), &edges)
+    }
+
+    /// Estimated resident bytes of the CSR arrays.
+    pub fn byte_size(&self) -> u64 {
+        (self.offsets.len() * 8 + self.targets.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_indexes() {
+        let g = CsrGraph::from_edges(4, &[(1, 0), (0, 2), (0, 1), (3, 3)]);
+        assert_eq!(g.nodes(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.neighbors(0), &[2, 1], "insertion order preserved");
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(5, &[]);
+        assert_eq!(g.edges(), 0);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.transpose().edges(), g.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn byte_size_scales() {
+        let g = CsrGraph::from_edges(100, &[(0, 1); 50]);
+        assert_eq!(g.byte_size(), 101 * 8 + 50 * 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! An LSM-tree key-value store — the HBase stand-in of BigDataBench-RS.
+//!
+//! The paper's "Cloud OLTP" workloads (Read, Write, Scan; Table 4) run
+//! against HBase 0.94.5. HBase is a log-structured merge store, so this
+//! crate implements that architecture from scratch:
+//!
+//! * a **write-ahead log** ([`wal`]) for durability,
+//! * an in-memory sorted **memtable** ([`memtable`]),
+//! * immutable sorted **SSTables** on disk with sparse block indexes and
+//!   **bloom filters** ([`sstable`], [`bloom`]),
+//! * background-style **size-tiered compaction** ([`store`]).
+//!
+//! Reads consult the memtable, then newest-to-oldest SSTables, skipping
+//! tables whose bloom filter rejects the key. Scans merge the memtable
+//! and every table. All operations have `*_with` variants threading a
+//! [`bdb_archsim::Probe`], which reports the loads a real LSM read path
+//! performs (memtable search, bloom probes, index binary search, block
+//! fetch) so Cloud OLTP workloads can be micro-architecturally
+//! characterized.
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_kvstore::Store;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let dir = std::env::temp_dir().join(format!("bdb-kv-{}", std::process::id()));
+//! let mut store = Store::open(&dir)?;
+//! store.put(b"row1".to_vec(), b"value".to_vec())?;
+//! assert_eq!(store.get(b"row1")?, Some(b"value".to_vec()));
+//! store.delete(b"row1")?;
+//! assert_eq!(store.get(b"row1")?, None);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod memtable;
+pub mod sstable;
+pub mod store;
+pub mod trace;
+pub mod wal;
+
+pub use bloom::BloomFilter;
+pub use memtable::Memtable;
+pub use sstable::SsTable;
+pub use store::{Store, StoreConfig, StoreStats};
+pub use trace::StoreTraceModel;
+pub use wal::WriteAheadLog;

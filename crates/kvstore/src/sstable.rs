@@ -1,0 +1,478 @@
+//! Immutable sorted string tables with block index and bloom filter.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! [data block]*  [index]  [bloom]  [footer]
+//! data block  = (klen u32, key, tomb u8, vlen u32, value)*   ≈ 4 KiB each
+//! index       = count u32, (klen u32, first_key, offset u64, len u32)*
+//! footer      = index_off u64, index_len u64, bloom_off u64,
+//!               bloom_len u64, entries u64, magic u64
+//! ```
+
+use crate::bloom::BloomFilter;
+use crate::memtable::Entry;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u64 = 0x42_44_42_5353_5442; // "BDB SSTB"
+const BLOCK_TARGET: usize = 4096;
+
+/// One index entry: the first key of a block plus its file extent.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+/// A read handle to one SSTable file.
+#[derive(Debug)]
+pub struct SsTable {
+    path: PathBuf,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+    entries: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+impl SsTable {
+    /// Builds an SSTable at `path` from key-sorted entries (values or
+    /// tombstones).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `entries` is not sorted by key.
+    pub fn build(path: &Path, entries: &[(Vec<u8>, Entry)]) -> std::io::Result<Self> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted");
+        let mut bloom = BloomFilter::for_items(entries.len().max(1), 0.01);
+        let mut file = File::create(path)?;
+        let mut index = Vec::new();
+        let mut block = Vec::with_capacity(BLOCK_TARGET * 2);
+        let mut block_first: Option<Vec<u8>> = None;
+        let mut offset = 0u64;
+
+        let flush_block = |file: &mut File,
+                               block: &mut Vec<u8>,
+                               first: &mut Option<Vec<u8>>,
+                               offset: &mut u64,
+                               index: &mut Vec<IndexEntry>|
+         -> std::io::Result<()> {
+            if let Some(first_key) = first.take() {
+                file.write_all(block)?;
+                index.push(IndexEntry {
+                    first_key,
+                    offset: *offset,
+                    len: block.len() as u32,
+                });
+                *offset += block.len() as u64;
+                block.clear();
+            }
+            Ok(())
+        };
+
+        for (key, entry) in entries {
+            bloom.insert(key);
+            if block_first.is_none() {
+                block_first = Some(key.clone());
+            }
+            block.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            block.extend_from_slice(key);
+            match entry {
+                Entry::Tombstone => {
+                    block.push(1);
+                    block.extend_from_slice(&0u32.to_le_bytes());
+                }
+                Entry::Value(v) => {
+                    block.push(0);
+                    block.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    block.extend_from_slice(v);
+                }
+            }
+            if block.len() >= BLOCK_TARGET {
+                flush_block(&mut file, &mut block, &mut block_first, &mut offset, &mut index)?;
+            }
+        }
+        flush_block(&mut file, &mut block, &mut block_first, &mut offset, &mut index)?;
+
+        // Index section.
+        let index_off = offset;
+        let mut index_bytes = Vec::new();
+        index_bytes.extend_from_slice(&(index.len() as u32).to_le_bytes());
+        for e in &index {
+            index_bytes.extend_from_slice(&(e.first_key.len() as u32).to_le_bytes());
+            index_bytes.extend_from_slice(&e.first_key);
+            index_bytes.extend_from_slice(&e.offset.to_le_bytes());
+            index_bytes.extend_from_slice(&e.len.to_le_bytes());
+        }
+        file.write_all(&index_bytes)?;
+
+        // Bloom section.
+        let bloom_off = index_off + index_bytes.len() as u64;
+        let bloom_bytes = bloom.to_bytes();
+        file.write_all(&bloom_bytes)?;
+
+        // Footer.
+        let mut footer = Vec::with_capacity(48);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        file.write_all(&footer)?;
+        file.flush()?;
+        let file_bytes = bloom_off + bloom_bytes.len() as u64 + 48;
+
+        Ok(Self { path: path.to_owned(), index, bloom, entries: entries.len() as u64, file_bytes })
+    }
+
+    /// Opens an existing SSTable, reading its index, bloom and footer.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the footer magic or sections are corrupt.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let file_bytes = file.metadata()?.len();
+        if file_bytes < 48 {
+            return Err(invalid("file too small"));
+        }
+        file.seek(SeekFrom::End(-48))?;
+        let mut footer = [0u8; 48];
+        file.read_exact(&mut footer)?;
+        let u64_at = |i: usize| u64::from_le_bytes(footer[i..i + 8].try_into().expect("8 bytes"));
+        if u64_at(40) != MAGIC {
+            return Err(invalid("bad magic"));
+        }
+        let (index_off, index_len) = (u64_at(0), u64_at(8));
+        let (bloom_off, bloom_len) = (u64_at(16), u64_at(24));
+        let entries = u64_at(32);
+
+        file.seek(SeekFrom::Start(index_off))?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact(&mut index_bytes)?;
+        let index = parse_index(&index_bytes).ok_or_else(|| invalid("bad index"))?;
+
+        file.seek(SeekFrom::Start(bloom_off))?;
+        let mut bloom_bytes = vec![0u8; bloom_len as usize];
+        file.read_exact(&mut bloom_bytes)?;
+        let bloom = BloomFilter::from_bytes(&bloom_bytes).ok_or_else(|| invalid("bad bloom"))?;
+
+        Ok(Self { path: path.to_owned(), index, bloom, entries, file_bytes })
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of data blocks.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The file this table reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The table's bloom filter (for read-path tracing).
+    pub fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
+    /// Whether the bloom filter may contain `key`.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.contains(key)
+    }
+
+    /// The block index position a lookup of `key` would search
+    /// (`None` if the key precedes the first block).
+    pub fn block_for(&self, key: &[u8]) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        match self.index.binary_search_by(|e| e.first_key.as_slice().cmp(key)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Point lookup. Returns the entry (value or tombstone) if the key is
+    /// present in this table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors reading the data block.
+    pub fn get(&self, key: &[u8]) -> std::io::Result<Option<Entry>> {
+        if !self.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(block_idx) = self.block_for(key) else {
+            return Ok(None);
+        };
+        let block = self.read_block(block_idx)?;
+        Ok(scan_block(&block, |k| k == key).into_iter().next().map(|(_, e)| e))
+    }
+
+    /// Reads data block `idx` fully.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn read_block(&self, idx: usize) -> std::io::Result<Vec<u8>> {
+        let e = &self.index[idx];
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(e.offset))?;
+        let mut buf = vec![0u8; e.len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Iterates every entry in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn iter_all(&self) -> std::io::Result<Vec<(Vec<u8>, Entry)>> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        for i in 0..self.index.len() {
+            let block = self.read_block(i)?;
+            out.extend(scan_block(&block, |_| true));
+        }
+        Ok(out)
+    }
+
+    /// Range scan over `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> std::io::Result<Vec<(Vec<u8>, Entry)>> {
+        let first_block = self.block_for(start).unwrap_or(0);
+        let mut out = Vec::new();
+        for i in first_block..self.index.len() {
+            if self.index[i].first_key.as_slice() >= end {
+                break;
+            }
+            let block = self.read_block(i)?;
+            for (k, e) in scan_block(&block, |_| true) {
+                if k.as_slice() >= end {
+                    return Ok(out);
+                }
+                if k.as_slice() >= start {
+                    out.push((k, e));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes the backing file (after compaction supersedes the table).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn remove_file(self) -> std::io::Result<()> {
+        std::fs::remove_file(&self.path)
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn parse_index(bytes: &[u8]) -> Option<Vec<IndexEntry>> {
+    let mut s = bytes;
+    let count = read_u32(&mut s)? as usize;
+    let mut index = Vec::with_capacity(count);
+    for _ in 0..count {
+        let klen = read_u32(&mut s)? as usize;
+        if s.len() < klen {
+            return None;
+        }
+        let (key, rest) = s.split_at(klen);
+        s = rest;
+        let offset = read_u64(&mut s)?;
+        let len = read_u32(&mut s)?;
+        index.push(IndexEntry { first_key: key.to_vec(), offset, len });
+    }
+    Some(index)
+}
+
+fn read_u32(s: &mut &[u8]) -> Option<u32> {
+    if s.len() < 4 {
+        return None;
+    }
+    let (head, tail) = s.split_at(4);
+    *s = tail;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+fn read_u64(s: &mut &[u8]) -> Option<u64> {
+    if s.len() < 8 {
+        return None;
+    }
+    let (head, tail) = s.split_at(8);
+    *s = tail;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+/// Decodes entries of a data block, keeping those whose key satisfies
+/// `pred`.
+fn scan_block(block: &[u8], pred: impl Fn(&[u8]) -> bool) -> Vec<(Vec<u8>, Entry)> {
+    let mut out = Vec::new();
+    let mut s = block;
+    while !s.is_empty() {
+        let Some(klen) = read_u32(&mut s) else { break };
+        if s.len() < klen as usize + 5 {
+            break;
+        }
+        let (key, rest) = s.split_at(klen as usize);
+        s = rest;
+        let tomb = s[0] == 1;
+        s = &s[1..];
+        let Some(vlen) = read_u32(&mut s) else { break };
+        if s.len() < vlen as usize {
+            break;
+        }
+        let (val, rest) = s.split_at(vlen as usize);
+        s = rest;
+        if pred(key) {
+            let entry = if tomb { Entry::Tombstone } else { Entry::Value(val.to_vec()) };
+            out.push((key.to_vec(), entry));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bdb-sst-{}-{name}.sst", std::process::id()))
+    }
+
+    fn sample_entries(n: usize) -> Vec<(Vec<u8>, Entry)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("key{i:08}").into_bytes();
+                if i % 10 == 3 {
+                    (key, Entry::Tombstone)
+                } else {
+                    (key, Entry::Value(format!("value-{i}").into_bytes()))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_get_roundtrip() {
+        let path = tmp("roundtrip");
+        let entries = sample_entries(1000);
+        let table = SsTable::build(&path, &entries).unwrap();
+        assert_eq!(table.len(), 1000);
+        assert!(table.block_count() > 1, "should span multiple blocks");
+        for (k, e) in entries.iter().step_by(37) {
+            assert_eq!(table.get(k).unwrap().as_ref(), Some(e));
+        }
+        assert_eq!(table.get(b"nope").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rereads_metadata() {
+        let path = tmp("open");
+        let entries = sample_entries(500);
+        let built = SsTable::build(&path, &entries).unwrap();
+        let opened = SsTable::open(&path).unwrap();
+        assert_eq!(opened.len(), built.len());
+        assert_eq!(opened.block_count(), built.block_count());
+        assert_eq!(opened.get(b"key00000042").unwrap(), built.get(b"key00000042").unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_footer() {
+        let path = tmp("corrupt");
+        SsTable::build(&path, &sample_entries(10)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF; // clobber magic
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SsTable::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn iter_all_is_ordered_and_complete() {
+        let path = tmp("iter");
+        let entries = sample_entries(300);
+        let table = SsTable::build(&path, &entries).unwrap();
+        let all = table.iter_all().unwrap();
+        assert_eq!(all, entries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_respects_bounds() {
+        let path = tmp("scan");
+        let entries = sample_entries(200);
+        let table = SsTable::build(&path, &entries).unwrap();
+        let out = table.scan(b"key00000050", b"key00000060").unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].0, b"key00000050".to_vec());
+        assert_eq!(out[9].0, b"key00000059".to_vec());
+        // Scan before all keys and after all keys.
+        assert!(table.scan(b"a", b"b").unwrap().is_empty());
+        assert!(table.scan(b"z", b"zz").unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_table() {
+        let path = tmp("empty");
+        let table = SsTable::build(&path, &[]).unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.get(b"x").unwrap(), None);
+        assert!(table.iter_all().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keys_before_first_block_miss() {
+        let path = tmp("before");
+        let entries = sample_entries(100);
+        let table = SsTable::build(&path, &entries).unwrap();
+        assert_eq!(table.block_for(b"aaa"), None);
+        assert_eq!(table.get(b"aaa").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn remove_file_deletes() {
+        let path = tmp("remove");
+        let table = SsTable::build(&path, &sample_entries(10)).unwrap();
+        assert!(path.exists());
+        table.remove_file().unwrap();
+        assert!(!path.exists());
+    }
+}

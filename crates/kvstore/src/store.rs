@@ -1,0 +1,570 @@
+//! The full store: WAL + memtable + SSTables + compaction.
+
+use crate::memtable::{Entry, Memtable};
+use crate::sstable::SsTable;
+use crate::trace::StoreTraceModel;
+use crate::wal::{WalOp, WriteAheadLog};
+use bdb_archsim::layout::splitmix64;
+use bdb_archsim::{NullProbe, Probe};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Flush the memtable to an SSTable once it holds this many bytes.
+    pub memtable_flush_bytes: usize,
+    /// Run a full compaction when the number of SSTables exceeds this.
+    pub max_tables: usize,
+    /// Consult bloom filters on the read path (disable for ablation
+    /// studies of the filters' value).
+    pub use_bloom: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { memtable_flush_bytes: 8 << 20, max_tables: 8, use_bloom: true }
+    }
+}
+
+/// Operation counters for one store instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Point lookups served.
+    pub gets: u64,
+    /// Mutations applied.
+    pub puts: u64,
+    /// Deletions applied.
+    pub deletes: u64,
+    /// Range scans served.
+    pub scans: u64,
+    /// SSTable lookups skipped thanks to a negative bloom filter.
+    pub bloom_skips: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Full compactions run.
+    pub compactions: u64,
+}
+
+/// An LSM-tree store rooted at a directory.
+///
+/// See the crate docs for the architecture; [`Store::open`] recovers
+/// state from the WAL and any SSTables found in the directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    wal: WriteAheadLog,
+    memtable: Memtable,
+    /// Newest first.
+    tables: Vec<SsTable>,
+    next_table_id: u64,
+    stats: StoreStats,
+    trace: Option<StoreTraceModel>,
+}
+
+impl Store {
+    /// Opens (or creates) a store in `dir` with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from recovery.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// Opens (or creates) a store with explicit configuration, replaying
+    /// the WAL and loading existing SSTables (newest first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from recovery.
+    pub fn open_with(dir: &Path, config: StoreConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join("wal.log");
+        let mut memtable = Memtable::new();
+        for op in WriteAheadLog::replay(&wal_path)? {
+            match op {
+                WalOp::Put(k, v) => {
+                    memtable.put(k, v);
+                }
+                WalOp::Delete(k) => {
+                    memtable.delete(k);
+                }
+            }
+        }
+        let wal = WriteAheadLog::open(&wal_path)?;
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_prefix("table-").and_then(|s| s.strip_suffix(".sst")) {
+                if let Ok(id) = id.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable_by(|a, b| b.cmp(a)); // newest (highest id) first
+        let mut tables = Vec::with_capacity(ids.len());
+        for id in &ids {
+            tables.push(SsTable::open(&table_path(dir, *id))?);
+        }
+        let next_table_id = ids.first().map_or(0, |&m| m + 1);
+        Ok(Self {
+            dir: dir.to_owned(),
+            config,
+            wal,
+            memtable,
+            tables,
+            next_table_id,
+            stats: StoreStats::default(),
+            trace: None,
+        })
+    }
+
+    /// Enables read/write-path instrumentation for `*_with` operations.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(StoreTraceModel::new());
+    }
+
+    /// Pre-touches the modeled server code (ramp-up); no-op without
+    /// tracing.
+    pub fn warm_trace<P: Probe + ?Sized>(&mut self, probe: &mut P) {
+        if let Some(t) = self.trace.as_mut() {
+            t.warm(probe);
+        }
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Number of SSTables currently live.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Entries currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Inserts or overwrites a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> std::io::Result<()> {
+        self.put_with(key, value, &mut NullProbe)
+    }
+
+    /// Instrumented [`Store::put`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors.
+    pub fn put_with<P: Probe + ?Sized>(
+        &mut self,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        probe: &mut P,
+    ) -> std::io::Result<()> {
+        self.stats.puts += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_op(probe);
+            t.wal_append(probe, key.len() + value.len());
+            t.memtable_walk(probe, hash_key(&key), self.memtable.len(), true);
+        }
+        self.wal.log_put(&key, &value)?;
+        self.memtable.put(key, value);
+        self.maybe_flush(probe)
+    }
+
+    /// Deletes a row (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors.
+    pub fn delete(&mut self, key: &[u8]) -> std::io::Result<()> {
+        self.delete_with(key, &mut NullProbe)
+    }
+
+    /// Instrumented [`Store::delete`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/flush I/O errors.
+    pub fn delete_with<P: Probe + ?Sized>(
+        &mut self,
+        key: &[u8],
+        probe: &mut P,
+    ) -> std::io::Result<()> {
+        self.stats.deletes += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_op(probe);
+            t.wal_append(probe, key.len());
+            t.memtable_walk(probe, hash_key(key), self.memtable.len(), true);
+        }
+        self.wal.log_delete(key)?;
+        self.memtable.delete(key.to_vec());
+        self.maybe_flush(probe)
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable I/O errors.
+    pub fn get(&mut self, key: &[u8]) -> std::io::Result<Option<Vec<u8>>> {
+        self.get_with(key, &mut NullProbe)
+    }
+
+    /// Instrumented [`Store::get`]: memtable first, then tables newest to
+    /// oldest, honoring bloom filters and tombstones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable I/O errors.
+    pub fn get_with<P: Probe + ?Sized>(
+        &mut self,
+        key: &[u8],
+        probe: &mut P,
+    ) -> std::io::Result<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_op(probe);
+            t.memtable_walk(probe, hash_key(key), self.memtable.len(), false);
+        }
+        if let Some(entry) = self.memtable.get(key) {
+            return Ok(entry.value().map(<[u8]>::to_vec));
+        }
+        for (i, table) in self.tables.iter().enumerate() {
+            let table_id = self.next_table_id.wrapping_sub(i as u64);
+            if self.config.use_bloom {
+                if let Some(t) = self.trace.as_mut() {
+                    t.bloom_probe(probe, table_id, &table.bloom().probe_bits(key));
+                }
+                if !table.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.index_search(probe, table_id, table.block_count());
+            }
+            if let Some(entry) = table.get(key)? {
+                if let (Some(t), Some(b)) = (self.trace.as_mut(), table.block_for(key)) {
+                    t.block_read(probe, table_id, b, 4096);
+                }
+                return Ok(entry.value().map(<[u8]>::to_vec));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan over `[start, end)`, newest version per key, tombstones
+    /// elided. Returns key/value pairs in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable I/O errors.
+    pub fn scan(&mut self, start: &[u8], end: &[u8]) -> std::io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_with(start, end, &mut NullProbe)
+    }
+
+    /// Instrumented [`Store::scan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable I/O errors.
+    pub fn scan_with<P: Probe + ?Sized>(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        probe: &mut P,
+    ) -> std::io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.stats.scans += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_op(probe);
+        }
+        // Oldest-to-newest overlay: later inserts win.
+        let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
+        for (i, table) in self.tables.iter().enumerate().rev() {
+            let table_id = self.next_table_id.wrapping_sub(i as u64);
+            let rows = table.scan(start, end)?;
+            if let Some(t) = self.trace.as_mut() {
+                t.index_search(probe, table_id, table.block_count());
+                t.block_read(probe, table_id, hash_key(start) as usize, rows.len() * 64);
+            }
+            for (k, e) in rows {
+                merged.insert(k, e);
+            }
+        }
+        for (k, e) in self.memtable.range(start, end) {
+            if self.trace.is_some() {
+                probe.load(splitmix64(hash_key(k)) | 1 << 45, 64);
+            }
+            merged.insert(k.to_vec(), e.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, e)| e.value().map(|v| (k, v.to_vec())))
+            .collect())
+    }
+
+    /// Forces a memtable flush (used by tests and shutdown paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable build / WAL truncate errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.flush_with(&mut NullProbe)
+    }
+
+    fn maybe_flush<P: Probe + ?Sized>(&mut self, probe: &mut P) -> std::io::Result<()> {
+        if self.memtable.bytes() >= self.config.memtable_flush_bytes {
+            self.flush_with(probe)?;
+        }
+        Ok(())
+    }
+
+    fn flush_with<P: Probe + ?Sized>(&mut self, probe: &mut P) -> std::io::Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = self.memtable.drain_sorted();
+        if let Some(t) = self.trace.as_mut() {
+            // Flush reads the whole memtable arena once.
+            t.block_read(probe, self.next_table_id, 0, entries.len() * 64);
+        }
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let table = SsTable::build(&table_path(&self.dir, id), &entries)?;
+        self.tables.insert(0, table);
+        self.wal.truncate()?;
+        self.stats.flushes += 1;
+        if self.tables.len() > self.config.max_tables {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Full compaction: merges every table into one, dropping shadowed
+    /// versions and tombstones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SSTable I/O errors.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        if self.tables.len() <= 1 {
+            return Ok(());
+        }
+        // Oldest-to-newest overlay merge.
+        let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
+        for table in self.tables.iter().rev() {
+            for (k, e) in table.iter_all()? {
+                merged.insert(k, e);
+            }
+        }
+        let entries: Vec<(Vec<u8>, Entry)> = merged
+            .into_iter()
+            .filter(|(_, e)| matches!(e, Entry::Value(_)))
+            .collect();
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let new_table = SsTable::build(&table_path(&self.dir, id), &entries)?;
+        for old in self.tables.drain(..) {
+            old.remove_file()?;
+        }
+        self.tables.push(new_table);
+        self.stats.compactions += 1;
+        Ok(())
+    }
+}
+
+fn table_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("table-{id:012}.sst"))
+}
+
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdb-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("row{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = tmpdir("basic");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(key(1), b"v1".to_vec()).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap(), Some(b"v1".to_vec()));
+        s.put(key(1), b"v2".to_vec()).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap(), Some(b"v2".to_vec()));
+        s.delete(&key(1)).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap(), None);
+        assert_eq!(s.get(&key(2)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_through_sstables_and_tombstones() {
+        let dir = tmpdir("sst");
+        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        for i in 0..500 {
+            s.put(key(i), format!("val{i}").into_bytes()).unwrap();
+        }
+        s.flush().unwrap();
+        s.delete(&key(10)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.table_count(), 2);
+        assert_eq!(s.get(&key(42)).unwrap(), Some(b"val42".to_vec()));
+        assert_eq!(s.get(&key(10)).unwrap(), None, "tombstone in newer table wins");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("recover");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            s.put(key(1), b"persisted".to_vec()).unwrap();
+            s.put(key(2), b"also".to_vec()).unwrap();
+            s.delete(&key(2)).unwrap();
+            // No flush: data only in WAL.
+        }
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap(), Some(b"persisted".to_vec()));
+        assert_eq!(s.get(&key(2)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_loads_sstables() {
+        let dir = tmpdir("recover-sst");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            for i in 0..100 {
+                s.put(key(i), format!("v{i}").into_bytes()).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.table_count(), 1);
+        assert_eq!(s.get(&key(50)).unwrap(), Some(b"v50".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_flush_on_threshold() {
+        let dir = tmpdir("autoflush");
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 4096, max_tables: 100, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..500 {
+            s.put(key(i), vec![b'x'; 64]).unwrap();
+        }
+        assert!(s.stats().flushes > 0, "should have auto-flushed");
+        assert!(s.table_count() > 0);
+        for i in (0..500).step_by(71) {
+            assert_eq!(s.get(&key(i)).unwrap(), Some(vec![b'x'; 64]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_merges_and_drops_tombstones() {
+        let dir = tmpdir("compact");
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 3, ..Default::default() },
+        )
+        .unwrap();
+        for round in 0..4 {
+            for i in 0..100 {
+                s.put(key(i), format!("r{round}-{i}").into_bytes()).unwrap();
+            }
+            s.delete(&key(round)).unwrap();
+            s.flush().unwrap();
+        }
+        assert!(s.stats().compactions > 0);
+        assert_eq!(s.table_count(), 1, "full compaction leaves one table");
+        // Newest round wins; deleted keys of the last round stay deleted.
+        assert_eq!(s.get(&key(50)).unwrap(), Some(b"r3-50".to_vec()));
+        assert_eq!(s.get(&key(3)).unwrap(), None);
+        // Older deletions were overwritten by later rounds.
+        assert_eq!(s.get(&key(0)).unwrap(), Some(b"r3-0".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_merges_all_layers() {
+        let dir = tmpdir("scan");
+        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        for i in 0..50 {
+            s.put(key(i), b"old".to_vec()).unwrap();
+        }
+        s.flush().unwrap();
+        s.put(key(10), b"new".to_vec()).unwrap();
+        s.delete(&key(11)).unwrap();
+        let rows = s.scan(&key(9), &key(13)).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (key(9), b"old".to_vec()),
+                (key(10), b"new".to_vec()),
+                (key(12), b"old".to_vec()),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_keys() {
+        let dir = tmpdir("bloom");
+        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        for i in 0..200 {
+            s.put(key(i), b"v".to_vec()).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 10_000..10_200 {
+            assert_eq!(s.get(&key(i)).unwrap(), None);
+        }
+        assert!(s.stats().bloom_skips > 150, "bloom skips: {}", s.stats().bloom_skips);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_ops_report_events() {
+        use bdb_archsim::CountingProbe;
+        let dir = tmpdir("traced");
+        let mut s = Store::open(&dir).unwrap();
+        s.enable_tracing();
+        let mut probe = CountingProbe::default();
+        s.put_with(key(1), b"v".to_vec(), &mut probe).unwrap();
+        let _ = s.get_with(&key(1), &mut probe).unwrap();
+        let mix = probe.mix();
+        assert!(mix.other > 0, "server stack instructions recorded");
+        assert!(mix.stores > 0 && mix.loads > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

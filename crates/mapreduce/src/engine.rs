@@ -1,0 +1,624 @@
+//! The execution engine: parallel native runs and traced runs.
+
+use crate::codec::Datum;
+use crate::job::{Emitter, Job};
+use crate::spill::{merge_runs, SpillFile};
+use crate::trace::FrameworkModel;
+use bdb_archsim::{NullProbe, Probe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Counters and timings for one executed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Input records consumed by map.
+    pub map_records: u64,
+    /// Intermediate pairs produced by map (before combine).
+    pub map_output_pairs: u64,
+    /// Intermediate pairs after map-side combine.
+    pub combined_pairs: u64,
+    /// Bytes of intermediate data moved through the shuffle.
+    pub shuffle_bytes: u64,
+    /// Number of spill files written.
+    pub spills: u64,
+    /// Bytes written to spill files.
+    pub spill_bytes: u64,
+    /// Distinct key groups reduced.
+    pub reduce_groups: u64,
+    /// Output records produced.
+    pub output_records: u64,
+    /// Wall-clock time in the map phase.
+    pub map_time: Duration,
+    /// Wall-clock time in shuffle + reduce.
+    pub reduce_time: Duration,
+}
+
+impl JobStats {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.reduce_time
+    }
+
+    /// Data processed per second — the paper's DPS metric for analytics
+    /// workloads (input bytes / total processing time).
+    pub fn dps(&self, input_bytes: u64) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            input_bytes as f64 / secs
+        }
+    }
+}
+
+/// Result of one map task, per partition.
+struct MapTaskResult<K, V> {
+    /// In-memory sorted runs, indexed by partition.
+    memory_runs: Vec<Vec<(K, V)>>,
+    /// Spilled sorted runs, indexed by partition.
+    spill_runs: Vec<Vec<SpillFile>>,
+    records: u64,
+    output_pairs: u64,
+    combined_pairs: u64,
+    spills: u64,
+    spill_bytes: u64,
+}
+
+/// The MapReduce engine. Configure with [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+    reducers: usize,
+    map_buffer_bytes: usize,
+    spill_dir: PathBuf,
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: usize,
+    reducers: usize,
+    map_buffer_bytes: usize,
+    spill_dir: PathBuf,
+}
+
+impl EngineBuilder {
+    /// Number of parallel map/reduce worker threads (default: available
+    /// parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Number of reduce partitions (default: threads).
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.reducers = n.max(1);
+        self
+    }
+
+    /// Map-side sort-buffer budget in bytes per task; when a task's
+    /// buffered intermediate data exceeds this, it spills to disk
+    /// (default: 64 MiB, large enough that small jobs never spill).
+    pub fn map_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.map_buffer_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Directory for spill files (default: the system temp dir).
+    pub fn spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = dir;
+        self
+    }
+
+    /// Finishes the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            threads: self.threads,
+            reducers: if self.reducers == 0 { self.threads } else { self.reducers },
+            map_buffer_bytes: self.map_buffer_bytes,
+            spill_dir: self.spill_dir,
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        EngineBuilder {
+            threads,
+            reducers: 0,
+            map_buffer_bytes: 64 << 20,
+            spill_dir: std::env::temp_dir(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of reduce partitions.
+    pub fn reducers(&self) -> usize {
+        self.reducers
+    }
+
+    /// Runs `job` over `inputs` in parallel at native speed (no
+    /// instrumentation). Returns outputs (ordered by partition, then by
+    /// key) and statistics.
+    pub fn run<J: Job>(&self, job: &J, inputs: &[J::Input]) -> (Vec<J::Output>, JobStats) {
+        let mut stats = JobStats::default();
+        let map_start = Instant::now();
+        let chunk = inputs.len().div_ceil(self.threads).max(1);
+        let task_results: Vec<MapTaskResult<J::Key, J::Value>> = std::thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(task_id, records)| {
+                    let engine = &*self;
+                    s.spawn(move || {
+                        let mut probe = NullProbe;
+                        engine.map_task(job, records, task_id, &mut probe, &mut None)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
+        });
+        for r in &task_results {
+            stats.map_records += r.records;
+            stats.map_output_pairs += r.output_pairs;
+            stats.combined_pairs += r.combined_pairs;
+            stats.spills += r.spills;
+            stats.spill_bytes += r.spill_bytes;
+        }
+        stats.map_time = map_start.elapsed();
+
+        let reduce_start = Instant::now();
+        // Regroup runs by partition.
+        let mut partitions: Vec<(Vec<Vec<(J::Key, J::Value)>>, Vec<SpillFile>)> =
+            (0..self.reducers).map(|_| (Vec::new(), Vec::new())).collect();
+        for task in task_results {
+            for (p, run) in task.memory_runs.into_iter().enumerate() {
+                if !run.is_empty() {
+                    partitions[p].0.push(run);
+                }
+            }
+            for (p, spills) in task.spill_runs.into_iter().enumerate() {
+                partitions[p].1.extend(spills);
+            }
+        }
+        let reduced: Vec<(Vec<J::Output>, u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|(runs, spills)| {
+                    let engine = &*self;
+                    s.spawn(move || {
+                        let mut probe = NullProbe;
+                        engine.reduce_partition(job, runs, spills, &mut probe, &mut None)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("reduce task panicked")).collect()
+        });
+        let mut outputs = Vec::new();
+        for (out, groups, bytes) in reduced {
+            stats.reduce_groups += groups;
+            stats.shuffle_bytes += bytes;
+            stats.output_records += out.len() as u64;
+            outputs.extend(out);
+        }
+        stats.reduce_time = reduce_start.elapsed();
+        (outputs, stats)
+    }
+
+    /// Runs `job` single-threaded against an instrumentation probe,
+    /// additionally modeling the framework's own code footprint and
+    /// buffer traffic via a fresh [`FrameworkModel`].
+    pub fn run_traced<J: Job, P: Probe + ?Sized>(
+        &self,
+        job: &J,
+        inputs: &[J::Input],
+        probe: &mut P,
+    ) -> (Vec<J::Output>, JobStats) {
+        let mut fw = FrameworkModel::new();
+        self.run_traced_with(job, inputs, probe, &mut fw)
+    }
+
+    /// [`Engine::run_traced`] with a caller-owned framework model, so
+    /// warm-up and measured runs share cursors and code addresses (the
+    /// input stream stays cold across the ramp-up boundary).
+    pub fn run_traced_with<J: Job, P: Probe + ?Sized>(
+        &self,
+        job: &J,
+        inputs: &[J::Input],
+        probe: &mut P,
+        fw: &mut FrameworkModel,
+    ) -> (Vec<J::Output>, JobStats) {
+        let mut stats = JobStats::default();
+        let caller_fw = fw;
+        let mut fw = Some(std::mem::take(caller_fw));
+        let map_start = Instant::now();
+        let task = self.map_task(job, inputs, 0, probe, &mut fw);
+        stats.map_records = task.records;
+        stats.map_output_pairs = task.output_pairs;
+        stats.combined_pairs = task.combined_pairs;
+        stats.spills = task.spills;
+        stats.spill_bytes = task.spill_bytes;
+        stats.map_time = map_start.elapsed();
+
+        let reduce_start = Instant::now();
+        let mut outputs = Vec::new();
+        for (p, run) in task.memory_runs.into_iter().enumerate() {
+            let runs = if run.is_empty() { Vec::new() } else { vec![run] };
+            let spills = task.spill_runs.get(p).map_or(0, Vec::len);
+            let _ = spills;
+            let (out, groups, bytes) = self.reduce_partition(
+                job,
+                runs,
+                Vec::new(), // spills already merged below
+                probe,
+                &mut fw,
+            );
+            stats.reduce_groups += groups;
+            stats.shuffle_bytes += bytes;
+            outputs.extend(out);
+        }
+        // Traced runs use a buffer large enough not to spill in practice;
+        // if they did spill, fold those runs in too.
+        for spills in task.spill_runs {
+            if spills.is_empty() {
+                continue;
+            }
+            let (out, groups, bytes) =
+                self.reduce_partition(job, Vec::new(), spills, probe, &mut fw);
+            stats.reduce_groups += groups;
+            stats.shuffle_bytes += bytes;
+            outputs.extend(out);
+        }
+        stats.output_records = outputs.len() as u64;
+        stats.reduce_time = reduce_start.elapsed();
+        *caller_fw = fw.take().expect("framework model present throughout");
+        (outputs, stats)
+    }
+
+    /// One map task over a slice of records.
+    fn map_task<J: Job, P: Probe + ?Sized>(
+        &self,
+        job: &J,
+        records: &[J::Input],
+        task_id: usize,
+        probe: &mut P,
+        fw: &mut Option<FrameworkModel>,
+    ) -> MapTaskResult<J::Key, J::Value> {
+        let mut result = MapTaskResult {
+            memory_runs: (0..self.reducers).map(|_| Vec::new()).collect(),
+            spill_runs: (0..self.reducers).map(|_| Vec::new()).collect(),
+            records: 0,
+            output_pairs: 0,
+            combined_pairs: 0,
+            spills: 0,
+            spill_bytes: 0,
+        };
+        let mut buffers: Vec<Vec<(J::Key, J::Value)>> =
+            (0..self.reducers).map(|_| Vec::new()).collect();
+        let mut buffered_bytes = 0usize;
+        let mut emitter = Emitter::new();
+        let mut spill_seq = 0usize;
+
+        for record in records {
+            result.records += 1;
+            if let Some(fw) = fw.as_mut() {
+                fw.on_map_record(probe, job.input_size(record));
+            }
+            job.map(record, &mut emitter, probe);
+            buffered_bytes += emitter.bytes();
+            for (k, v) in emitter.take() {
+                if let Some(fw) = fw.as_mut() {
+                    fw.on_emit(probe, k.size_hint() + v.size_hint());
+                }
+                result.output_pairs += 1;
+                let p = partition_of(&k, self.reducers);
+                buffers[p].push((k, v));
+            }
+            if buffered_bytes > self.map_buffer_bytes {
+                self.spill(job, &mut buffers, &mut result, task_id, &mut spill_seq, probe, fw);
+                buffered_bytes = 0;
+            }
+        }
+        // Final in-memory runs: sort + combine, keep in memory.
+        for (p, buf) in buffers.into_iter().enumerate() {
+            let run = sort_and_combine(job, buf);
+            result.combined_pairs += run.len() as u64;
+            result.memory_runs[p] = run;
+        }
+        result
+    }
+
+    /// Sorts, combines and spills all current buffers to disk.
+    #[allow(clippy::too_many_arguments)]
+    fn spill<J: Job, P: Probe + ?Sized>(
+        &self,
+        job: &J,
+        buffers: &mut [Vec<(J::Key, J::Value)>],
+        result: &mut MapTaskResult<J::Key, J::Value>,
+        task_id: usize,
+        spill_seq: &mut usize,
+        probe: &mut P,
+        fw: &mut Option<FrameworkModel>,
+    ) {
+        for (p, buf) in buffers.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let pairs = std::mem::take(buf);
+            let n = pairs.len();
+            let run = sort_and_combine(job, pairs);
+            result.combined_pairs += run.len() as u64;
+            if let Some(fw) = fw.as_mut() {
+                let bytes: usize =
+                    run.iter().map(|(k, v)| k.size_hint() + v.size_hint()).sum();
+                fw.on_spill(probe, n, bytes);
+            }
+            let file = SpillFile::write(&self.spill_dir, task_id, *spill_seq, &run)
+                .expect("spill write failed");
+            *spill_seq += 1;
+            result.spills += 1;
+            result.spill_bytes += file.bytes;
+            result.spill_runs[p].push(file);
+        }
+    }
+
+    /// Shuffle-merge and reduce one partition.
+    fn reduce_partition<J: Job, P: Probe + ?Sized>(
+        &self,
+        job: &J,
+        mut runs: Vec<Vec<(J::Key, J::Value)>>,
+        spills: Vec<SpillFile>,
+        probe: &mut P,
+        fw: &mut Option<FrameworkModel>,
+    ) -> (Vec<J::Output>, u64, u64) {
+        let mut shuffle_bytes = 0u64;
+        for spill in &spills {
+            shuffle_bytes += spill.bytes;
+            runs.push(spill.read().expect("spill read failed"));
+        }
+        for run in &runs {
+            shuffle_bytes +=
+                run.iter().map(|(k, v)| (k.size_hint() + v.size_hint()) as u64).sum::<u64>();
+        }
+        let merged = merge_runs(runs);
+        let mut out = Vec::new();
+        let mut groups = 0u64;
+        let mut iter = merged.into_iter().peekable();
+        while let Some((key, value)) = iter.next() {
+            let mut values = vec![value];
+            while iter.peek().is_some_and(|(k, _)| *k == key) {
+                values.push(iter.next().expect("peeked").1);
+            }
+            groups += 1;
+            if let Some(fw) = fw.as_mut() {
+                fw.on_reduce_group(probe, values.len());
+            }
+            job.reduce(key, values, &mut out, probe);
+        }
+        (out, groups, shuffle_bytes)
+    }
+}
+
+/// Deterministic hash partitioner (FNV-1a over the encoded key).
+fn partition_of<K: crate::codec::Datum>(key: &K, reducers: usize) -> usize {
+    let mut buf = Vec::with_capacity(16);
+    key.encode(&mut buf);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in buf {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % reducers as u64) as usize
+}
+
+/// Sorts a buffer by key and applies the job's combiner per key group.
+fn sort_and_combine<J: Job>(
+    job: &J,
+    mut pairs: Vec<(J::Key, J::Value)>,
+) -> Vec<(J::Key, J::Value)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut iter = pairs.into_iter().peekable();
+    while let Some((key, value)) = iter.next() {
+        let mut values = vec![value];
+        while iter.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(iter.next().expect("peeked").1);
+        }
+        let combined = job.combine(&key, values);
+        for v in combined {
+            out.push((key.clone(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::{CountingProbe, MachineConfig, SimProbe};
+
+    /// WordCount with a summing combiner.
+    struct WordCount;
+    impl Job for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+        fn map<P: Probe + ?Sized>(
+            &self,
+            line: &String,
+            emit: &mut Emitter<String, u64>,
+            _p: &mut P,
+        ) {
+            for w in line.split_whitespace() {
+                emit.emit(w.to_owned(), 1);
+            }
+        }
+        fn combine(&self, _k: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+        fn reduce<P: Probe + ?Sized>(
+            &self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut Vec<(String, u64)>,
+            _p: &mut P,
+        ) {
+            out.push((key, values.into_iter().sum()));
+        }
+    }
+
+    /// Identity sort job over u64 keys.
+    struct SortJob;
+    impl Job for SortJob {
+        type Input = u64;
+        type Key = u64;
+        type Value = ();
+        type Output = u64;
+        fn map<P: Probe + ?Sized>(&self, x: &u64, emit: &mut Emitter<u64, ()>, _p: &mut P) {
+            emit.emit(*x, ());
+        }
+        fn reduce<P: Probe + ?Sized>(
+            &self,
+            key: u64,
+            values: Vec<()>,
+            out: &mut Vec<u64>,
+            _p: &mut P,
+        ) {
+            for _ in values {
+                out.push(key);
+            }
+        }
+    }
+
+    fn lines() -> Vec<String> {
+        vec![
+            "the quick brown fox".to_owned(),
+            "the lazy dog".to_owned(),
+            "the quick dog".to_owned(),
+        ]
+    }
+
+    #[test]
+    fn wordcount_matches_naive() {
+        let engine = Engine::builder().threads(3).reducers(2).build();
+        let (mut out, stats) = engine.run(&WordCount, &lines());
+        out.sort();
+        let expect = vec![
+            ("brown".to_owned(), 1),
+            ("dog".to_owned(), 2),
+            ("fox".to_owned(), 1),
+            ("lazy".to_owned(), 1),
+            ("quick".to_owned(), 2),
+            ("the".to_owned(), 3),
+        ];
+        assert_eq!(out, expect);
+        assert_eq!(stats.map_records, 3);
+        assert_eq!(stats.map_output_pairs, 10);
+        assert_eq!(stats.reduce_groups, 6);
+        assert_eq!(stats.output_records, 6);
+    }
+
+    #[test]
+    fn sort_outputs_sorted_within_partition_and_complete() {
+        let engine = Engine::builder().threads(4).reducers(1).build();
+        let inputs: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        let (out, stats) = engine.run(&SortJob, &inputs);
+        assert_eq!(out.len(), inputs.len());
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "single partition ⇒ totally sorted");
+        assert_eq!(stats.map_records, 10_000);
+        let mut expect = inputs.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn spilling_engine_still_correct() {
+        // Tiny buffer forces many spills.
+        let engine = Engine::builder().threads(2).reducers(2).map_buffer_bytes(1024).build();
+        let inputs: Vec<u64> = (0..5000).rev().collect();
+        let (mut out, stats) = engine.run(&SortJob, &inputs);
+        assert!(stats.spills > 0, "should have spilled");
+        assert!(stats.spill_bytes > 0);
+        out.sort_unstable();
+        let expect: Vec<u64> = (0..5000).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let engine_c = Engine::builder().threads(1).reducers(1).build();
+        let input: Vec<String> = vec!["a a a a a a a a".to_owned(); 100];
+        let (_, with_combiner) = engine_c.run(&WordCount, &input);
+        // combined_pairs: one per (buffer, key) — here 1; without combine
+        // it would equal map_output_pairs (800).
+        assert_eq!(with_combiner.map_output_pairs, 800);
+        assert_eq!(with_combiner.combined_pairs, 1);
+        assert!(with_combiner.shuffle_bytes < 100);
+    }
+
+    #[test]
+    fn traced_run_matches_native_output() {
+        let engine = Engine::builder().reducers(2).build();
+        let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+        let (mut traced, _) = engine.run_traced(&WordCount, &lines(), &mut probe);
+        let (mut native, _) = engine.run(&WordCount, &lines());
+        traced.sort();
+        native.sort();
+        assert_eq!(traced, native);
+        let report = probe.finish();
+        assert!(report.mix.other > 0, "framework instructions recorded");
+        assert!(report.l1i.stats.accesses > 0);
+    }
+
+    #[test]
+    fn traced_run_counts_framework_events() {
+        let engine = Engine::builder().reducers(1).build();
+        let mut probe = CountingProbe::default();
+        let inputs: Vec<u64> = (0..100).collect();
+        let (_, stats) = engine.run_traced(&SortJob, &inputs, &mut probe);
+        assert_eq!(stats.map_records, 100);
+        assert!(probe.mix().total() > 100, "at least one instruction per record");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let engine = Engine::default();
+        let (out, stats) = engine.run(&SortJob, &[]);
+        assert!(out.is_empty());
+        assert_eq!(stats.map_records, 0);
+        assert_eq!(stats.reduce_groups, 0);
+    }
+
+    #[test]
+    fn dps_metric() {
+        let stats = JobStats {
+            map_time: Duration::from_millis(500),
+            reduce_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((stats.dps(1_000_000) - 1_000_000.0).abs() < 1.0);
+        assert_eq!(JobStats::default().dps(100), 0.0);
+    }
+
+    #[test]
+    fn partitioner_is_deterministic_and_bounded() {
+        for k in 0u64..1000 {
+            let p = partition_of(&k, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_of(&k, 7));
+        }
+    }
+}

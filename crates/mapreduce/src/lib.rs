@@ -1,0 +1,75 @@
+//! An in-process, multi-threaded MapReduce engine — the Hadoop stand-in
+//! of BigDataBench-RS.
+//!
+//! The paper runs most of its offline-analytics workloads (Sort, Grep,
+//! WordCount, Index, PageRank, K-means, Connected Components,
+//! Collaborative Filtering, Naive Bayes) on Hadoop 1.0.2. This crate
+//! implements the same execution model from scratch:
+//!
+//! * **map** — user function over input records, emitting `(key, value)`
+//!   pairs into per-partition sort buffers;
+//! * **combine** — optional map-side pre-aggregation applied when a
+//!   buffer is sorted (and before any spill);
+//! * **spill** — when a map task's buffer exceeds its memory budget the
+//!   sorted run is serialized to a temporary file, exactly the mechanism
+//!   that makes Sort degrade once inputs exceed memory (paper Figure 3-2);
+//! * **shuffle / merge-sort** — spilled runs and in-memory runs are
+//!   merged per partition;
+//! * **reduce** — user function over each key group.
+//!
+//! Kernels are written once, generically over [`bdb_archsim::Probe`]:
+//! [`Engine::run`] executes in parallel with [`bdb_archsim::NullProbe`]
+//! for throughput measurements, while [`Engine::run_traced`] executes
+//! single-threaded against a machine simulator, additionally modeling the
+//! framework's own instruction footprint (the "deep software stack" the
+//! paper blames for big-data workloads' high L1I miss rates).
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_mapreduce::{Engine, Job, Emitter};
+//! use bdb_archsim::Probe;
+//!
+//! struct WordCount;
+//! impl Job for WordCount {
+//!     type Input = String;
+//!     type Key = String;
+//!     type Value = u64;
+//!     type Output = (String, u64);
+//!
+//!     fn map<P: Probe + ?Sized>(&self, line: &String, emit: &mut Emitter<String, u64>, _p: &mut P) {
+//!         for w in line.split_whitespace() {
+//!             emit.emit(w.to_owned(), 1);
+//!         }
+//!     }
+//!
+//!     fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+//!         vec![values.into_iter().sum()]
+//!     }
+//!
+//!     fn reduce<P: Probe + ?Sized>(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>, _p: &mut P) {
+//!         out.push((key, values.into_iter().sum()));
+//!     }
+//! }
+//!
+//! let engine = Engine::builder().threads(2).build();
+//! let input = vec!["a b a".to_owned(), "b a".to_owned()];
+//! let (mut out, stats) = engine.run(&WordCount, &input);
+//! out.sort();
+//! assert_eq!(out, vec![("a".to_owned(), 3), ("b".to_owned(), 2)]);
+//! assert_eq!(stats.map_records, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod engine;
+pub mod job;
+pub mod spill;
+pub mod trace;
+
+pub use codec::Datum;
+pub use engine::{Engine, EngineBuilder, JobStats};
+pub use job::{Emitter, Job};
+pub use trace::FrameworkModel;

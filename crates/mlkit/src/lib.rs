@@ -1,0 +1,39 @@
+//! Machine-learning kernels for BigDataBench-RS.
+//!
+//! Three of the paper's offline-analytics workloads are classic ML
+//! algorithms (Table 4): **K-means** (social-network domain, Hadoop
+//! implementation), **Naive Bayes** (e-commerce sentiment classification
+//! over Amazon movie reviews) and **Collaborative Filtering**
+//! (e-commerce recommendation). All three are implemented here from
+//! scratch with both native and probe-instrumented entry points.
+//!
+//! Note the paper's Figure 4: Naive Bayes has the *lowest*
+//! integer-to-FP ratio (≈10) of the suite because classification is log
+//! arithmetic; K-means is distance arithmetic; CF is dot products. The
+//! instrumented kernels therefore emit genuine `fp_ops` so those
+//! workloads sit exactly where the paper puts them on the
+//! operation-intensity spectrum.
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_mlkit::kmeans::KMeans;
+//!
+//! let points = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0], vec![9.1, 9.0],
+//! ];
+//! let model = KMeans::new(2).fit(&points, 42);
+//! assert_eq!(model.assignments[0], model.assignments[1]);
+//! assert_ne!(model.assignments[0], model.assignments[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod cf;
+pub mod kmeans;
+
+pub use bayes::NaiveBayes;
+pub use cf::ItemCf;
+pub use kmeans::{KMeans, KMeansModel};

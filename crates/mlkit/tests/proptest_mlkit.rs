@@ -1,0 +1,108 @@
+//! Property-based invariants of the ML kernels.
+
+use bdb_mlkit::{ItemCf, KMeans, NaiveBayes};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 3),
+        4..60,
+    )
+}
+
+proptest! {
+    /// The defining K-means invariant: every point is assigned to its
+    /// nearest final centroid.
+    #[test]
+    fn kmeans_assignments_are_nearest(points in points_strategy(), k in 1usize..5, seed in any::<u64>()) {
+        let model = KMeans::new(k).fit(&points, seed);
+        let d2 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        for (p, &assigned) in points.iter().zip(&model.assignments) {
+            let own = d2(p, &model.centroids[assigned]);
+            for c in &model.centroids {
+                prop_assert!(own <= d2(p, c) + 1e-9);
+            }
+        }
+    }
+
+    /// Inertia equals the sum of squared distances to assigned centroids.
+    #[test]
+    fn kmeans_inertia_consistent(points in points_strategy(), seed in any::<u64>()) {
+        let model = KMeans::new(2).fit(&points, seed);
+        let d2 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let recomputed: f64 = points
+            .iter()
+            .zip(&model.assignments)
+            .map(|(p, &c)| d2(p, &model.centroids[c]))
+            .sum();
+        prop_assert!((recomputed - model.inertia).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    /// K-means is deterministic per seed.
+    #[test]
+    fn kmeans_deterministic(points in points_strategy(), seed in any::<u64>()) {
+        let a = KMeans::new(3).fit(&points, seed);
+        let b = KMeans::new(3).fit(&points, seed);
+        prop_assert_eq!(a.assignments, b.assignments);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    /// Naive Bayes learns perfectly separable classes exactly. The
+    /// classes are kept balanced so the likelihood (not a prior tie)
+    /// decides; with imbalance, an exact score tie is possible and the
+    /// argmax is unspecified.
+    #[test]
+    fn bayes_separable_classes(
+        n in 1usize..20,
+        queries in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mut docs = Vec::new();
+        for _ in 0..n {
+            docs.push((1usize, "good great".to_owned()));
+            docs.push((0usize, "bad awful".to_owned()));
+        }
+        let model = NaiveBayes::train(&docs, 2);
+        for q in queries {
+            let text = if q { "good great" } else { "bad awful" };
+            prop_assert_eq!(model.predict(text), q as usize);
+        }
+    }
+
+    /// CF predictions always land within the rating scale's convex hull
+    /// (or the global mean for cold starts).
+    #[test]
+    fn cf_predictions_bounded(
+        ratings in proptest::collection::vec((0u64..20, 0u64..20, 1u32..=5), 1..100),
+        user in 0u64..25,
+        item in 0u64..25,
+    ) {
+        let ratings: Vec<(u64, u64, f32)> =
+            ratings.into_iter().map(|(u, i, r)| (u, i, r as f32)).collect();
+        let model = ItemCf::train(&ratings, 10);
+        let p = model.predict(user, item);
+        prop_assert!((1.0..=5.0).contains(&p), "prediction {p}");
+    }
+
+    /// Recommendations never include items the user already rated.
+    #[test]
+    fn cf_recommendations_exclude_rated(
+        ratings in proptest::collection::vec((0u64..10, 0u64..15, 1u32..=5), 2..80),
+        user in 0u64..10,
+    ) {
+        let ratings: Vec<(u64, u64, f32)> =
+            ratings.into_iter().map(|(u, i, r)| (u, i, r as f32)).collect();
+        let model = ItemCf::train(&ratings, 5);
+        let rated: std::collections::HashSet<u64> = ratings
+            .iter()
+            .filter(|(u, _, _)| *u == user)
+            .map(|(_, i, _)| *i)
+            .collect();
+        for (item, _) in model.recommend(user, 10) {
+            prop_assert!(!rated.contains(&item));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! HPCC 1.4 kernels: HPL, DGEMM, STREAM, PTRANS, RandomAccess, FFT,
+//! COMM (the seven benchmarks the paper runs, Section 6.1.3).
+
+use crate::{RefKernel, RefSuite};
+use bdb_archsim::layout::{splitmix64, CodeRegion, HEAP_BASE};
+use bdb_archsim::Probe;
+
+/// Distinct heap areas per kernel so working sets do not alias.
+const AREA: u64 = 1 << 32;
+
+fn code(id: u64, insts: u32) -> CodeRegion {
+    // One small hot-loop body per kernel: compute kernels fit in L1I.
+    CodeRegion::new(0x0040_0000 + id * 0x2000, 1024, insts)
+}
+
+fn base(id: u64) -> u64 {
+    HEAP_BASE + id * AREA
+}
+
+/// The seven HPCC kernels.
+pub fn kernels() -> Vec<RefKernel> {
+    vec![
+        RefKernel { name: "HPL", suite: RefSuite::Hpcc, run: hpl },
+        RefKernel { name: "DGEMM", suite: RefSuite::Hpcc, run: dgemm },
+        RefKernel { name: "STREAM", suite: RefSuite::Hpcc, run: stream },
+        RefKernel { name: "PTRANS", suite: RefSuite::Hpcc, run: ptrans },
+        RefKernel { name: "RandomAccess", suite: RefSuite::Hpcc, run: random_access },
+        RefKernel { name: "FFT", suite: RefSuite::Hpcc, run: fft },
+        RefKernel { name: "COMM", suite: RefSuite::Hpcc, run: comm },
+    ]
+}
+
+/// LU factorization inner loops: rank-1 updates over a dense matrix —
+/// O(n³) FP over O(n²) data.
+pub fn hpl(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = ((scale as f64).powf(1.0 / 1.5) as usize).clamp(16, 640);
+    let a = base(0);
+    let body = code(0, 24);
+    let mut acc = 1u64;
+    for k in 0..n {
+        probe.call(body);
+        for i in (k + 1)..n {
+            probe.load(a + ((i * n + k) * 8) as u64, 8);
+            probe.fp_ops(1); // multiplier
+            for j in (k + 1)..n.min(k + 65) {
+                probe.load(a + ((k * n + j) * 8) as u64, 8);
+                probe.fp_ops(2); // multiply-add
+                probe.int_ops(2);
+                probe.store(a + ((i * n + j) * 8) as u64, 8);
+                acc = acc.wrapping_mul(31).wrapping_add((i * j) as u64);
+            }
+        }
+    }
+    acc
+}
+
+/// Blocked dense matrix multiply — the canonical high-FP-intensity
+/// kernel (reuse through cache blocking).
+pub fn dgemm(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = ((scale as f64).sqrt() as usize).clamp(16, 384);
+    let blk = 48.min(n);
+    let (a, b, c) = (base(1), base(1) + (n * n * 8) as u64, base(1) + (2 * n * n * 8) as u64);
+    let body = code(1, 20);
+    let mut acc = 7u64;
+    for ii in (0..n).step_by(blk) {
+        for kk in (0..n).step_by(blk) {
+            probe.call(body);
+            for i in ii..(ii + blk).min(n) {
+                for k in kk..(kk + blk).min(n) {
+                    probe.load(a + ((i * n + k) * 8) as u64, 8);
+                    for j in (0..blk.min(n)).step_by(4) {
+                        probe.load(b + ((k * n + j) * 8) as u64, 32);
+                        probe.store(c + ((i * n + j) * 8) as u64, 32);
+                        probe.fp_ops(8); // 4 MACs
+                        probe.int_ops(8); // index arithmetic
+                        acc = acc.wrapping_add((i + j + k) as u64);
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// STREAM triad: `a[i] = b[i] + s * c[i]` — pure bandwidth.
+pub fn stream(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = scale.clamp(1024, 1 << 19);
+    let (a, b, c) = (base(2), base(2) + (n * 8) as u64, base(2) + (2 * n * 8) as u64);
+    let body = code(2, 12);
+    for i in (0..n).step_by(8) {
+        if i % 1024 == 0 {
+            probe.call(body);
+        }
+        probe.load(b + (i * 8) as u64, 64);
+        probe.load(c + (i * 8) as u64, 64);
+        probe.fp_ops(16);
+        probe.int_ops(16); // index arithmetic
+        probe.store(a + (i * 8) as u64, 64);
+    }
+    n as u64
+}
+
+/// Parallel matrix transpose: strided reads, sequential writes.
+pub fn ptrans(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = ((scale as f64).sqrt() as usize).clamp(16, 384);
+    let (src, dst) = (base(3), base(3) + (n * n * 8) as u64);
+    let body = code(3, 10);
+    for i in 0..n {
+        probe.call(body);
+        for j in 0..n {
+            probe.load(src + ((j * n + i) * 8) as u64, 8); // column walk
+            probe.store(dst + ((i * n + j) * 8) as u64, 8);
+            probe.int_ops(2);
+        }
+    }
+    (n * n) as u64
+}
+
+/// GUPS: random read-modify-write over a large table — the worst-case
+/// locality kernel.
+pub fn random_access(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let table_bytes = ((scale * 16) as u64).clamp(1 << 20, 1 << 26);
+    let t = base(4);
+    let body = code(4, 8);
+    let updates = (scale / 8).clamp(1024, 1 << 17);
+    let mut ran = 1u64;
+    for i in 0..updates {
+        if i % 1024 == 0 {
+            probe.call(body);
+        }
+        ran = splitmix64(ran);
+        let addr = t + (ran % table_bytes) & !7;
+        probe.load(addr, 8);
+        probe.int_ops(3); // xor + index math
+        probe.store(addr, 8);
+    }
+    ran
+}
+
+/// Radix-2 FFT butterflies: log n passes of strided FP.
+pub fn fft(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = scale.next_power_of_two().clamp(1024, 1 << 18);
+    let data = base(5);
+    let body = code(5, 16);
+    let passes = n.trailing_zeros() as usize;
+    for p in 0..passes {
+        probe.call(body);
+        let stride = 1usize << p;
+        let mut i = 0;
+        while i < n {
+            probe.load(data + (i * 16) as u64, 16);
+            probe.load(data + ((i + stride) % n * 16) as u64, 16);
+            probe.fp_ops(10); // complex butterfly
+            probe.int_ops(10); // twiddle indexing
+            probe.store(data + (i * 16) as u64, 16);
+            i += 64.max(stride / 8); // sampled butterflies keep runtime sane
+        }
+    }
+    (n * passes) as u64
+}
+
+/// Ping-pong communication: alternating buffer copies (models the
+/// bandwidth/latency microbenchmark).
+pub fn comm(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let msg = scale.clamp(1024, 1 << 20);
+    let (tx, rx) = (base(6), base(6) + (msg as u64) * 2);
+    let body = code(6, 14);
+    for round in 0..16 {
+        probe.call(body);
+        let (from, to) = if round % 2 == 0 { (tx, rx) } else { (rx, tx) };
+        let mut off = 0u64;
+        while off < msg as u64 {
+            probe.load(from + off, 64);
+            probe.store(to + off, 64);
+            probe.int_ops(2);
+            off += 64;
+        }
+    }
+    msg as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::CountingProbe;
+
+    fn mix_of(run: fn(usize, &mut dyn Probe) -> u64, scale: usize) -> bdb_archsim::InstructionMix {
+        let mut p = CountingProbe::default();
+        run(scale, &mut p);
+        p.mix()
+    }
+
+    #[test]
+    fn dgemm_is_fp_dominated() {
+        let m = mix_of(dgemm, 1 << 14);
+        // FP and index arithmetic are issued in lock-step in the kernel;
+        // FP must at least keep pace and dominate memory operations.
+        assert!(m.fp_ops >= m.int_ops, "fp {} int {}", m.fp_ops, m.int_ops);
+        assert!(m.fp_ops > m.loads, "blocking gives reuse");
+    }
+
+    #[test]
+    fn stream_balances_loads_and_fp() {
+        let m = mix_of(stream, 1 << 16);
+        assert!(m.loads > 0 && m.stores > 0 && m.fp_ops > 0);
+        // Triad issues 2 data loads per store; code-fetch decomposition
+        // adds a small extra fraction to both sides.
+        let ratio = m.loads as f64 / m.stores as f64;
+        assert!((1.7..=2.3).contains(&ratio), "triad load:store ratio {ratio}");
+    }
+
+    #[test]
+    fn random_access_is_memory_bound() {
+        let m = mix_of(random_access, 1 << 14);
+        // Read-modify-write parity up to the code-fetch decomposition.
+        let ratio = m.loads as f64 / m.stores as f64;
+        assert!((0.8..=1.3).contains(&ratio), "rmw load:store ratio {ratio}");
+        assert!(m.fp_ops < m.int_ops / 20, "essentially integer-only");
+    }
+
+    #[test]
+    fn all_kernels_run_and_checksum() {
+        for k in kernels() {
+            let mut p = CountingProbe::default();
+            let sum = (k.run)(4096, &mut p);
+            // Work happened and is not optimized away.
+            assert!(p.mix().total() > 100, "{} too small", k.name);
+            let _ = sum;
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        for k in kernels() {
+            let mut p1 = CountingProbe::default();
+            let mut p2 = CountingProbe::default();
+            assert_eq!((k.run)(4096, &mut p1), (k.run)(4096, &mut p2));
+            assert_eq!(p1.mix(), p2.mix(), "{}", k.name);
+        }
+    }
+}

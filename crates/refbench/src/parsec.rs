@@ -1,0 +1,177 @@
+//! PARSEC-like kernels: the multithreaded desktop/server programs the
+//! paper runs (PARSEC 3.0, native inputs). We implement the hot loops
+//! of four representative members covering the suite's spectrum from
+//! FP-dense (blackscholes, fluidanimate) to pointer-chasing (canneal)
+//! to clustering (streamcluster).
+
+use crate::{RefKernel, RefSuite};
+use bdb_archsim::layout::{splitmix64, CodeRegion, HEAP_BASE};
+use bdb_archsim::Probe;
+
+const AREA: u64 = 1 << 32;
+
+fn code(id: u64, insts: u32) -> CodeRegion {
+    CodeRegion::new(0x0048_0000 + id * 0x2000, 1536, insts)
+}
+
+fn base(id: u64) -> u64 {
+    HEAP_BASE + (16 + id) * AREA
+}
+
+/// The four PARSEC-like kernels.
+pub fn kernels() -> Vec<RefKernel> {
+    vec![
+        RefKernel { name: "blackscholes", suite: RefSuite::Parsec, run: blackscholes },
+        RefKernel { name: "streamcluster", suite: RefSuite::Parsec, run: streamcluster },
+        RefKernel { name: "canneal", suite: RefSuite::Parsec, run: canneal },
+        RefKernel { name: "fluidanimate", suite: RefSuite::Parsec, run: fluidanimate },
+    ]
+}
+
+/// Option pricing: tiny working set, enormous FP density per datum.
+pub fn blackscholes(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let options = scale.clamp(256, 1 << 18);
+    let data = base(0);
+    let body = code(0, 30);
+    let mut acc = 0u64;
+    for i in 0..options {
+        if i % 256 == 0 {
+            probe.call(body);
+        }
+        probe.load(data + (i * 40) as u64, 40); // 5 f64 inputs
+        // CNDF evaluation: ~40 FP ops per option in the real kernel,
+        // with comparable control/indexing integer work around it.
+        probe.fp_ops(40);
+        probe.int_ops(44);
+        probe.store(data + (options * 40 + i * 8) as u64, 8);
+        acc = acc.wrapping_add(splitmix64(i as u64) & 0xFF);
+    }
+    acc
+}
+
+/// Online clustering: distance evaluations point × center.
+pub fn streamcluster(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let points = (scale / 4).clamp(256, 1 << 16);
+    let dim = 16usize;
+    let centers = 32usize;
+    let pts = base(1);
+    let ctr = base(1) + (points * dim * 8) as u64;
+    let body = code(1, 18);
+    let mut best_sum = 0u64;
+    for p in 0..points {
+        if p % 128 == 0 {
+            probe.call(body);
+        }
+        probe.load(pts + (p * dim * 8) as u64, (dim * 8) as u32);
+        let mut best = u64::MAX;
+        for c in 0..centers {
+            probe.load(ctr + (c * dim * 8) as u64, (dim * 8) as u32);
+            probe.fp_ops((3 * dim) as u64); // sub, mul, add per dim
+            probe.int_ops((2 * dim) as u64); // loop + index arithmetic
+            let d = splitmix64((p * centers + c) as u64);
+            probe.branch(d < best);
+            best = best.min(d);
+        }
+        best_sum = best_sum.wrapping_add(best);
+    }
+    best_sum
+}
+
+/// Simulated annealing over a netlist: random swaps, pointer chasing —
+/// PARSEC's worst-locality member.
+pub fn canneal(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let elements = (scale * 2).clamp(1 << 12, 1 << 17);
+    let netlist = base(2);
+    let body = code(2, 22);
+    let swaps = (scale / 4).clamp(512, 1 << 16);
+    let mut state = 0xDEAD_BEEFu64;
+    let mut accepted = 0u64;
+    for s in 0..swaps {
+        if s % 256 == 0 {
+            probe.call(body);
+        }
+        state = splitmix64(state);
+        let a = state % elements as u64;
+        state = splitmix64(state);
+        let b = state % elements as u64;
+        // Read both elements' neighbour lists (pointer chase).
+        probe.load(netlist + a * 64, 64);
+        probe.load(netlist + b * 64, 64);
+        probe.fp_ops(6); // delta-cost arithmetic
+        probe.int_ops(10);
+        let accept = state & 3 != 0;
+        probe.branch(accept);
+        if accept {
+            probe.store(netlist + a * 64, 16);
+            probe.store(netlist + b * 64, 16);
+            accepted += 1;
+        }
+    }
+    accepted
+}
+
+/// Particle fluid simulation: neighbour-grid traversal, FP forces.
+pub fn fluidanimate(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let particles = (scale / 2).clamp(512, 1 << 17);
+    let grid = base(3);
+    let body = code(3, 26);
+    let mut acc = 0u64;
+    for p in 0..particles {
+        if p % 128 == 0 {
+            probe.call(body);
+        }
+        probe.load(grid + (p * 48) as u64, 48); // position + velocity
+        // 8 neighbour cells, ~4 particles each.
+        for n in 0..8u64 {
+            let cell = splitmix64(p as u64 ^ (n << 40)) % particles as u64;
+            probe.load(grid + cell * 48, 48);
+            probe.fp_ops(24); // pairwise force terms
+            probe.int_ops(18); // cell indexing / neighbor bookkeeping
+        }
+        probe.store(grid + (p * 48) as u64, 48);
+        acc = acc.wrapping_add(p as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::CountingProbe;
+
+    #[test]
+    fn suite_mixes_fp_and_memory() {
+        let mut p = CountingProbe::default();
+        for k in kernels() {
+            (k.run)(8192, &mut p);
+        }
+        let m = p.mix();
+        assert!(m.fp_ops > 0 && m.loads > 0);
+        // Paper: PARSEC int:fp ratio ≈ 1.4 — same order of magnitude.
+        let ratio = m.int_to_fp_ratio();
+        assert!(ratio < 10.0, "PARSEC-like ratio should be lowish: {ratio}");
+    }
+
+    #[test]
+    fn canneal_scatters_more_than_blackscholes() {
+        use bdb_archsim::{MachineConfig, SimProbe};
+        let mut p1 = SimProbe::new(MachineConfig::xeon_e5645());
+        canneal(1 << 14, &mut p1);
+        let r1 = p1.finish();
+        let mut p2 = SimProbe::new(MachineConfig::xeon_e5645());
+        blackscholes(1 << 14, &mut p2);
+        let r2 = p2.finish();
+        let m1 = r1.l2_mpki();
+        let m2 = r2.l2_mpki();
+        assert!(m1 > m2, "canneal {m1} vs blackscholes {m2}");
+    }
+
+    #[test]
+    fn kernels_deterministic() {
+        for k in kernels() {
+            let mut a = CountingProbe::default();
+            let mut b = CountingProbe::default();
+            assert_eq!((k.run)(4096, &mut a), (k.run)(4096, &mut b), "{}", k.name);
+        }
+    }
+}

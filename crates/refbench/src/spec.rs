@@ -1,0 +1,288 @@
+//! SPEC CPU2006-like kernels, split into the integer and floating-point
+//! groups the paper averages (SPECINT / SPECFP, first reference input).
+
+use crate::{RefKernel, RefSuite};
+use bdb_archsim::layout::{splitmix64, CodeRegion, HEAP_BASE};
+use bdb_archsim::Probe;
+
+const AREA: u64 = 1 << 32;
+
+fn code(id: u64, insts: u32) -> CodeRegion {
+    CodeRegion::new(0x0050_0000 + id * 0x2000, 2048, insts)
+}
+
+fn base(id: u64) -> u64 {
+    HEAP_BASE + (32 + id) * AREA
+}
+
+/// SPECINT-like kernels (compression, combinatorial search, pointer
+/// churn — bzip2/astar/gcc flavoured).
+pub fn int_kernels() -> Vec<RefKernel> {
+    vec![
+        RefKernel { name: "compress", suite: RefSuite::SpecInt, run: compress },
+        RefKernel { name: "pathfind", suite: RefSuite::SpecInt, run: pathfind },
+        RefKernel { name: "treewalk", suite: RefSuite::SpecInt, run: treewalk },
+    ]
+}
+
+/// SPECFP-like kernels (stencil, n-body, linear algebra — bwaves/
+/// namd/lbm flavoured).
+pub fn fp_kernels() -> Vec<RefKernel> {
+    vec![
+        RefKernel { name: "stencil", suite: RefSuite::SpecFp, run: stencil },
+        RefKernel { name: "nbody", suite: RefSuite::SpecFp, run: nbody },
+        RefKernel { name: "solver", suite: RefSuite::SpecFp, run: solver },
+    ]
+}
+
+/// LZ-style compression modeling: hash-chain match search, all integer.
+pub fn compress(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let input = scale.clamp(4096, 1 << 22);
+    let data = base(0);
+    let hash_table = base(0) + (1 << 23);
+    let hash_entries = 1u64 << 13; // 64 KiB chain heads, as bzip2 sizes them
+    let body = code(0, 28);
+    let mut h = 0u64;
+    let mut matches = 0u64;
+    let mut i = 0usize;
+    while i < input {
+        if i % 512 == 0 {
+            probe.call(body);
+        }
+        probe.load(data + i as u64, 4);
+        h = splitmix64(h ^ i as u64);
+        probe.int_ops(12); // rolling hash + compare
+        if i % 128 == 0 {
+            probe.fp_ops(1); // compression-ratio bookkeeping
+        }
+        probe.load(hash_table + (h % hash_entries) * 8, 8);
+        let hit = h & 7 == 0;
+        probe.branch(hit);
+        if hit {
+            // Match extension: sequential compare loop.
+            let len = 4 + (h % 28) as usize;
+            probe.load(data + (i as u64).saturating_sub(h % 4096), len as u32);
+            probe.int_ops(len as u64);
+            matches += 1;
+            i += len;
+        } else {
+            probe.store(hash_table + (h % hash_entries) * 8, 8);
+            i += 1;
+        }
+    }
+    matches
+}
+
+/// Grid path search (astar-like): priority-driven neighbour expansion,
+/// integer arithmetic and branchy control flow.
+pub fn pathfind(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = ((scale as f64).sqrt() as usize).clamp(64, 1024);
+    let grid = base(1);
+    let body = code(1, 24);
+    let mut frontier = vec![(0u32, 0u32)];
+    let mut expanded = 0u64;
+    let mut state = 0x1234u64;
+    while let Some((x, y)) = frontier.pop() {
+        expanded += 1;
+        if expanded > scale as u64 {
+            break;
+        }
+        if expanded % 128 == 0 {
+            probe.call(body);
+        }
+        probe.load(grid + ((y as usize * n + x as usize) * 4) as u64, 4);
+        probe.int_ops(14); // heuristic + comparisons
+        if expanded % 8 == 0 {
+            probe.fp_ops(1); // distance heuristic
+        }
+        for (dx, dy) in [(1i32, 0i32), (0, 1), (-1, 0), (0, -1)] {
+            let nx = x as i32 + dx;
+            let ny = y as i32 + dy;
+            let valid = nx >= 0 && ny >= 0 && (nx as usize) < n && (ny as usize) < n;
+            probe.branch(valid);
+            if valid {
+                state = splitmix64(state);
+                if state & 3 == 0 {
+                    probe.store(grid + ((ny as usize * n + nx as usize) * 4) as u64, 4);
+                    frontier.push((nx as u32, ny as u32));
+                }
+            }
+        }
+        if frontier.len() > 4096 {
+            frontier.truncate(1024);
+        }
+    }
+    expanded
+}
+
+/// Balanced-tree insert/lookup churn (gcc/perlbench symbol tables).
+///
+/// The tree is laid out level by level: upper levels are tiny and stay
+/// cache-resident, so only the deepest level or two actually miss —
+/// matching the locality real symbol tables show.
+pub fn treewalk(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let nodes = (scale / 4).clamp(1 << 10, 1 << 18) as u64;
+    let pool = base(2);
+    let body = code(2, 20);
+    let ops = scale.clamp(1024, 1 << 18);
+    // 16-ary B-tree: depth = log16(nodes).
+    let depth = ((nodes as f64).log2() / 4.0).ceil().max(1.0) as u32;
+    let mut found = 0u64;
+    let mut key = 99u64;
+    for op in 0..ops {
+        if op % 256 == 0 {
+            probe.call(body);
+        }
+        key = splitmix64(key);
+        let mut level_base = 0u64;
+        let mut level_size = 1u64;
+        for level in 0..=depth {
+            let idx = splitmix64(key ^ (level as u64) << 32) % level_size;
+            probe.load(pool + (level_base + idx) * 48, 48);
+            probe.int_ops(18); // key comparisons within the node
+            probe.branch(idx & 1 == 0);
+            level_base += level_size;
+            level_size = (level_size * 16).min(nodes);
+        }
+        if key & 1 == 0 {
+            probe.store(pool + (level_base % nodes) * 48, 48);
+        } else {
+            found += 1;
+        }
+    }
+    found
+}
+
+/// 7-point 3D stencil sweep: the classic SPECFP memory/FP pattern.
+pub fn stencil(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = ((scale as f64).cbrt() as usize).clamp(16, 80);
+    let (src, dst) = (base(3), base(3) + (n * n * n * 8) as u64);
+    let body = code(3, 16);
+    for k in 1..n - 1 {
+        probe.call(body);
+        for j in 1..n - 1 {
+            for i in (1..n - 1).step_by(2) {
+                let idx = |a: usize, b: usize, c: usize| ((a * n + b) * n + c) * 8;
+                probe.load(src + idx(k, j, i) as u64, 16);
+                probe.load(src + idx(k - 1, j, i) as u64, 8);
+                probe.load(src + idx(k + 1, j, i) as u64, 8);
+                probe.load(src + idx(k, j - 1, i) as u64, 8);
+                probe.load(src + idx(k, j + 1, i) as u64, 8);
+                probe.fp_ops(16);
+                probe.int_ops(10); // 3D index arithmetic
+                probe.store(dst + idx(k, j, i) as u64, 16);
+            }
+        }
+    }
+    (n * n * n) as u64
+}
+
+/// All-pairs gravitational forces over a tile — FP-dense, cache-resident.
+pub fn nbody(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let bodies = ((scale as f64).sqrt() as usize).clamp(64, 1024);
+    let state = base(4);
+    let body_code = code(4, 18);
+    for i in 0..bodies {
+        if i % 64 == 0 {
+            probe.call(body_code);
+        }
+        probe.load(state + (i * 32) as u64, 32);
+        for j in 0..bodies {
+            if j % 8 == 0 {
+                probe.load(state + (j * 32) as u64, 32);
+            }
+            probe.fp_ops(20); // distance + force accumulation
+            probe.int_ops(12); // pair indexing
+        }
+        probe.store(state + (i * 32) as u64, 32);
+    }
+    bodies as u64
+}
+
+/// Gauss–Seidel-ish banded solver sweeps.
+pub fn solver(scale: usize, probe: &mut dyn Probe) -> u64 {
+    let n = (scale / 8).clamp(1024, 1 << 17);
+    let (a, x) = (base(5), base(5) + (n * 40) as u64);
+    let body = code(5, 14);
+    for sweep in 0..4 {
+        probe.call(body);
+        for i in 2..n - 2 {
+            if i % 512 == 0 {
+                probe.call(body);
+            }
+            probe.load(a + (i * 40) as u64, 40); // 5-band row
+            probe.load(x + ((i - 2) * 8) as u64, 40); // x[i-2..=i+2]
+            probe.fp_ops(11);
+            probe.int_ops(8); // band indexing
+            probe.store(x + (i * 8) as u64, 8);
+        }
+        let _ = sweep;
+    }
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::CountingProbe;
+
+    #[test]
+    fn int_kernels_are_integer_dominated() {
+        for k in int_kernels() {
+            let mut p = CountingProbe::default();
+            (k.run)(8192, &mut p);
+            // SPECINT executes a sliver of FP (the paper measures a
+            // 409:1 int:fp ratio, not infinity).
+            assert!(
+                p.mix().int_to_fp_ratio() > 100.0,
+                "{} ratio {}",
+                k.name,
+                p.mix().int_to_fp_ratio()
+            );
+            assert!(p.mix().int_ops > 0);
+        }
+    }
+
+    #[test]
+    fn fp_kernels_are_fp_heavy() {
+        for k in fp_kernels() {
+            let mut p = CountingProbe::default();
+            (k.run)(8192, &mut p);
+            // FP-heavy: a low int:fp ratio like the paper's SPECFP 0.67.
+            assert!(
+                p.mix().int_to_fp_ratio() < 2.0,
+                "{}: ratio {}",
+                k.name,
+                p.mix().int_to_fp_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn compress_makes_progress() {
+        let mut p = CountingProbe::default();
+        let matches = compress(1 << 16, &mut p);
+        assert!(matches > 0);
+        assert!(p.mix().branches > 0, "branchy control flow");
+    }
+
+    #[test]
+    fn treewalk_depth_scales_with_pool() {
+        let mut small = CountingProbe::default();
+        treewalk(2048, &mut small);
+        let mut large = CountingProbe::default();
+        treewalk(1 << 16, &mut large);
+        let per_op_small = small.mix().loads as f64 / 2048.0;
+        let per_op_large = large.mix().loads as f64 / (1 << 16) as f64;
+        assert!(per_op_large > per_op_small, "deeper trees, more loads/op");
+    }
+
+    #[test]
+    fn deterministic() {
+        for k in int_kernels().into_iter().chain(fp_kernels()) {
+            let mut a = CountingProbe::default();
+            let mut b = CountingProbe::default();
+            assert_eq!((k.run)(4096, &mut a), (k.run)(4096, &mut b), "{}", k.name);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! An event-driven multi-worker queueing simulator.
+//!
+//! The paper drives its service workloads at offered loads of
+//! 100×(1..32) requests per second and reports achieved throughput.
+//! Re-creating that on one laptop process would measure the laptop, not
+//! the workload, so we separate concerns: service times are *measured*
+//! by running the real handler natively, and the arrival/queueing
+//! dynamics are *simulated* — Poisson arrivals into a FIFO queue served
+//! by `workers` parallel servers. Saturation, latency blow-up past the
+//! knee, and achieved-vs-offered throughput all fall out of the
+//! simulation.
+
+use crate::latency::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Result of one queueing simulation.
+#[derive(Debug, Clone)]
+pub struct QueueResult {
+    /// Requests completed within the horizon.
+    pub completed: u64,
+    /// Requests still queued/in service when the horizon ended.
+    pub unfinished: u64,
+    /// Achieved throughput (completions / horizon).
+    pub achieved_rps: f64,
+    /// Sojourn-time (queueing + service) distribution.
+    pub latency: LatencyHistogram,
+    /// Mean number of busy workers over the horizon.
+    pub utilization: f64,
+}
+
+/// Event-driven FIFO queue with `workers` identical servers.
+#[derive(Debug, Clone)]
+pub struct QueueSim {
+    workers: u32,
+}
+
+impl QueueSim {
+    /// A simulator with `workers` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: u32) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self { workers }
+    }
+
+    /// Simulates Poisson arrivals at `offered_rps` over `horizon`,
+    /// drawing service times round-robin from `service_times` (the
+    /// empirical distribution measured natively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_times` is empty or `offered_rps` is not
+    /// positive.
+    pub fn run(
+        &self,
+        offered_rps: f64,
+        horizon: Duration,
+        service_times: &[Duration],
+        seed: u64,
+    ) -> QueueResult {
+        assert!(!service_times.is_empty(), "need measured service times");
+        assert!(offered_rps > 0.0, "offered load must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_s = horizon.as_secs_f64();
+
+        // Generate Poisson arrivals (exponential inter-arrival times).
+        let mut arrivals: Vec<f64> = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += -u.ln() / offered_rps;
+            if t >= horizon_s {
+                break;
+            }
+            arrivals.push(t);
+        }
+
+        // Workers as a min-heap of next-free times.
+        let mut free_at: BinaryHeap<std::cmp::Reverse<u64>> =
+            (0..self.workers).map(|_| std::cmp::Reverse(0u64)).collect();
+        let to_ns = |s: f64| (s * 1e9) as u64;
+        let mut latency = LatencyHistogram::new();
+        let mut completed = 0u64;
+        let mut unfinished = 0u64;
+        let mut busy_ns = 0u128;
+        let mut service_idx = rng.gen_range(0..service_times.len());
+        for &arrival_s in &arrivals {
+            let arrival = to_ns(arrival_s);
+            let std::cmp::Reverse(earliest_free) = free_at.pop().expect("non-empty");
+            let start = earliest_free.max(arrival);
+            let service = service_times[service_idx].as_nanos() as u64;
+            service_idx = (service_idx + 1) % service_times.len();
+            let finish = start + service;
+            if finish <= to_ns(horizon_s) {
+                completed += 1;
+                latency.record(Duration::from_nanos(finish - arrival));
+                busy_ns += service as u128;
+            } else {
+                unfinished += 1;
+            }
+            free_at.push(std::cmp::Reverse(finish));
+        }
+        QueueResult {
+            completed,
+            unfinished,
+            achieved_rps: completed as f64 / horizon_s,
+            latency,
+            utilization: busy_ns as f64 / (horizon_s * 1e9 * self.workers as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn light_load_tracks_offered() {
+        // 10ms service, 4 workers ⇒ capacity 400 rps; offer 50.
+        let sim = QueueSim::new(4);
+        let r = sim.run(50.0, Duration::from_secs(20), &[ms(10)], 1);
+        assert!((r.achieved_rps - 50.0).abs() < 5.0, "achieved {}", r.achieved_rps);
+        assert!(r.latency.percentile(0.5) < ms(15));
+        assert!(r.utilization < 0.3);
+    }
+
+    #[test]
+    fn saturation_caps_throughput() {
+        // Capacity 400 rps; offer 1600 ⇒ achieve ~400.
+        let sim = QueueSim::new(4);
+        let r = sim.run(1600.0, Duration::from_secs(10), &[ms(10)], 2);
+        assert!(r.achieved_rps < 450.0, "achieved {}", r.achieved_rps);
+        assert!(r.achieved_rps > 320.0);
+        assert!(r.unfinished > 0, "overload leaves a backlog");
+        assert!(r.utilization > 0.9);
+    }
+
+    #[test]
+    fn latency_blows_up_past_knee() {
+        let sim = QueueSim::new(2);
+        let light = sim.run(20.0, Duration::from_secs(10), &[ms(10)], 3);
+        let heavy = sim.run(400.0, Duration::from_secs(10), &[ms(10)], 3);
+        assert!(heavy.latency.percentile(0.9) > light.latency.percentile(0.9) * 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = QueueSim::new(3);
+        let a = sim.run(100.0, Duration::from_secs(5), &[ms(5), ms(15)], 9);
+        let b = sim.run(100.0, Duration::from_secs(5), &[ms(5), ms(15)], 9);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+    }
+
+    #[test]
+    fn more_workers_raise_capacity() {
+        let few = QueueSim::new(1).run(500.0, Duration::from_secs(5), &[ms(10)], 4);
+        let many = QueueSim::new(8).run(500.0, Duration::from_secs(5), &[ms(10)], 4);
+        assert!(many.achieved_rps > few.achieved_rps * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service times")]
+    fn empty_service_times_panic() {
+        QueueSim::new(1).run(10.0, Duration::from_secs(1), &[], 0);
+    }
+}

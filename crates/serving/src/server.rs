@@ -1,0 +1,59 @@
+//! The server abstraction shared by the three service workloads.
+
+use bdb_archsim::Probe;
+use rand::rngs::StdRng;
+
+/// A request-serving application.
+///
+/// Implementations own their state (index, social graph, auction
+/// tables); the load generators in [`crate::loadgen`] drive them with
+/// requests drawn from [`Server::sample_request`] and measure service
+/// times or micro-architectural behaviour via the probe.
+pub trait Server {
+    /// One request.
+    type Request: Clone;
+
+    /// Human-readable workload name (e.g. `"Nutch Server"`).
+    fn name(&self) -> &str;
+
+    /// Draws a request from the workload's request mix.
+    fn sample_request(&self, rng: &mut StdRng) -> Self::Request;
+
+    /// Handles one request, returning a result-size indicator (hits,
+    /// rows, bytes — used only for sanity checks and reporting).
+    fn handle<P: Probe + ?Sized>(&mut self, request: &Self::Request, probe: &mut P) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_archsim::NullProbe;
+    use rand::SeedableRng;
+
+    /// A trivial echo server for trait-level tests.
+    struct Echo;
+    impl Server for Echo {
+        type Request = u64;
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn sample_request(&self, rng: &mut StdRng) -> u64 {
+            use rand::Rng;
+            rng.gen_range(0..100)
+        }
+        fn handle<P: Probe + ?Sized>(&mut self, request: &u64, probe: &mut P) -> usize {
+            probe.int_ops(1);
+            *request as usize
+        }
+    }
+
+    #[test]
+    fn trait_is_usable() {
+        let mut s = Echo;
+        let mut rng = StdRng::seed_from_u64(0);
+        let req = s.sample_request(&mut rng);
+        let result = s.handle(&req, &mut NullProbe);
+        assert_eq!(result as u64, req);
+        assert_eq!(s.name(), "echo");
+    }
+}

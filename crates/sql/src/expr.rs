@@ -1,0 +1,287 @@
+//! Scalar predicate expressions for filters and join conditions.
+
+use crate::table::Table;
+use crate::value::Value;
+use crate::SqlError;
+use std::cmp::Ordering;
+
+/// A scalar expression evaluated per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Comparison of two sub-expressions.
+    Compare(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A column reference, e.g. `col("BUYER_ID")`.
+pub fn col(name: &str) -> Expr {
+    Expr::Column(name.to_owned())
+}
+
+/// A literal, e.g. `lit(5)` or `lit("x")`.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+impl Expr {
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Ne, Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Compare(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Column names referenced by this expression, in first-use order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Compare(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) => a.collect_columns(out),
+        }
+    }
+
+    /// Binds column names to positions in `table`'s schema, producing a
+    /// fast evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::UnknownColumn`] for unresolved names.
+    pub fn bind(&self, table: &Table) -> Result<BoundExpr, SqlError> {
+        Ok(match self {
+            Expr::Column(name) => BoundExpr::Column(table.schema().resolve(name)?.0),
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Compare(a, op, b) => {
+                BoundExpr::Compare(Box::new(a.bind(table)?), *op, Box::new(b.bind(table)?))
+            }
+            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(table)?), Box::new(b.bind(table)?)),
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(table)?), Box::new(b.bind(table)?)),
+            Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(table)?)),
+        })
+    }
+}
+
+/// An expression with column references resolved to positions.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Column by position.
+    Column(usize),
+    /// Literal value.
+    Literal(Value),
+    /// Comparison.
+    Compare(Box<BoundExpr>, CmpOp, Box<BoundExpr>),
+    /// Logical AND.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical OR.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical NOT.
+    Not(Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Evaluates to a value on `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> Value {
+        match self {
+            BoundExpr::Column(i) => table.value(row, *i),
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Compare(a, op, b) => {
+                let av = a.eval(table, row);
+                let bv = b.eval(table, row);
+                if av.is_null() || bv.is_null() {
+                    return Value::Null; // SQL three-valued logic
+                }
+                let ord = av.total_cmp(&bv);
+                let res = match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                };
+                Value::Int(res as i64)
+            }
+            BoundExpr::And(a, b) => truthy_and(a.eval(table, row), b.eval(table, row)),
+            BoundExpr::Or(a, b) => truthy_or(a.eval(table, row), b.eval(table, row)),
+            BoundExpr::Not(a) => match a.eval(table, row) {
+                Value::Null => Value::Null,
+                v => Value::Int((!truthy(&v)) as i64),
+            },
+        }
+    }
+
+    /// Evaluates as a filter predicate (NULL counts as false).
+    pub fn matches(&self, table: &Table, row: usize) -> bool {
+        truthy(&self.eval(table, row))
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(x) => *x != 0,
+        Value::Float(x) => *x != 0.0,
+        Value::Null => false,
+        Value::Str(s) => !s.is_empty(),
+        Value::Date(_) => true,
+    }
+}
+
+fn truthy_and(a: Value, b: Value) -> Value {
+    match (a.is_null(), b.is_null()) {
+        (false, false) => Value::Int((truthy(&a) && truthy(&b)) as i64),
+        // NULL AND false = false; otherwise NULL.
+        (true, false) if !truthy(&b) => Value::Int(0),
+        (false, true) if !truthy(&a) => Value::Int(0),
+        _ => Value::Null,
+    }
+}
+
+fn truthy_or(a: Value, b: Value) -> Value {
+    match (a.is_null(), b.is_null()) {
+        (false, false) => Value::Int((truthy(&a) || truthy(&b)) as i64),
+        (true, false) if truthy(&b) => Value::Int(1),
+        (false, true) if truthy(&a) => Value::Int(1),
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(&[("id", ColumnType::Int), ("price", ColumnType::Float)]),
+        );
+        t.push_row(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+        t.push_row(vec![Value::Int(2), Value::Float(3.0)]).unwrap();
+        t.push_row(vec![Value::Int(3), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = table();
+        let e = col("price").gt(lit(5.0)).bind(&t).unwrap();
+        assert!(e.matches(&t, 0));
+        assert!(!e.matches(&t, 1));
+        assert!(!e.matches(&t, 2), "NULL comparison is not true");
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let t = table();
+        let e = col("id").ge(lit(2)).and(col("price").lt(lit(5.0))).bind(&t).unwrap();
+        assert!(!e.matches(&t, 0));
+        assert!(e.matches(&t, 1));
+        let o = col("id").eq(lit(1)).or(col("id").eq(lit(3))).bind(&t).unwrap();
+        assert!(o.matches(&t, 0) && !o.matches(&t, 1) && o.matches(&t, 2));
+        let n = col("id").eq(lit(1)).not().bind(&t).unwrap();
+        assert!(!n.matches(&t, 0) && n.matches(&t, 1));
+    }
+
+    #[test]
+    fn three_valued_null_logic() {
+        let t = table();
+        // price IS NULL on row 2: NULL AND false = false, NULL OR true = true.
+        let null_cmp = col("price").gt(lit(0.0));
+        let and_false = null_cmp.clone().and(col("id").eq(lit(99))).bind(&t).unwrap();
+        assert_eq!(and_false.eval(&t, 2), Value::Int(0));
+        let or_true = null_cmp.and(col("id").eq(lit(3)).or(col("id").eq(lit(3)))).bind(&t).unwrap();
+        let _ = or_true; // AND with NULL stays NULL when other side true:
+        let e = col("price").gt(lit(0.0)).or(col("id").eq(lit(3))).bind(&t).unwrap();
+        assert_eq!(e.eval(&t, 2), Value::Int(1));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        assert!(col("nope").eq(lit(1)).bind(&t).is_err());
+    }
+
+    #[test]
+    fn columns_collected_in_order() {
+        let e = col("a").eq(lit(1)).and(col("b").gt(col("a")));
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! A mini columnar relational engine — the Hive/Impala stand-in of
+//! BigDataBench-RS.
+//!
+//! The paper's realtime-analytics workloads are three relational queries
+//! over the e-commerce transaction tables (Table 4): **Select** (scan +
+//! filter), **Aggregate** (scan + hash group-by), and **Join** (hash
+//! equi-join of ORDER with ORDER_ITEM). Those are exactly the operators
+//! this crate implements, over columnar in-memory tables:
+//!
+//! * [`Table`] — fixed-schema columnar storage ([`schema`], [`value`]);
+//! * [`exec`] — `select`, `aggregate`, `hash_join` operators, each with
+//!   an instrumented variant that reports genuine column-scan and
+//!   hash-probe access patterns to a [`bdb_archsim::Probe`];
+//! * [`Database`] — a named-table catalog with a small typed query API.
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_sql::{Database, Schema, ColumnType, Value, exec};
+//! use bdb_sql::expr::{col, lit};
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::new(&[("id", ColumnType::Int), ("price", ColumnType::Float)]);
+//! let mut t = bdb_sql::Table::new("goods", schema);
+//! t.push_row(vec![Value::Int(1), Value::Float(9.5)]).unwrap();
+//! t.push_row(vec![Value::Int(2), Value::Float(3.0)]).unwrap();
+//! db.register(t);
+//!
+//! let rows = exec::select(
+//!     db.table("goods").unwrap(),
+//!     &col("price").gt(lit(5.0)),
+//!     &["id"],
+//! ).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0][0], Value::Int(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod expr;
+pub mod parser;
+pub mod schema;
+pub mod table;
+pub mod trace;
+pub mod value;
+
+pub use exec::{Aggregation, AggregateFn};
+pub use schema::{ColumnType, Schema};
+pub use table::{Database, Table};
+pub use trace::SqlTraceModel;
+pub use value::Value;
+
+/// Errors produced by the query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A row or expression value did not match the column type.
+    TypeMismatch {
+        /// Column or expression position.
+        context: String,
+    },
+    /// Row arity differs from the schema.
+    ArityMismatch {
+        /// Number of columns expected by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A referenced table does not exist in the database.
+    UnknownTable(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SqlError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            SqlError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, schema expects {expected}")
+            }
+            SqlError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

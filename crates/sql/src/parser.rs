@@ -1,0 +1,521 @@
+//! A small SQL text front-end for the three query shapes the paper's
+//! realtime-analytics workloads use (Hive-QL style).
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT col[, col]* FROM table [WHERE cond [AND cond]*]
+//! SELECT key, AGG(col)[, AGG(col)]* FROM table GROUP BY key
+//! SELECT * FROM t1 JOIN t2 ON t1.col = t2.col
+//! cond := col (=|!=|<|<=|>|>=) literal
+//! AGG  := COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_sql::{Database, Table, Schema, ColumnType, Value, parser};
+//!
+//! let mut db = Database::new();
+//! let mut t = Table::new("items", Schema::new(&[
+//!     ("id", ColumnType::Int), ("price", ColumnType::Float),
+//! ]));
+//! t.push_row(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
+//! t.push_row(vec![Value::Int(2), Value::Float(3.0)]).unwrap();
+//! db.register(t);
+//!
+//! let rows = parser::execute(&db, "SELECT id FROM items WHERE price > 5.0").unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+use crate::exec::{self, Aggregation};
+use crate::expr::{col, lit, Expr};
+use crate::table::Database;
+use crate::value::Value;
+use crate::SqlError;
+
+/// A parsed query, ready to run against a [`Database`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Scan + filter + project.
+    Select {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Source table.
+        table: String,
+        /// Conjunctive predicates (empty = all rows).
+        predicates: Vec<(String, CmpOp, Value)>,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// GROUP BY column.
+        key: String,
+        /// Aggregations in select-list order.
+        aggs: Vec<Aggregation>,
+        /// Source table.
+        table: String,
+    },
+    /// Hash equi-join.
+    Join {
+        /// Left table.
+        left: String,
+        /// Left join column.
+        left_col: String,
+        /// Right table.
+        right: String,
+        /// Right join column.
+        right_col: String,
+    },
+}
+
+/// Comparison operators accepted in `WHERE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Parse errors with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError { message: message.into() }
+}
+
+/// Tokenizes on whitespace, commas and parens/operators.
+fn tokenize(sql: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => flush(&mut cur, &mut tokens),
+            ',' | '(' | ')' => {
+                flush(&mut cur, &mut tokens);
+                tokens.push(c.to_string());
+            }
+            '=' => {
+                flush(&mut cur, &mut tokens);
+                tokens.push("=".to_owned());
+            }
+            '!' | '<' | '>' => {
+                flush(&mut cur, &mut tokens);
+                let mut op = c.to_string();
+                if matches!(chars.peek(), Some('=') | Some('>')) && c != '>' || chars.peek() == Some(&'=') {
+                    op.push(chars.next().expect("peeked"));
+                }
+                tokens.push(op);
+            }
+            '\'' => {
+                flush(&mut cur, &mut tokens);
+                let mut s = String::from("'");
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                tokens.push(s);
+            }
+            _ => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut tokens);
+    tokens
+}
+
+fn flush(cur: &mut String, tokens: &mut Vec<String>) {
+    if !cur.is_empty() {
+        tokens.push(std::mem::take(cur));
+    }
+}
+
+struct Cursor {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Result<&str, ParseError> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| err("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if t.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected `{kw}`, found `{t}`")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+}
+
+/// Parses one SQL statement into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first offending token.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let mut c = Cursor { tokens: tokenize(sql), pos: 0 };
+    c.expect_kw("SELECT")?;
+
+    // Join form: SELECT * FROM a JOIN b ON a.x = b.y
+    if c.peek() == Some("*") {
+        c.next()?;
+        c.expect_kw("FROM")?;
+        let left = c.next()?.to_owned();
+        c.expect_kw("JOIN")?;
+        let right = c.next()?.to_owned();
+        c.expect_kw("ON")?;
+        let (lt, lc) = qualified(c.next()?)?;
+        c.expect_kw("=")?;
+        let (rt, rc) = qualified(c.next()?)?;
+        if lt != left || rt != right {
+            return Err(err("ON clause must reference `left.col = right.col`"));
+        }
+        if !c.done() {
+            return Err(err(format!("trailing tokens after join: `{}`", c.next()?)));
+        }
+        return Ok(Query::Join { left, left_col: lc, right, right_col: rc });
+    }
+
+    // Select list: plain columns and/or aggregates.
+    let mut columns: Vec<String> = Vec::new();
+    let mut aggs: Vec<Aggregation> = Vec::new();
+    loop {
+        let tok = c.next()?.to_owned();
+        let upper = tok.to_ascii_uppercase();
+        if matches!(upper.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
+            c.expect_kw("(")?;
+            let arg = c.next()?.to_owned();
+            c.expect_kw(")")?;
+            let agg = match upper.as_str() {
+                "COUNT" => {
+                    if arg != "*" {
+                        return Err(err("only COUNT(*) is supported"));
+                    }
+                    Aggregation::count()
+                }
+                "SUM" => Aggregation::sum(&arg),
+                "AVG" => Aggregation::avg(&arg),
+                "MIN" => Aggregation::min(&arg),
+                _ => Aggregation::max(&arg),
+            };
+            aggs.push(agg);
+        } else {
+            columns.push(tok);
+        }
+        if c.peek() == Some(",") {
+            c.next()?;
+            continue;
+        }
+        break;
+    }
+    c.expect_kw("FROM")?;
+    let table = c.next()?.to_owned();
+
+    if c.peek_kw("GROUP") {
+        c.next()?;
+        c.expect_kw("BY")?;
+        let key = c.next()?.to_owned();
+        if columns != vec![key.clone()] {
+            return Err(err("the select list must be `key, AGG(...)...` for GROUP BY"));
+        }
+        if aggs.is_empty() {
+            return Err(err("GROUP BY requires at least one aggregate"));
+        }
+        if !c.done() {
+            return Err(err(format!("trailing tokens: `{}`", c.next()?)));
+        }
+        return Ok(Query::Aggregate { key, aggs, table });
+    }
+
+    if !aggs.is_empty() {
+        return Err(err("aggregates require GROUP BY"));
+    }
+
+    let mut predicates = Vec::new();
+    if c.peek_kw("WHERE") {
+        c.next()?;
+        loop {
+            let column = c.next()?.to_owned();
+            let op = match c.next()? {
+                "=" => CmpOp::Eq,
+                "!=" | "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(err(format!("unknown operator `{other}`"))),
+            };
+            let value = literal(c.next()?)?;
+            predicates.push((column, op, value));
+            if c.peek_kw("AND") {
+                c.next()?;
+                continue;
+            }
+            break;
+        }
+    }
+    if !c.done() {
+        return Err(err(format!("trailing tokens: `{}`", c.next()?)));
+    }
+    Ok(Query::Select { columns, table, predicates })
+}
+
+fn qualified(tok: &str) -> Result<(String, String), ParseError> {
+    tok.split_once('.')
+        .map(|(t, c)| (t.to_owned(), c.to_owned()))
+        .ok_or_else(|| err(format!("expected `table.column`, found `{tok}`")))
+}
+
+fn literal(tok: &str) -> Result<Value, ParseError> {
+    if let Some(s) = tok.strip_prefix('\'') {
+        return Ok(Value::Str(s.to_owned()));
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(format!("cannot parse literal `{tok}`")))
+}
+
+fn build_predicate(predicates: &[(String, CmpOp, Value)]) -> Expr {
+    let mut expr: Option<Expr> = None;
+    for (column, op, value) in predicates {
+        let c = col(column);
+        let v = lit(value.clone());
+        let this = match op {
+            CmpOp::Eq => c.eq(v),
+            CmpOp::Ne => c.ne(v),
+            CmpOp::Lt => c.lt(v),
+            CmpOp::Le => c.le(v),
+            CmpOp::Gt => c.gt(v),
+            CmpOp::Ge => c.ge(v),
+        };
+        expr = Some(match expr {
+            Some(acc) => acc.and(this),
+            None => this,
+        });
+    }
+    expr.unwrap_or_else(|| lit(1).eq(lit(1)))
+}
+
+/// Errors from [`execute`]: parse or execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The SQL text did not parse.
+    Parse(ParseError),
+    /// The parsed query failed against the database.
+    Sql(SqlError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => e.fmt(f),
+            QueryError::Sql(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<SqlError> for QueryError {
+    fn from(e: SqlError) -> Self {
+        QueryError::Sql(e)
+    }
+}
+
+/// Parses and executes `sql` against `db`.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] on parse failure, unknown tables/columns or
+/// type mismatches.
+pub fn execute(db: &Database, sql: &str) -> Result<Vec<Vec<Value>>, QueryError> {
+    match parse(sql)? {
+        Query::Select { columns, table, predicates } => {
+            let t = db.table(&table)?;
+            let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Ok(exec::select(t, &build_predicate(&predicates), &cols)?)
+        }
+        Query::Aggregate { key, aggs, table } => {
+            let t = db.table(&table)?;
+            Ok(exec::aggregate(t, &key, &aggs)?)
+        }
+        Query::Join { left, left_col, right, right_col } => {
+            let l = db.table(&left)?;
+            let r = db.table(&right)?;
+            Ok(exec::hash_join(l, &left_col, r, &right_col)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut items = Table::new(
+            "items",
+            Schema::new(&[
+                ("id", ColumnType::Int),
+                ("goods", ColumnType::Int),
+                ("price", ColumnType::Float),
+            ]),
+        );
+        for (i, g, p) in [(1, 10, 5.0), (2, 10, 15.0), (3, 11, 25.0), (4, 12, 2.0)] {
+            items.push_row(vec![Value::Int(i), Value::Int(g), Value::Float(p)]).unwrap();
+        }
+        db.register(items);
+        let mut names = Table::new(
+            "goods",
+            Schema::new(&[("gid", ColumnType::Int), ("name", ColumnType::Str)]),
+        );
+        for (g, n) in [(10, "apple"), (11, "book")] {
+            names.push_row(vec![Value::Int(g), Value::Str(n.into())]).unwrap();
+        }
+        db.register(names);
+        db
+    }
+
+    #[test]
+    fn select_with_where() {
+        let rows = execute(&db(), "SELECT id FROM items WHERE price > 10.0").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn select_without_where_returns_all() {
+        let rows = execute(&db(), "select id from items").unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn conjunctive_where() {
+        let rows =
+            execute(&db(), "SELECT id FROM items WHERE price >= 5.0 AND goods = 10").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn string_literals() {
+        let rows = execute(&db(), "SELECT gid FROM goods WHERE name = 'book'").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(11)]]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let rows = execute(
+            &db(),
+            "SELECT goods, COUNT(*), SUM(price), MAX(price) FROM items GROUP BY goods",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        // goods=10 group: count 2, sum 20, max 15.
+        assert_eq!(rows[0][0], Value::Int(10));
+        assert_eq!(rows[0][1], Value::Int(2));
+        assert_eq!(rows[0][2], Value::Float(20.0));
+        assert_eq!(rows[0][3], Value::Float(15.0));
+    }
+
+    #[test]
+    fn join_form() {
+        let rows =
+            execute(&db(), "SELECT * FROM items JOIN goods ON items.goods = goods.gid").unwrap();
+        assert_eq!(rows.len(), 3, "goods 12 has no name row");
+        for r in &rows {
+            assert_eq!(r.len(), 5);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(parse("SELECT FROM items").is_err());
+        assert!(parse("SELECT id items").unwrap_err().message.contains("FROM"));
+        assert!(parse("SELECT SUM(x) FROM t").unwrap_err().message.contains("GROUP BY"));
+        assert!(parse("SELECT COUNT(x) FROM t GROUP BY k").is_err());
+        assert!(parse("SELECT a FROM t WHERE a ~ 3").is_err());
+        assert!(parse("SELECT * FROM a JOIN b ON a.x = c.y").is_err());
+    }
+
+    #[test]
+    fn execution_errors_surface() {
+        let e = execute(&db(), "SELECT nope FROM items").unwrap_err();
+        assert!(matches!(e, QueryError::Sql(SqlError::UnknownColumn(_))));
+        let e = execute(&db(), "SELECT id FROM missing").unwrap_err();
+        assert!(matches!(e, QueryError::Sql(SqlError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn tokenizer_handles_operators_and_strings() {
+        assert_eq!(
+            tokenize("a<=3 AND b!='x y'"),
+            vec!["a", "<=", "3", "AND", "b", "!=", "'x y"]
+        );
+        assert_eq!(tokenize("COUNT(*)"), vec!["COUNT", "(", "*", ")"]);
+    }
+
+    #[test]
+    fn parse_roundtrip_structures() {
+        let q = parse("SELECT k, COUNT(*) FROM t GROUP BY k").unwrap();
+        assert!(matches!(q, Query::Aggregate { .. }));
+        let q = parse("SELECT a, b FROM t WHERE a < 5").unwrap();
+        match q {
+            Query::Select { columns, predicates, .. } => {
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(predicates.len(), 1);
+                assert_eq!(predicates[0].1, CmpOp::Lt);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

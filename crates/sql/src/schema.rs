@@ -1,0 +1,179 @@
+//! Table schemas.
+
+use crate::value::Value;
+use crate::SqlError;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Days since data-set epoch.
+    Date,
+}
+
+impl ColumnType {
+    /// Whether `value` inhabits this type (NULL inhabits every type).
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
+    }
+
+    /// In-memory width in bytes of one cell (strings estimated).
+    pub fn width(&self) -> usize {
+        match self {
+            ColumnType::Int | ColumnType::Float => 8,
+            ColumnType::Str => 24,
+            ColumnType::Date => 4,
+        }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names.
+    pub fn new(columns: &[(&str, ColumnType)]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in columns {
+            assert!(seen.insert(*name), "duplicate column `{name}`");
+        }
+        Self {
+            columns: columns.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Position and type of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::UnknownColumn`] when absent.
+    pub fn resolve(&self, name: &str) -> Result<(usize, ColumnType), SqlError> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (i, self.columns[i].1))
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Type of the column at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn column_type(&self, idx: usize) -> ColumnType {
+        self.columns[idx].1
+    }
+
+    /// Name of the column at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn column_name(&self, idx: usize) -> &str {
+        &self.columns[idx].0
+    }
+
+    /// Validates a row against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::ArityMismatch`] or [`SqlError::TypeMismatch`].
+    pub fn check_row(&self, row: &[Value]) -> Result<(), SqlError> {
+        if row.len() != self.arity() {
+            return Err(SqlError::ArityMismatch { expected: self.arity(), got: row.len() });
+        }
+        for (i, v) in row.iter().enumerate() {
+            if !self.columns[i].1.admits(v) {
+                return Err(SqlError::TypeMismatch {
+                    context: format!("column `{}`", self.columns[i].0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes per row under [`ColumnType::width`] estimates.
+    pub fn row_width(&self) -> usize {
+        self.columns.iter().map(|(_, t)| t.width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColumnType::Int), ("name", ColumnType::Str), ("d", ColumnType::Date)])
+    }
+
+    #[test]
+    fn resolve_columns() {
+        let s = schema();
+        assert_eq!(s.resolve("id").unwrap(), (0, ColumnType::Int));
+        assert_eq!(s.resolve("d").unwrap(), (2, ColumnType::Date));
+        assert!(matches!(s.resolve("nope"), Err(SqlError::UnknownColumn(_))));
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = schema();
+        assert!(s.check_row(&[Value::Int(1), "x".into(), Value::Date(3)]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Null, Value::Null]).is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), "x".into()]),
+            Err(SqlError::ArityMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Str("no".into()), "x".into(), Value::Date(1)]),
+            Err(SqlError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn float_admits_int() {
+        assert!(ColumnType::Float.admits(&Value::Int(3)));
+        assert!(!ColumnType::Int.admits(&Value::Float(3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_panic() {
+        Schema::new(&[("a", ColumnType::Int), ("a", ColumnType::Int)]);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(schema().row_width(), 8 + 24 + 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: operators against naive reference evaluation
+//! over randomly generated tables.
+
+use bdb_sql::exec::{aggregate, hash_join, select, Aggregation};
+use bdb_sql::expr::{col, lit};
+use bdb_sql::{ColumnType, Schema, Table, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn table_from(rows: &[(i64, f64)]) -> Table {
+    let mut t = Table::new(
+        "t",
+        Schema::new(&[("k", ColumnType::Int), ("x", ColumnType::Float)]),
+    );
+    for (k, x) in rows {
+        t.push_row(vec![Value::Int(*k), Value::Float(*x)]).expect("schema");
+    }
+    t
+}
+
+proptest! {
+    /// select == naive filter for threshold predicates.
+    #[test]
+    fn select_matches_filter(
+        rows in proptest::collection::vec((0i64..50, -100.0f64..100.0), 0..200),
+        threshold in -100.0f64..100.0,
+    ) {
+        let t = table_from(&rows);
+        let got = select(&t, &col("x").gt(lit(threshold)), &["k"]).expect("query");
+        let expect: Vec<i64> =
+            rows.iter().filter(|(_, x)| *x > threshold).map(|(k, _)| *k).collect();
+        let got_keys: Vec<i64> = got.iter().map(|r| r[0].as_int().expect("int")).collect();
+        prop_assert_eq!(got_keys, expect);
+    }
+
+    /// Compound predicates obey boolean algebra: AND result is the
+    /// intersection of the individual selects.
+    #[test]
+    fn and_is_intersection(
+        rows in proptest::collection::vec((0i64..20, -10.0f64..10.0), 0..100),
+        a in -10.0f64..10.0,
+        b in 0i64..20,
+    ) {
+        let t = table_from(&rows);
+        let both = select(&t, &col("x").gt(lit(a)).and(col("k").lt(lit(b))), &["k", "x"])
+            .expect("query");
+        let left = select(&t, &col("x").gt(lit(a)), &["k", "x"]).expect("query");
+        for row in &both {
+            prop_assert!(left.contains(row));
+            prop_assert!(row[0].as_int().expect("int") < b);
+        }
+    }
+
+    /// aggregate(COUNT, SUM) == naive grouping.
+    #[test]
+    fn aggregate_matches_naive(
+        rows in proptest::collection::vec((0i64..10, -50.0f64..50.0), 0..150),
+    ) {
+        let t = table_from(&rows);
+        let got = aggregate(&t, "k", &[Aggregation::count(), Aggregation::sum("x")])
+            .expect("query");
+        let mut expect: HashMap<i64, (i64, f64)> = HashMap::new();
+        for (k, x) in &rows {
+            let e = expect.entry(*k).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += x;
+        }
+        prop_assert_eq!(got.len(), expect.len());
+        for row in got {
+            let k = row[0].as_int().expect("key");
+            let (count, sum) = expect[&k];
+            prop_assert_eq!(row[1].as_int().expect("count"), count);
+            let got_sum = row[2].as_float().expect("sum");
+            prop_assert!((got_sum - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+        }
+    }
+
+    /// MIN/MAX agree with iterator min/max per group.
+    #[test]
+    fn min_max_match(rows in proptest::collection::vec((0i64..5, -50.0f64..50.0), 1..80)) {
+        let t = table_from(&rows);
+        let got = aggregate(&t, "k", &[Aggregation::min("x"), Aggregation::max("x")])
+            .expect("query");
+        for row in got {
+            let k = row[0].as_int().expect("key");
+            let xs: Vec<f64> = rows.iter().filter(|(rk, _)| *rk == k).map(|(_, x)| *x).collect();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(row[1].as_float().expect("min"), min);
+            prop_assert_eq!(row[2].as_float().expect("max"), max);
+        }
+    }
+
+    /// hash_join == nested-loop join (row multiset equality).
+    #[test]
+    fn join_matches_nested_loop(
+        left in proptest::collection::vec((0i64..15, -9.0f64..9.0), 0..60),
+        right in proptest::collection::vec((0i64..15, -9.0f64..9.0), 0..60),
+    ) {
+        let lt = table_from(&left);
+        let rt = table_from(&right);
+        let got = hash_join(&lt, "k", &rt, "k").expect("join");
+        let mut expect = 0usize;
+        for (lk, _) in &left {
+            for (rk, _) in &right {
+                if lk == rk {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), expect);
+        for row in &got {
+            prop_assert_eq!(row.len(), 4);
+            prop_assert_eq!(row[0].clone(), row[2].clone());
+        }
+    }
+
+    /// Joins are symmetric in cardinality.
+    #[test]
+    fn join_cardinality_symmetric(
+        left in proptest::collection::vec((0i64..8, 0.0f64..1.0), 0..40),
+        right in proptest::collection::vec((0i64..8, 0.0f64..1.0), 0..40),
+    ) {
+        let lt = table_from(&left);
+        let rt = table_from(&right);
+        let ab = hash_join(&lt, "k", &rt, "k").expect("join").len();
+        let ba = hash_join(&rt, "k", &lt, "k").expect("join").len();
+        prop_assert_eq!(ab, ba);
+    }
+}

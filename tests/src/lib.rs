@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for BigDataBench-RS.
+//!
+//! This crate holds no library code; see `tests/` for the integration
+//! suites spanning the workspace (end-to-end workload runs, the paper's
+//! shape claims at test scale, and generator-to-workload pipelines).

@@ -1,0 +1,67 @@
+//! Generator-to-substrate pipelines: BDGS output feeding every engine.
+
+use bdb_datagen::convert::{resumes_to_kv, reviews_to_labeled, reviews_to_ratings};
+use bdb_datagen::{GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams};
+use bdb_graph::{bfs, CsrGraph};
+use bdb_kvstore::Store;
+use bdb_mlkit::{ItemCf, NaiveBayes};
+use bdb_serving::loadgen::run_closed_loop;
+use bdb_serving::search::SearchServer;
+
+#[test]
+fn resumes_flow_into_the_store_and_back() {
+    let dir = std::env::temp_dir().join(format!("bdb-pipe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let resumes = ResumeGenerator::new(7).generate(500);
+    let mut store = Store::open(&dir).expect("open");
+    for (k, v) in resumes_to_kv(&resumes) {
+        store.put(k.into_bytes(), v.into_bytes()).expect("put");
+    }
+    store.flush().expect("flush");
+    // Point reads and a range scan over the generated keys.
+    let got = store.get(b"resume000000000042").expect("get").expect("present");
+    assert!(String::from_utf8(got).expect("utf8").contains("inst="));
+    let rows = store.scan(b"resume000000000100", b"resume000000000110").expect("scan");
+    assert_eq!(rows.len(), 10);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generated_graph_is_traversable() {
+    let edges = GraphGenerator::new(RmatParams::google_web(), 9).generate(2048);
+    let graph = CsrGraph::from_edges(edges.nodes, &edges.edges);
+    let levels = bfs::bfs(&graph, 0);
+    let reached = levels.iter().flatten().count();
+    assert!(reached > 100, "web graphs have a giant component: {reached}");
+    let partitioned = bfs::bfs_partitioned(&graph, 0, 4);
+    assert_eq!(partitioned.levels, levels);
+}
+
+#[test]
+fn reviews_train_both_ml_workloads() {
+    let reviews = ReviewGenerator::new(11).generate(5_000);
+    // CF over the ratings view.
+    let cf = ItemCf::train(&reviews_to_ratings(&reviews), 10);
+    assert!(cf.item_count() > 10);
+    let rec = cf.recommend(1, 5);
+    assert!(rec.len() <= 5);
+    // Bayes over the labeled-text view; sentiment must be learnable.
+    let docs: Vec<(usize, String)> = reviews_to_labeled(&reviews)
+        .lines()
+        .map(|l| {
+            let (label, text) = l.split_once('\t').expect("format");
+            ((label == "pos") as usize, text.to_owned())
+        })
+        .collect();
+    let split = docs.len() * 4 / 5;
+    let model = NaiveBayes::train(&docs[..split], 2);
+    assert!(model.accuracy(&docs[split..]) > 0.7);
+}
+
+#[test]
+fn search_server_serves_generated_corpus() {
+    let mut server = SearchServer::build(500, 13);
+    let report = run_closed_loop(&mut server, 300, 17);
+    assert_eq!(report.completed, 300);
+    assert!(report.result_units > 0, "queries should find documents");
+}
