@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run before every merge.
+#
+#   ./ci.sh            # full gate: fmt, clippy, release build, tests
+#   ./ci.sh --fast     # skip the release build (debug build via tests)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "== $* =="
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [ "$fast" -eq 0 ]; then
+    run cargo build --workspace --release
+fi
+run cargo test --workspace -q
+
+echo "ci: all gates passed"

@@ -46,12 +46,7 @@ impl CacheConfig {
             0,
             "capacity must be divisible by associativity * line_size"
         );
-        Self {
-            name: name.to_owned(),
-            capacity,
-            associativity,
-            line_size,
-        }
+        Self { name: name.to_owned(), capacity, associativity, line_size }
     }
 
     /// Number of sets implied by the geometry.

@@ -214,9 +214,7 @@ pub struct SoftwareStack {
 impl SoftwareStack {
     /// Starts building a stack with the given workload name.
     pub fn builder(name: &str) -> SoftwareStackBuilder {
-        SoftwareStackBuilder {
-            stack: SoftwareStack { name: name.to_owned(), layers: Vec::new() },
-        }
+        SoftwareStackBuilder { stack: SoftwareStack { name: name.to_owned(), layers: Vec::new() } }
     }
 
     /// The workload name this stack models.
@@ -356,9 +354,7 @@ mod tests {
     #[test]
     fn hot_calls_fire_every_invoke() {
         let mut asp = AddressSpace::new();
-        let stack = SoftwareStack::builder("t")
-            .layer(&mut asp, "a", 4, 400, 0, 400, 2, 0)
-            .build();
+        let stack = SoftwareStack::builder("t").layer(&mut asp, "a", 4, 400, 0, 400, 2, 0).build();
         let mut probe = CountingProbe::default();
         stack.invoke(&mut probe, 7);
         // 2 hot calls x (400/4 = 100 insts).
@@ -368,9 +364,7 @@ mod tests {
     #[test]
     fn cold_calls_fire_periodically() {
         let mut asp = AddressSpace::new();
-        let stack = SoftwareStack::builder("t")
-            .layer(&mut asp, "a", 1, 400, 8, 4000, 1, 4)
-            .build();
+        let stack = SoftwareStack::builder("t").layer(&mut asp, "a", 1, 400, 8, 4000, 1, 4).build();
         let mut with_cold = 0u32;
         for seed in 0..64u64 {
             let mut probe = CountingProbe::default();
@@ -385,9 +379,8 @@ mod tests {
     #[test]
     fn invoke_is_deterministic() {
         let mut asp = AddressSpace::new();
-        let stack = SoftwareStack::builder("t")
-            .layer(&mut asp, "a", 8, 512, 16, 2048, 3, 5)
-            .build();
+        let stack =
+            SoftwareStack::builder("t").layer(&mut asp, "a", 8, 512, 16, 2048, 3, 5).build();
         let mut p1 = CountingProbe::default();
         let mut p2 = CountingProbe::default();
         stack.invoke(&mut p1, 123);
@@ -398,18 +391,14 @@ mod tests {
     #[test]
     fn footprint_sums_hot_and_cold() {
         let mut asp = AddressSpace::new();
-        let stack = SoftwareStack::builder("t")
-            .layer(&mut asp, "a", 2, 100, 3, 1000, 1, 4)
-            .build();
+        let stack = SoftwareStack::builder("t").layer(&mut asp, "a", 2, 100, 3, 1000, 1, 4).build();
         assert_eq!(stack.footprint_bytes(), 2 * 100 + 3 * 1000);
     }
 
     #[test]
     fn warm_touches_every_function() {
         let mut asp = AddressSpace::new();
-        let stack = SoftwareStack::builder("t")
-            .layer(&mut asp, "a", 3, 400, 2, 400, 1, 2)
-            .build();
+        let stack = SoftwareStack::builder("t").layer(&mut asp, "a", 3, 400, 2, 400, 1, 2).build();
         let mut probe = CountingProbe::default();
         stack.warm(&mut probe);
         assert_eq!(probe.mix().total(), 5 * 100);

@@ -318,11 +318,7 @@ mod tests {
 
     #[test]
     fn report_serializes_roundtrip() {
-        let r = CharacterizationReport {
-            machine: "x".into(),
-            mix: mix(),
-            ..Default::default()
-        };
+        let r = CharacterizationReport { machine: "x".into(), mix: mix(), ..Default::default() };
         let json = serde_json::to_string(&r).unwrap();
         let back: CharacterizationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.mix, r.mix);

@@ -152,10 +152,7 @@ pub struct SimProbe {
 impl SimProbe {
     /// Builds a probe simulating `config`.
     pub fn new(config: MachineConfig) -> Self {
-        Self {
-            machine: MachineSim::new(config),
-            address_space: AddressSpace::new(),
-        }
+        Self { machine: MachineSim::new(config), address_space: AddressSpace::new() }
     }
 
     /// The synthetic address space for data/code allocation.

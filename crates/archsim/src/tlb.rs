@@ -32,12 +32,7 @@ impl TlbConfig {
         assert!(entries > 0 && associativity > 0);
         assert_eq!(entries % associativity, 0, "entries must divide by ways");
         assert!(page_size.is_power_of_two(), "page size must be a power of two");
-        Self {
-            name: name.to_owned(),
-            entries,
-            associativity,
-            page_size,
-        }
+        Self { name: name.to_owned(), entries, associativity, page_size }
     }
 
     /// Number of sets.

@@ -3,7 +3,9 @@
 //! it).
 
 use bdb_datagen::text::TextGenerator;
-use bdb_datagen::{EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams};
+use bdb_datagen::{
+    EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_generators(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! baseline and 8x inputs. The figure-level sweeps live in the
 //! `reproduce` binary; these benches track substrate performance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use bigdatabench::{Suite, WorkloadId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_micro(c: &mut Criterion) {
     let suite = Suite::with_fraction(1.0 / 8.0);

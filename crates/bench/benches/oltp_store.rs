@@ -15,9 +15,7 @@ fn fresh_store(tag: &str, preload: u32) -> (Store, std::path::PathBuf) {
     )
     .expect("open store");
     for i in 0..preload {
-        store
-            .put(format!("row{i:08}").into_bytes(), vec![b'v'; 100])
-            .expect("preload");
+        store.put(format!("row{i:08}").into_bytes(), vec![b'v'; 100]).expect("preload");
     }
     store.flush().expect("flush");
     (store, dir)

@@ -24,12 +24,8 @@ fn bench_queries(c: &mut Criterion) {
     });
     group.bench_function("aggregate", |b| {
         b.iter(|| {
-            aggregate(
-                &items,
-                "GOODS_ID",
-                &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
-            )
-            .expect("query")
+            aggregate(&items, "GOODS_ID", &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")])
+                .expect("query")
         })
     });
     group.bench_function("join", |b| {

@@ -93,7 +93,8 @@ fn ablate_bloom() {
     section("A2 — SSTable bloom filters (20k rows, 20k random reads, 50% misses)");
     let mut t = TextTable::new(&["bloom", "bloom skips", "seconds", "ops/s"]);
     for use_bloom in [true, false] {
-        let dir = std::env::temp_dir().join(format!("bdb-abl-bloom-{use_bloom}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("bdb-abl-bloom-{use_bloom}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut store = Store::open_with(
             &dir,
@@ -147,7 +148,7 @@ fn ablate_sortbuf() {
             out: &mut Vec<String>,
             _p: &mut P,
         ) {
-            out.extend(std::iter::repeat(k).take(v.len()));
+            out.extend(std::iter::repeat_n(k, v.len()));
         }
     }
     let mut t = TextTable::new(&["buffer MiB", "spills", "spill MiB", "seconds"]);
@@ -246,7 +247,13 @@ fn ablate_cache_size() {
     ];
     for (name, machine) in variants {
         let r = suite.run_traced(WorkloadId::WordCount, 1, machine);
-        t.row(&[name, fnum(r.l1i_mpki()), fnum(r.l2_mpki()), fnum(r.l3_mpki()), format!("{:.2}", r.ipc())]);
+        t.row(&[
+            name,
+            fnum(r.l1i_mpki()),
+            fnum(r.l2_mpki()),
+            fnum(r.l3_mpki()),
+            format!("{:.2}", r.ipc()),
+        ]);
     }
     println!("{}", t.render());
     println!("(the paper's lesson: L1I capacity, not LLC capacity, is the lever for big data)");
@@ -255,11 +262,8 @@ fn ablate_cache_size() {
 fn ablate_iter_cache() {
     section("A6 — iterative caching on the in-memory engine (5-iteration rank loop)");
     let edges: Vec<(u32, u32)> = {
-        let g = bdb_datagen::GraphGenerator::new(
-            bdb_datagen::RmatParams::google_web(),
-            3,
-        )
-        .generate(4096);
+        let g = bdb_datagen::GraphGenerator::new(bdb_datagen::RmatParams::google_web(), 3)
+            .generate(4096);
         g.edges
     };
     let mut t = TextTable::new(&["edges dataset", "records processed", "cache hits", "seconds"]);
@@ -271,10 +275,8 @@ fn ablate_iter_cache() {
         let mut ctx = bdb_dataflow::ExecContext::new();
         for _ in 0..5 {
             let rank_ds = Dataset::from_vec(ranks.clone());
-            let contribs = edge_ds
-                .join(&rank_ds)
-                .map(|(_, (dst, r))| (*dst, *r))
-                .reduce_by_key(|a, b| a + b);
+            let contribs =
+                edge_ds.join(&rank_ds).map(|(_, (dst, r))| (*dst, *r)).reduce_by_key(|a, b| a + b);
             ranks = contribs.eval(&mut ctx).as_ref().clone();
         }
         t.row(&[
@@ -289,7 +291,9 @@ fn ablate_iter_cache() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let has = |f: &str| args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all") || args.is_empty();
+    let has = |f: &str| {
+        args.iter().any(|a| a == f) || args.iter().any(|a| a == "--all") || args.is_empty()
+    };
     if has("--combiner") {
         ablate_combiner();
     }

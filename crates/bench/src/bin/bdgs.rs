@@ -126,8 +126,8 @@ fn opt_num(opts: &HashMap<String, String>, name: &str) -> Option<u64> {
 }
 
 fn write_file(path: &str, bytes: &[u8]) {
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
     f.write_all(bytes).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
 }
 

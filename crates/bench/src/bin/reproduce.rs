@@ -4,15 +4,21 @@
 //! ```text
 //! reproduce [--all] [--table2] [--table3] [--table4] [--table5] [--table6]
 //!           [--fig2] [--fig3] [--fig4] [--fig5] [--fig6] [--checks]
-//!           [--fraction F] [--json DIR]
+//!           [--fraction F] [--json DIR] [--trace DIR]
 //! ```
 //!
 //! `--fraction` shrinks the library-scale inputs (default 0.25 — a full
 //! `--all` run finishes in a few minutes). `--json DIR` additionally
 //! dumps each artifact as JSON for EXPERIMENTS.md bookkeeping.
+//! `--trace DIR` runs an instrumented pass of representative workloads
+//! and writes one Chrome trace-event JSON (loadable in the Perfetto UI
+//! / `chrome://tracing`) plus a plain-text metrics summary per workload.
 
+use bdb_archsim::Probe;
 use bdb_bench::paper;
 use bdb_bench::table::{fnum, TextTable};
+use bdb_mapreduce::{Emitter, Job};
+use bdb_telemetry::TraceSession;
 use bigdatabench::characterize::{self, Fig3Row};
 use bigdatabench::{MachineConfig, Suite, WorkloadId};
 
@@ -31,6 +37,7 @@ struct Args {
     checks: bool,
     fraction: f64,
     json_dir: Option<std::path::PathBuf>,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -74,18 +81,27 @@ fn parse_args() -> Args {
                 args.json_dir =
                     Some(it.next().unwrap_or_else(|| die("--json needs a directory")).into());
             }
+            "--trace" => {
+                args.trace_dir =
+                    Some(it.next().unwrap_or_else(|| die("--trace needs a directory")).into());
+            }
             "--help" | "-h" => {
                 println!(
                     "reproduce — regenerate the BigDataBench paper's tables and figures\n\
-                     flags: --all --table2..6 --fig2..6 --checks --fraction F --json DIR"
+                     flags: --all --table2..6 --fig2..6 --checks --fraction F --json DIR \
+                     --trace DIR"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other}")),
         }
-        if a != "--fraction" && a != "--json" {
+        if a != "--fraction" && a != "--json" && a != "--trace" {
             any = any || a.starts_with("--");
         }
+    }
+    if args.trace_dir.is_some() && !any {
+        // `--trace DIR` alone runs only the instrumented pass.
+        return args;
     }
     if !any {
         // Default: everything.
@@ -142,8 +158,7 @@ fn table2() {
 fn table3() {
     section("Table 3 — e-commerce transaction schema (live from generator)");
     let suite = Suite::quick();
-    let (orders, items) =
-        bigdatabench::workloads::query::build_tables(&suite.scale(1), 100);
+    let (orders, items) = bigdatabench::workloads::query::build_tables(&suite.scale(1), 100);
     for table in [&orders, &items] {
         println!("{}:", table.name().to_uppercase());
         for name in table.schema().names() {
@@ -181,12 +196,7 @@ fn table4() {
 fn table5() {
     section("Tables 5 & 7 — simulated processor configurations");
     for cfg in [MachineConfig::xeon_e5645(), MachineConfig::xeon_e5310()] {
-        println!(
-            "{}: {} cores @ {:.2} GHz",
-            cfg.name,
-            cfg.cores,
-            cfg.freq_mhz as f64 / 1000.0
-        );
+        println!("{}: {} cores @ {:.2} GHz", cfg.name, cfg.cores, cfg.freq_mhz as f64 / 1000.0);
         println!(
             "  L1I/L1D {} KiB {}-way | L2 {} KiB {}-way | L3 {}",
             cfg.l1i.capacity / 1024,
@@ -222,9 +232,7 @@ fn table6() {
             WorkloadId::PageRank | WorkloadId::Index => "4000 pages x (1..32)",
             WorkloadId::KMeans => "40k points x (1..32)",
             WorkloadId::ConnectedComponents => "2^15 vertices x (1..32)",
-            WorkloadId::CollaborativeFiltering | WorkloadId::NaiveBayes => {
-                "4k reviews x (1..32)"
-            }
+            WorkloadId::CollaborativeFiltering | WorkloadId::NaiveBayes => "4k reviews x (1..32)",
         };
         t.row(&[
             (i + 1).to_string(),
@@ -241,11 +249,8 @@ fn print_fig3(rows: &[Fig3Row]) {
     section("Figure 3-1 — MIPS with data scale (timing model)");
     let mut t = TextTable::new(&["workload", "Baseline", "4X", "8X", "16X", "32X"]);
     for id in WorkloadId::ALL {
-        let vals: Vec<String> = rows
-            .iter()
-            .filter(|r| r.workload == id.name())
-            .map(|r| fnum(r.mips))
-            .collect();
+        let vals: Vec<String> =
+            rows.iter().filter(|r| r.workload == id.name()).map(|r| fnum(r.mips)).collect();
         let mut cells = vec![id.name().to_owned()];
         cells.extend(vals);
         t.row(&cells);
@@ -265,6 +270,203 @@ fn print_fig3(rows: &[Fig3Row]) {
         t.row(&cells);
     }
     println!("{}", t.render());
+}
+
+/// WordCount job for the instrumented `--trace` pass.
+struct TraceWordCount;
+impl Job for TraceWordCount {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn input_size(&self, line: &String) -> usize {
+        line.len()
+    }
+    fn map<P: Probe + ?Sized>(&self, line: &String, emit: &mut Emitter<String, u64>, _p: &mut P) {
+        for w in line.split_whitespace() {
+            emit.emit(w.to_owned(), 1);
+        }
+    }
+    fn combine(&self, _k: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+    fn reduce<P: Probe + ?Sized>(
+        &self,
+        key: String,
+        values: Vec<u64>,
+        out: &mut Vec<(String, u64)>,
+        _p: &mut P,
+    ) {
+        out.push((key, values.into_iter().sum()));
+    }
+}
+
+/// TeraSort-style sort job for the instrumented `--trace` pass.
+struct TraceSort;
+impl Job for TraceSort {
+    type Input = String;
+    type Key = String;
+    type Value = ();
+    type Output = String;
+    fn input_size(&self, line: &String) -> usize {
+        line.len()
+    }
+    fn map<P: Probe + ?Sized>(&self, line: &String, emit: &mut Emitter<String, ()>, _p: &mut P) {
+        emit.emit(line.clone(), ());
+    }
+    fn reduce<P: Probe + ?Sized>(
+        &self,
+        key: String,
+        values: Vec<()>,
+        out: &mut Vec<String>,
+        _p: &mut P,
+    ) {
+        for _ in values {
+            out.push(key.clone());
+        }
+    }
+}
+
+/// Runs an instrumented pass of representative workloads, writing a
+/// Chrome trace-event JSON + plain-text metrics summary per workload
+/// into `dir` (loadable at <https://ui.perfetto.dev>).
+fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
+    use bdb_graph::{label_propagation_instrumented, pagerank_instrumented, PageRankConfig};
+    use bdb_kvstore::{Store, StoreConfig};
+    use bdb_mapreduce::Engine;
+    use bdb_mlkit::KMeans;
+    use bdb_serving::loadgen::run_closed_loop_instrumented;
+    use bdb_serving::search::SearchServer;
+    use bdb_sql::exec::{hash_join_instrumented, select_instrumented};
+    use bdb_sql::expr::{col, lit};
+
+    section("Telemetry traces — Chrome trace JSON + metrics per workload");
+    let f = fraction.max(0.05);
+    let export = |session: &TraceSession, detail: &str| match session.write(dir) {
+        Ok((trace, _metrics)) => {
+            println!("  {:<20} {detail}", session.name);
+            println!("  {:<20} -> {}", "", trace.display());
+        }
+        Err(e) => eprintln!("  {}: trace export failed: {e}", session.name),
+    };
+
+    // MapReduce micro benchmarks: WordCount and Sort.
+    let text_bytes = ((1_u64 << 20) as f64 * f) as usize;
+    let mut text = bdb_datagen::text::TextGenerator::wikipedia(42);
+    let lines: Vec<String> = text.corpus(text_bytes).lines().map(str::to_owned).collect();
+
+    let session = TraceSession::enabled("WordCount");
+    let engine = Engine::builder()
+        .telemetry(session.recorder.clone())
+        .metrics(session.metrics.clone())
+        .build();
+    let (_, stats) = engine.run(&TraceWordCount, &lines);
+    export(&session, &stats.phase_breakdown());
+
+    let session = TraceSession::enabled("Sort");
+    let engine = Engine::builder()
+        .map_buffer_bytes(64 << 10) // spill so the trace shows the disk path
+        .telemetry(session.recorder.clone())
+        .metrics(session.metrics.clone())
+        .build();
+    let (_, stats) = engine.run(&TraceSort, &lines);
+    export(&session, &stats.phase_breakdown());
+
+    // Graph analytics: PageRank and Connected Components.
+    let nodes = (((4_000_f64) * f) as u32).max(256);
+    let g =
+        bdb_datagen::GraphGenerator::new(bdb_datagen::RmatParams::google_web(), 11).generate(nodes);
+    let graph = bdb_graph::CsrGraph::from_edges(g.nodes, &g.edges);
+
+    let session = TraceSession::enabled("PageRank");
+    let (_, iters) = pagerank_instrumented(&graph, PageRankConfig::default(), &session.recorder);
+    session.metrics.counter("graph.pagerank_iterations").add(u64::from(iters));
+    export(&session, &format!("{} nodes | {iters} iterations", graph.nodes()));
+
+    let session = TraceSession::enabled("ConnectedComponents");
+    let (_, iters) = label_propagation_instrumented(&graph, &session.recorder);
+    session.metrics.counter("graph.cc_iterations").add(u64::from(iters));
+    export(&session, &format!("{} nodes | {iters} rounds", graph.nodes()));
+
+    // Machine learning: K-means over synthetic blobs.
+    let points: Vec<Vec<f64>> = (0..((20_000.0 * f) as usize).max(1_000))
+        .map(|i| {
+            let blob = (i % 8) as f64;
+            let jitter = ((i as u64).wrapping_mul(2_654_435_761) % 1_000) as f64 / 1_000.0;
+            vec![blob * 10.0 + jitter, blob * -5.0 + jitter * 0.5, jitter]
+        })
+        .collect();
+    let session = TraceSession::enabled("KMeans");
+    let model = KMeans::new(8).fit_instrumented(&points, 7, &session.recorder);
+    session.metrics.counter("mlkit.kmeans_iterations").add(u64::from(model.iterations));
+    export(&session, &format!("{} points | {} iterations", points.len(), model.iterations));
+
+    // Online service: Nutch-style search server, closed loop.
+    let session = TraceSession::enabled("NutchServer");
+    let mut server = SearchServer::build(((400.0 * f) as u32).max(100), 42);
+    let requests = ((1_000.0 * f) as usize).max(200);
+    let report =
+        run_closed_loop_instrumented(&mut server, requests, 7, &session.recorder, &session.metrics);
+    export(&session, &format!("{requests} requests | {:.0} req/s", report.achieved_rps));
+
+    // Cloud OLTP: LSM store write + read mix with flushes/compactions.
+    let session = TraceSession::enabled("CloudOLTP");
+    let kv_dir = std::env::temp_dir().join(format!("bdb-trace-kv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&kv_dir);
+    let config =
+        StoreConfig { memtable_flush_bytes: 64 << 10, max_tables: 4, ..Default::default() };
+    match Store::open_with(&kv_dir, config) {
+        Ok(mut store) => {
+            store.set_telemetry(session.recorder.clone());
+            store.set_metrics(&session.metrics);
+            let ops = ((20_000.0 * f) as u32).max(2_000);
+            let mut failed = false;
+            for i in 0..ops {
+                let key = format!("row{i:08}").into_bytes();
+                if store.put(key, vec![b'v'; 100]).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            for i in 0..ops {
+                // Half present, half absent — exercises the bloom filters.
+                let probe_key = format!("row{:08}", u64::from(i) * 2).into_bytes();
+                if store.get(&probe_key).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            if failed {
+                eprintln!("  CloudOLTP: store I/O failed; exporting partial trace");
+            }
+            let s = store.stats();
+            export(
+                &session,
+                &format!(
+                    "{ops} puts + {ops} gets | {} flushes, {} compactions, {} bloom skips",
+                    s.flushes, s.compactions, s.bloom_skips
+                ),
+            );
+        }
+        Err(e) => eprintln!("  CloudOLTP: store open failed: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&kv_dir);
+
+    // Relational query: select + hash join over e-commerce tables.
+    let session = TraceSession::enabled("JoinQuery");
+    let orders_n = ((8_000.0 * f) as u64).max(500);
+    let (orders, items) = bigdatabench::workloads::query::build_tables(&suite.scale(1), orders_n);
+    let sel =
+        select_instrumented(&orders, &col("BUYER_ID").gt(lit(0)), &["ORDER_ID"], &session.recorder);
+    let joined = hash_join_instrumented(&orders, "ORDER_ID", &items, "ORDER_ID", &session.recorder);
+    match (sel, joined) {
+        (Ok(sel), Ok(joined)) => {
+            session.metrics.counter("sql.select_rows").add(sel.len() as u64);
+            session.metrics.counter("sql.joined_rows").add(joined.len() as u64);
+            export(&session, &format!("{} orders | {} joined rows", orders.len(), joined.len()));
+        }
+        _ => eprintln!("  JoinQuery: query failed; trace not exported"),
+    }
 }
 
 fn main() {
@@ -310,8 +512,7 @@ fn main() {
         eprintln!("figure 2: native sweeps + small/large characterization...");
         fig2_rows = characterize::figure2(&suite, &machine);
         section("Figure 2 — L3 MPKI: small vs large input");
-        let mut t =
-            TextTable::new(&["workload", "small (baseline)", "large (best)", "large mult"]);
+        let mut t = TextTable::new(&["workload", "small (baseline)", "large (best)", "large mult"]);
         for r in &fig2_rows {
             t.row(&[
                 r.workload.clone(),
@@ -334,8 +535,7 @@ fn main() {
     if args.fig4 {
         fig4_rows = characterize::figure4(&baseline, &machine);
         section("Figure 4 — instruction breakdown");
-        let mut t =
-            TextTable::new(&["name", "load", "store", "branch", "int", "fp", "int:fp"]);
+        let mut t = TextTable::new(&["name", "load", "store", "branch", "int", "fp", "int:fp"]);
         for r in &fig4_rows {
             t.row(&[
                 r.name.clone(),
@@ -355,8 +555,7 @@ fn main() {
         eprintln!("figure 5: characterizing on both E5645 and E5310...");
         fig5_rows = characterize::figure5(&suite);
         section("Figure 5 — operation intensity (ops per DRAM byte)");
-        let mut t =
-            TextTable::new(&["name", "FP E5310", "FP E5645", "INT E5310", "INT E5645"]);
+        let mut t = TextTable::new(&["name", "FP E5310", "FP E5645", "INT E5310", "INT E5645"]);
         for r in &fig5_rows {
             t.row(&[
                 r.name.clone(),
@@ -402,5 +601,9 @@ fn main() {
         }
         println!("{}", t.render());
         println!("{pass}/{} shape checks passed", checks.len());
+    }
+
+    if let Some(dir) = &args.trace_dir {
+        trace_exports(&suite, args.fraction, dir);
     }
 }

@@ -44,13 +44,8 @@ pub mod fig5 {
 /// Paper values for Figure 6 (memory hierarchy MPKI averages).
 pub mod fig6 {
     /// Average L1I MPKI: BigDataBench vs HPCC/PARSEC/SPECFP/SPECINT.
-    pub const L1I: [(f64, &str); 5] = [
-        (23.0, "BigDataBench"),
-        (0.3, "HPCC"),
-        (2.9, "PARSEC"),
-        (3.1, "SPECFP"),
-        (5.4, "SPECINT"),
-    ];
+    pub const L1I: [(f64, &str); 5] =
+        [(23.0, "BigDataBench"), (0.3, "HPCC"), (2.9, "PARSEC"), (3.1, "SPECFP"), (5.4, "SPECINT")];
     /// Average L2 MPKI per suite, same order.
     pub const L2: [(f64, &str); 5] = [
         (21.0, "BigDataBench"),
@@ -60,13 +55,8 @@ pub mod fig6 {
         (16.0, "SPECINT"),
     ];
     /// Average L3 MPKI per suite, same order.
-    pub const L3: [(f64, &str); 5] = [
-        (1.5, "BigDataBench"),
-        (2.4, "HPCC"),
-        (2.3, "PARSEC"),
-        (1.4, "SPECFP"),
-        (1.9, "SPECINT"),
-    ];
+    pub const L3: [(f64, &str); 5] =
+        [(1.5, "BigDataBench"), (2.4, "HPCC"), (2.3, "PARSEC"), (1.4, "SPECFP"), (1.9, "SPECINT")];
     /// ITLB / DTLB averages for BigDataBench.
     pub const BIGDATA_ITLB: f64 = 0.54;
     /// DTLB average for BigDataBench.
@@ -159,8 +149,11 @@ pub fn shape_checks(
             claim: "int:fp ratio BigData ≫ PARSEC; SPECINT highest; Grep > Bayes",
             measured: format!(
                 "BigData {:.0}, PARSEC {:.1}, SPECINT {:.0}, Grep {:.0}, Bayes {:.0}",
-                bd.int_fp_ratio, parsec.int_fp_ratio, specint.int_fp_ratio,
-                grep.int_fp_ratio, bayes.int_fp_ratio
+                bd.int_fp_ratio,
+                parsec.int_fp_ratio,
+                specint.int_fp_ratio,
+                grep.int_fp_ratio,
+                bayes.int_fp_ratio
             ),
             pass: bd.int_fp_ratio > parsec.int_fp_ratio * 10.0
                 && specint.int_fp_ratio > bd.int_fp_ratio
@@ -185,11 +178,9 @@ pub fn shape_checks(
 
     // S4: L3 caches are effective — BigDataBench avg L3 MPKI below
     // HPCC and PARSEC (paper: 1.5 vs 2.4 / 2.3).
-    if let (Some(bd), Some(hpcc), Some(parsec)) = (
-        find6(fig6, "Avg_BigData"),
-        find6(fig6, "Avg_HPCC"),
-        find6(fig6, "Avg_Parsec"),
-    ) {
+    if let (Some(bd), Some(hpcc), Some(parsec)) =
+        (find6(fig6, "Avg_BigData"), find6(fig6, "Avg_HPCC"), find6(fig6, "Avg_Parsec"))
+    {
         checks.push(ShapeCheck {
             id: "S4-l3-effective",
             claim: "avg L3 MPKI of BigDataBench below HPCC and PARSEC",
@@ -205,10 +196,8 @@ pub fn shape_checks(
     // the sweep for at least some workloads (paper: Grep 2.9x MIPS gap,
     // K-means 2.5x L3 gap).
     {
-        let max_mips_gap = WORKLOADS
-            .iter()
-            .filter_map(|w| mips_gap(fig3, w))
-            .fold(0.0f64, f64::max);
+        let max_mips_gap =
+            WORKLOADS.iter().filter_map(|w| mips_gap(fig3, w)).fold(0.0f64, f64::max);
         // K-means L3 gap across the full sweep (fig3 supporting data),
         // falling back to the fig2 small/large pair; a +0.05 MPKI floor
         // avoids 0/0 when both ends are cache-resident.
@@ -248,11 +237,7 @@ pub fn shape_checks(
             .filter(|r| r.workload == "Sort")
             .map(|r| (r.multiplier, r.speedup))
             .collect();
-        let sort_32 = sort
-            .iter()
-            .find(|(m, _)| *m == 32)
-            .map(|(_, s)| *s)
-            .unwrap_or(f64::INFINITY);
+        let sort_32 = sort.iter().find(|(m, _)| *m == 32).map(|(_, s)| *s).unwrap_or(f64::INFINITY);
         let peak = sort.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
         checks.push(ShapeCheck {
             id: "S6-sort-degrades",
@@ -267,7 +252,9 @@ pub fn shape_checks(
     if let Some(bfs) = find6(fig6, "BFS") {
         let analytics_median = median(
             fig6.iter()
-                .filter(|r| ["Sort", "Grep", "WordCount", "K-means", "PageRank"].contains(&r.name.as_str()))
+                .filter(|r| {
+                    ["Sort", "Grep", "WordCount", "K-means", "PageRank"].contains(&r.name.as_str())
+                })
                 .map(|r| r.dtlb_mpki)
                 .collect(),
         );
@@ -308,14 +295,29 @@ pub fn shape_checks(
 }
 
 const WORKLOADS: [&str; 19] = [
-    "Sort", "Grep", "WordCount", "BFS", "Read", "Write", "Scan", "Select Query",
-    "Aggregate Query", "Join Query", "Nutch Server", "PageRank", "Index", "Olio Server",
-    "K-means", "Connected Components", "Rubis Server", "Collaborative Filtering", "Naive Bayes",
+    "Sort",
+    "Grep",
+    "WordCount",
+    "BFS",
+    "Read",
+    "Write",
+    "Scan",
+    "Select Query",
+    "Aggregate Query",
+    "Join Query",
+    "Nutch Server",
+    "PageRank",
+    "Index",
+    "Olio Server",
+    "K-means",
+    "Connected Components",
+    "Rubis Server",
+    "Collaborative Filtering",
+    "Naive Bayes",
 ];
 
 fn mips_gap(fig3: &[Fig3Row], workload: &str) -> Option<f64> {
-    let vals: Vec<f64> =
-        fig3.iter().filter(|r| r.workload == workload).map(|r| r.mips).collect();
+    let vals: Vec<f64> = fig3.iter().filter(|r| r.workload == workload).map(|r| r.mips).collect();
     let max = vals.iter().cloned().fold(f64::MIN, f64::max);
     let min = vals.iter().cloned().fold(f64::MAX, f64::min);
     if vals.is_empty() || min <= 0.0 {
@@ -357,8 +359,20 @@ mod tests {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![]), 0.0);
         let rows = vec![
-            Fig3Row { workload: "X".into(), multiplier: 1, mips: 100.0, speedup: 1.0, l3_mpki: 0.0 },
-            Fig3Row { workload: "X".into(), multiplier: 32, mips: 300.0, speedup: 2.0, l3_mpki: 0.0 },
+            Fig3Row {
+                workload: "X".into(),
+                multiplier: 1,
+                mips: 100.0,
+                speedup: 1.0,
+                l3_mpki: 0.0,
+            },
+            Fig3Row {
+                workload: "X".into(),
+                multiplier: 32,
+                mips: 300.0,
+                speedup: 2.0,
+                l3_mpki: 0.0,
+            },
         ];
         assert_eq!(mips_gap(&rows, "X"), Some(3.0));
         assert_eq!(mips_gap(&rows, "Y"), None);

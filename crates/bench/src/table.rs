@@ -23,10 +23,7 @@ pub struct TextTable {
 impl TextTable {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self {
-            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
-            rows: Vec::new(),
-        }
+        Self { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
     }
 
     /// Appends a row; missing cells render empty, extra cells are kept.

@@ -51,16 +51,15 @@ fn main() {
     }
 
     // Select Query: high-value line items.
-    let expensive = select(&item_t, &col("GOODS_AMOUNT").gt(lit(500.0)), &["ORDER_ID"])
-        .expect("valid query");
+    let expensive =
+        select(&item_t, &col("GOODS_AMOUNT").gt(lit(500.0)), &["ORDER_ID"]).expect("valid query");
     println!("\nSelect Query: {} line items above 500", expensive.len());
 
     // Aggregate Query: revenue per goods, top 5.
-    let mut revenue = aggregate(&item_t, "GOODS_ID", &[Aggregation::sum("GOODS_AMOUNT")])
-        .expect("valid query");
-    revenue.sort_by(|a, b| {
-        b[1].as_float().unwrap_or(0.0).total_cmp(&a[1].as_float().unwrap_or(0.0))
-    });
+    let mut revenue =
+        aggregate(&item_t, "GOODS_ID", &[Aggregation::sum("GOODS_AMOUNT")]).expect("valid query");
+    revenue
+        .sort_by(|a, b| b[1].as_float().unwrap_or(0.0).total_cmp(&a[1].as_float().unwrap_or(0.0)));
     println!("Aggregate Query: top goods by revenue:");
     for row in revenue.iter().take(5) {
         println!("  goods {:>6}  revenue {:>12.2}", row[0], row[1].as_float().unwrap_or(0.0));

@@ -8,8 +8,7 @@
 use bdb_datagen::stats::{estimate_zipf_exponent, rank_frequencies};
 use bdb_datagen::text::TextGenerator;
 use bdb_datagen::{
-    EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams,
-    SEED_DATASETS,
+    EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams, SEED_DATASETS,
 };
 
 fn main() {

@@ -29,11 +29,7 @@ fn main() {
     // 2. Index them through the search server (same structure the Index
     //    workload builds via MapReduce).
     let mut server = SearchServer::build(docs.len() as u32, 7);
-    println!(
-        "inverted index: {} terms over {} documents",
-        server.term_count(),
-        server.doc_count()
-    );
+    println!("inverted index: {} terms over {} documents", server.term_count(), server.doc_count());
 
     // 3. PageRank over a Google-web-fitted synthetic graph.
     let edges = GraphGenerator::new(RmatParams::google_web(), 99).generate(4096);
@@ -51,8 +47,7 @@ fn main() {
     println!("{:>10} {:>12} {:>10} {:>10}", "offered", "achieved", "p50", "p99");
     for multiplier in [1u32, 4, 8, 16, 32] {
         let offered = 100.0 * multiplier as f64;
-        let report =
-            run_offered_load(&mut server, offered, Duration::from_secs(10), 6, 300, 11);
+        let report = run_offered_load(&mut server, offered, Duration::from_secs(10), 6, 300, 11);
         println!(
             "{:>10.0} {:>12.1} {:>9.2?} {:>9.2?}{}",
             offered,

@@ -91,7 +91,10 @@ fn main() {
         "both stacks compute the same answer"
     );
 
-    println!("WordCount over 512 KiB of Wikipedia-style text ({} distinct words)\n", flow_out.len());
+    println!(
+        "WordCount over 512 KiB of Wikipedia-style text ({} distinct words)\n",
+        flow_out.len()
+    );
     println!("{:<14} {:>12} {:>12}", "", "MapReduce", "dataflow");
     let row = |name: &str, f: fn(&CharacterizationReport) -> f64| {
         println!("{name:<14} {:>12.3} {:>12.3}", f(&hadoop), f(&dataflow));

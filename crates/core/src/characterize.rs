@@ -79,11 +79,8 @@ pub struct Fig3Row {
 /// Computes the Figure 3 sweep (5 multipliers) for one workload.
 pub fn figure3_for(suite: &Suite, id: WorkloadId, machine: &MachineConfig) -> Vec<Fig3Row> {
     let native = suite.sweep_native(id);
-    let baseline_value = native
-        .first()
-        .map(|r| r.metric.value())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0);
+    let baseline_value =
+        native.first().map(|r| r.metric.value()).filter(|v| *v > 0.0).unwrap_or(1.0);
     let traced = suite.sweep_traced(id, machine);
     native
         .iter()
@@ -100,10 +97,7 @@ pub fn figure3_for(suite: &Suite, id: WorkloadId, machine: &MachineConfig) -> Ve
 
 /// Computes Figure 3 for every workload.
 pub fn figure3(suite: &Suite, machine: &MachineConfig) -> Vec<Fig3Row> {
-    WorkloadId::ALL
-        .iter()
-        .flat_map(|&id| figure3_for(suite, id, machine))
-        .collect()
+    WorkloadId::ALL.iter().flat_map(|&id| figure3_for(suite, id, machine)).collect()
 }
 
 /// Figure 4 — dynamic instruction breakdown.
@@ -144,10 +138,7 @@ pub fn baseline_reports(
     suite: &Suite,
     machine: &MachineConfig,
 ) -> Vec<(WorkloadId, CharacterizationReport)> {
-    WorkloadId::ALL
-        .iter()
-        .map(|&id| (id, suite.run_traced(id, 1, machine.clone())))
-        .collect()
+    WorkloadId::ALL.iter().map(|&id| (id, suite.run_traced(id, 1, machine.clone()))).collect()
 }
 
 /// Computes Figure 4: 19 workloads + the BigDataBench average + the four
@@ -156,8 +147,7 @@ pub fn figure4(
     reports: &[(WorkloadId, CharacterizationReport)],
     machine: &MachineConfig,
 ) -> Vec<Fig4Row> {
-    let mut rows: Vec<Fig4Row> =
-        reports.iter().map(|(id, r)| fig4_row(id.name(), r)).collect();
+    let mut rows: Vec<Fig4Row> = reports.iter().map(|(id, r)| fig4_row(id.name(), r)).collect();
     rows.push(fig4_row("Avg_BigData", &average_report(reports)));
     for suite in RefSuite::ALL {
         let r = characterize_suite(suite, REF_SCALE, machine.clone());
@@ -168,14 +158,11 @@ pub fn figure4(
 
 /// Merges per-workload reports into a suite-average report (sums event
 /// counts, recomputes derived metrics).
-pub fn average_report(
-    reports: &[(WorkloadId, CharacterizationReport)],
-) -> CharacterizationReport {
-    let mut avg = CharacterizationReport::default();
-    avg.machine = reports
-        .first()
-        .map(|(_, r)| r.machine.clone())
-        .unwrap_or_default();
+pub fn average_report(reports: &[(WorkloadId, CharacterizationReport)]) -> CharacterizationReport {
+    let mut avg = CharacterizationReport {
+        machine: reports.first().map(|(_, r)| r.machine.clone()).unwrap_or_default(),
+        ..Default::default()
+    };
     for (_, r) in reports {
         avg.mix.merge(&r.mix);
         avg.l1i.stats.accesses += r.l1i.stats.accesses;
@@ -290,8 +277,7 @@ pub fn figure6(
     reports: &[(WorkloadId, CharacterizationReport)],
     machine: &MachineConfig,
 ) -> Vec<Fig6Row> {
-    let mut rows: Vec<Fig6Row> =
-        reports.iter().map(|(id, r)| fig6_row(id.name(), r)).collect();
+    let mut rows: Vec<Fig6Row> = reports.iter().map(|(id, r)| fig6_row(id.name(), r)).collect();
     rows.push(fig6_row("Avg_BigData", &average_report(reports)));
     for suite in RefSuite::ALL {
         let r = characterize_suite(suite, REF_SCALE, machine.clone());
@@ -334,10 +320,7 @@ mod tests {
             .map(|&id| (id, suite.run_traced(id, 1, machine.clone())))
             .collect();
         let avg = average_report(&reports);
-        assert_eq!(
-            avg.mix.total(),
-            reports[0].1.mix.total() + reports[1].1.mix.total()
-        );
+        assert_eq!(avg.mix.total(), reports[0].1.mix.total() + reports[1].1.mix.total());
         assert!(avg.l3.is_some());
     }
 

@@ -96,10 +96,7 @@ impl Suite {
         id: WorkloadId,
         machine: &MachineConfig,
     ) -> Vec<CharacterizationReport> {
-        RunScale::MULTIPLIERS
-            .iter()
-            .map(|&m| self.run_traced(id, m, machine.clone()))
-            .collect()
+        RunScale::MULTIPLIERS.iter().map(|&m| self.run_traced(id, m, machine.clone())).collect()
     }
 }
 

@@ -116,8 +116,15 @@ impl WorkloadId {
     pub fn paper_stack(&self) -> &'static str {
         use WorkloadId::*;
         match self {
-            Sort | Grep | WordCount | PageRank | Index | KMeans | ConnectedComponents
-            | CollaborativeFiltering | NaiveBayes => "Hadoop",
+            Sort
+            | Grep
+            | WordCount
+            | PageRank
+            | Index
+            | KMeans
+            | ConnectedComponents
+            | CollaborativeFiltering
+            | NaiveBayes => "Hadoop",
             Bfs => "MPI",
             Read | Write | Scan => "HBase",
             SelectQuery | AggregateQuery | JoinQuery => "Hive",

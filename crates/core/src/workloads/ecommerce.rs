@@ -105,10 +105,7 @@ impl Workload for BayesWorkload {
             UserMetric::Dps { input_bytes: bytes, seconds },
             bytes,
         )
-        .with_detail(format!(
-            "{} vocab, held-out accuracy {accuracy:.2}",
-            model.vocab_size()
-        ))
+        .with_detail(format!("{} vocab, held-out accuracy {accuracy:.2}", model.vocab_size()))
     }
 
     fn run_traced(&self, scale: &RunScale, machine: MachineConfig) -> CharacterizationReport {
@@ -152,20 +149,15 @@ mod tests {
     #[test]
     fn bayes_learns_sentiment() {
         let r = BayesWorkload.run_native(&RunScale::quick());
-        let accuracy: f64 = r
-            .detail
-            .rsplit(' ')
-            .next()
-            .and_then(|s| s.parse().ok())
-            .expect("accuracy in detail");
+        let accuracy: f64 =
+            r.detail.rsplit(' ').next().and_then(|s| s.parse().ok()).expect("accuracy in detail");
         assert!(accuracy > 0.7, "sentiment signal should be learnable: {accuracy}");
     }
 
     #[test]
     fn bayes_has_lowest_int_fp_ratio_shape() {
         // Paper Figure 4: Bayes has the suite's minimum int:fp ratio.
-        let bayes =
-            BayesWorkload.run_traced(&RunScale::quick(), MachineConfig::xeon_e5645());
+        let bayes = BayesWorkload.run_traced(&RunScale::quick(), MachineConfig::xeon_e5645());
         let ratio = bayes.mix.int_to_fp_ratio();
         assert!(ratio.is_finite(), "Bayes does FP (log-space)");
         assert!(bayes.mix.fp_ops > 0);

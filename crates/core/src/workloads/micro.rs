@@ -122,7 +122,7 @@ impl Job for GrepJob {
     ) {
         // Byte scan: the real work of grep.
         probe.int_ops(line.len() as u64);
-        probe.branch(line.len() % 2 == 0);
+        probe.branch(line.len().is_multiple_of(2));
         if line.contains(self.pattern) {
             emit.emit(1, line.clone());
         }
@@ -337,8 +337,7 @@ mod tests {
     #[test]
     fn grep_finds_matches() {
         let r = GrepWorkload.run_native(&quick());
-        let hits: usize =
-            r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
+        let hits: usize = r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
         assert!(hits > 0, "pattern 'time' is a common word");
     }
 

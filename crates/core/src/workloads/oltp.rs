@@ -10,7 +10,7 @@ use bdb_datagen::ResumeGenerator;
 use bdb_kvstore::{Store, StoreConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Library-scale baseline operation count ("32 GB" ≈ 20k ops here).
@@ -31,7 +31,7 @@ fn fresh_dir(tag: &str, scale: &RunScale) -> PathBuf {
     dir
 }
 
-fn preload(dir: &PathBuf, rows: u64, seed: u64, traced: bool) -> Store {
+fn preload(dir: &Path, rows: u64, seed: u64, traced: bool) -> Store {
     let mut store = Store::open_with(
         dir,
         StoreConfig { memtable_flush_bytes: 2 << 20, max_tables: 6, ..Default::default() },
@@ -79,9 +79,7 @@ fn run_ops<P: Probe + ?Sized>(
             WorkloadId::Write => {
                 let resume = &writer.generate(1)[0];
                 let key = row_key(rows + op + 1);
-                store
-                    .put_with(key, resume.to_record().into_bytes(), probe)
-                    .expect("put");
+                store.put_with(key, resume.to_record().into_bytes(), probe).expect("put");
                 touched += 1;
             }
             WorkloadId::Scan => {

@@ -77,13 +77,11 @@ fn run_query(
     probe: Option<(&mut SimProbe, &mut Option<SqlTraceModel>)>,
 ) -> usize {
     match (kind, probe) {
-        (QueryKind::Select, None) => exec::select(
-            items,
-            &col("GOODS_PRICE").gt(lit(50.0)),
-            &["ITEM_ID", "GOODS_AMOUNT"],
-        )
-        .expect("valid query")
-        .len(),
+        (QueryKind::Select, None) => {
+            exec::select(items, &col("GOODS_PRICE").gt(lit(50.0)), &["ITEM_ID", "GOODS_AMOUNT"])
+                .expect("valid query")
+                .len()
+        }
         (QueryKind::Select, Some((p, t))) => exec::select_traced(
             items,
             &col("GOODS_PRICE").gt(lit(50.0)),

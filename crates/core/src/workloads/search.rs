@@ -65,8 +65,7 @@ impl Workload for PageRankWorkload {
         // Hadoop PageRank re-reads every vertex's adjacency record from
         // HDFS each iteration and shuffles one contribution per edge.
         let config = PageRankConfig { max_iterations: 5, ..Default::default() };
-        let (_, iterations) =
-            pagerank::pagerank_traced(&graph, config, &mut probe, &mut trace);
+        let (_, iterations) = pagerank::pagerank_traced(&graph, config, &mut probe, &mut trace);
         for _ in 0..iterations {
             for v in 0..graph.nodes() {
                 let record = 16 + 8 * graph.out_degree(v) as usize;

@@ -29,11 +29,7 @@ fn offered(scale: &RunScale) -> f64 {
     BASELINE_RPS * scale.multiplier as f64
 }
 
-fn native_report<S: Server>(
-    id: WorkloadId,
-    server: &mut S,
-    scale: &RunScale,
-) -> WorkloadReport {
+fn native_report<S: Server>(id: WorkloadId, server: &mut S, scale: &RunScale) -> WorkloadReport {
     let report = run_offered_load(
         server,
         offered(scale),
@@ -70,9 +66,8 @@ fn traced_report<S: Server>(
     warm(server, &mut probe);
     let mut rng = StdRng::seed_from_u64(scale.seed_for(41));
     // Request count scales with offered load, capped for simulation time.
-    let requests =
-        (TRACED_REQUESTS_BASELINE as f64 * scale.fraction * scale.multiplier as f64)
-            .clamp(50.0, 20_000.0) as u64;
+    let requests = (TRACED_REQUESTS_BASELINE as f64 * scale.fraction * scale.multiplier as f64)
+        .clamp(50.0, 20_000.0) as u64;
     for _ in 0..requests / 5 + 10 {
         let req = server.sample_request(&mut rng);
         server.handle(&req, &mut probe);

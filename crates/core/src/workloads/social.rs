@@ -28,9 +28,8 @@ pub const CC_BASELINE_VERTICES: u64 = 1 << 15;
 /// Clustered synthetic points: `K` Gaussian-ish blobs.
 fn points(scale: &RunScale, n: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(scale.seed_for(50));
-    let centers: Vec<Vec<f64>> = (0..K)
-        .map(|_| (0..DIM).map(|_| rng.gen_range(-100.0..100.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..K).map(|_| (0..DIM).map(|_| rng.gen_range(-100.0..100.0)).collect()).collect();
     (0..n)
         .map(|_| {
             let c = &centers[rng.gen_range(0..K)];
@@ -63,10 +62,7 @@ impl Workload for KMeansWorkload {
             UserMetric::Dps { input_bytes: bytes, seconds },
             bytes,
         )
-        .with_detail(format!(
-            "{} iterations, inertia {:.1}",
-            model.iterations, model.inertia
-        ))
+        .with_detail(format!("{} iterations, inertia {:.1}", model.iterations, model.inertia))
     }
 
     fn run_traced(&self, scale: &RunScale, machine: MachineConfig) -> CharacterizationReport {
@@ -76,8 +72,11 @@ impl Workload for KMeansWorkload {
         let mut probe = SimProbe::new(machine);
         let mut fw = FrameworkModel::new();
         // Warm-up pass (one iteration + framework code), then measure.
-        KMeans { k: K, max_iterations: 1, tolerance: 1e-4 }
-            .fit_traced(&data, scale.seed_for(51), &mut probe);
+        KMeans { k: K, max_iterations: 1, tolerance: 1e-4 }.fit_traced(
+            &data,
+            scale.seed_for(51),
+            &mut probe,
+        );
         fw.warm(&mut probe);
         probe.reset_stats();
         let model = kmeans.fit_traced(&data, scale.seed_for(51), &mut probe);
@@ -169,8 +168,7 @@ mod tests {
     #[test]
     fn cc_finds_giant_component() {
         let r = CcWorkload.run_native(&RunScale::quick());
-        let components: usize =
-            r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
+        let components: usize = r.detail.split(' ').next().and_then(|s| s.parse().ok()).unwrap();
         let vertices = RunScale::quick().native_units(CC_BASELINE_VERTICES) as usize;
         // Facebook-density R-MAT: most vertices join one big component.
         assert!(components < vertices / 2, "{components} of {vertices}");

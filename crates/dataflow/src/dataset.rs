@@ -103,14 +103,7 @@ impl<T> Clone for Dataset<T> {
 
 impl<T: Clone + 'static> Dataset<T> {
     fn from_compute(name: &'static str, compute: Compute<T>) -> Self {
-        Self {
-            inner: Rc::new(Inner {
-                compute,
-                cache: RefCell::new(None),
-                cached: false,
-                name,
-            }),
-        }
+        Self { inner: Rc::new(Inner { compute, cache: RefCell::new(None), cached: false, name }) }
     }
 
     /// A dataset over an in-memory vector (the "parallelize" source).
@@ -262,10 +255,7 @@ where
     V: Clone + 'static,
 {
     /// Transforms values, keeping keys.
-    pub fn map_values<W: Clone + 'static>(
-        &self,
-        f: impl Fn(&V) -> W + 'static,
-    ) -> Dataset<(K, W)> {
+    pub fn map_values<W: Clone + 'static>(&self, f: impl Fn(&V) -> W + 'static) -> Dataset<(K, W)> {
         self.map(move |(k, v)| (k.clone(), f(v)))
     }
 
@@ -316,10 +306,7 @@ where
     }
 
     /// Wide operation: inner equi-join, ordered by key.
-    pub fn join<W: Clone + 'static>(
-        &self,
-        other: &Dataset<(K, W)>,
-    ) -> Dataset<(K, (V, W))> {
+    pub fn join<W: Clone + 'static>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))> {
         let left = self.clone();
         let right = other.clone();
         Dataset::from_compute(
@@ -396,9 +383,7 @@ mod tests {
 
     #[test]
     fn cache_serves_repeated_evaluations() {
-        let base = lines()
-            .flat_map(|l| l.split_whitespace().map(str::to_owned).collect())
-            .cache();
+        let base = lines().flat_map(|l| l.split_whitespace().map(str::to_owned).collect()).cache();
         let mut ctx = ExecContext::new();
         let a = base.eval(&mut ctx);
         let b = base.eval(&mut ctx);
@@ -465,10 +450,8 @@ mod tests {
         let mut ctx = ExecContext::new();
         for _ in 0..5 {
             let rank_ds = Dataset::from_vec(ranks.clone());
-            let contribs = edges
-                .join(&rank_ds)
-                .map(|(_, (dst, r))| (*dst, *r))
-                .reduce_by_key(|a, b| a + b);
+            let contribs =
+                edges.join(&rank_ds).map(|(_, (dst, r))| (*dst, *r)).reduce_by_key(|a, b| a + b);
             ranks = contribs.eval(&mut ctx).as_ref().clone();
         }
         let total: f64 = ranks.iter().map(|(_, r)| r).sum();

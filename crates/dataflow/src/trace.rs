@@ -93,7 +93,7 @@ impl DataflowTraceModel {
         let slot = bdb_archsim::layout::splitmix64(self.event) % self.shuffle_span;
         probe.store(self.shuffle_base + (slot & !63), bytes.clamp(8, 256) as u32);
         probe.int_ops(10);
-        probe.branch(self.event % 3 == 0);
+        probe.branch(self.event.is_multiple_of(3));
     }
 
     /// A stage boundary: DAG scheduling and shuffle setup.

@@ -61,8 +61,7 @@ pub fn orders_to_csv(rows: &[OrderRow]) -> String {
 
 /// Converts ORDER_ITEM rows to CSV with a header, matching Table 3.
 pub fn items_to_csv(rows: &[OrderItemRow]) -> String {
-    let mut out =
-        String::from("ITEM_ID,ORDER_ID,GOODS_ID,GOODS_NUMBER,GOODS_PRICE,GOODS_AMOUNT\n");
+    let mut out = String::from("ITEM_ID,ORDER_ID,GOODS_ID,GOODS_NUMBER,GOODS_PRICE,GOODS_AMOUNT\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},{},{:.2},{:.2},{:.6}\n",

@@ -13,9 +13,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const FIELDS_OF_STUDY: [&str; 16] = [
-    "computer architecture", "distributed systems", "databases", "machine learning",
-    "operating systems", "compilers", "networking", "security", "graphics", "hci",
-    "theory", "bioinformatics", "robotics", "quantum computing", "storage systems",
+    "computer architecture",
+    "distributed systems",
+    "databases",
+    "machine learning",
+    "operating systems",
+    "compilers",
+    "networking",
+    "security",
+    "graphics",
+    "hci",
+    "theory",
+    "bioinformatics",
+    "robotics",
+    "quantum computing",
+    "storage systems",
     "programming languages",
 ];
 
@@ -112,7 +124,12 @@ impl ResumeGenerator {
             if w > 0 {
                 bio.push(' ');
             }
-            bio.push_str(FIELDS_OF_STUDY[self.rng.gen_range(0..FIELDS_OF_STUDY.len())].split(' ').next().unwrap());
+            bio.push_str(
+                FIELDS_OF_STUDY[self.rng.gen_range(0..FIELDS_OF_STUDY.len())]
+                    .split(' ')
+                    .next()
+                    .unwrap(),
+            );
         }
         Resume {
             id,
@@ -165,9 +182,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            ResumeGenerator::new(9).generate(20),
-            ResumeGenerator::new(9).generate(20)
-        );
+        assert_eq!(ResumeGenerator::new(9).generate(20), ResumeGenerator::new(9).generate(20));
     }
 }

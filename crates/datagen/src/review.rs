@@ -16,14 +16,34 @@ use rand::{Rng, SeedableRng};
 
 /// Positive sentiment words mixed into high-scoring reviews.
 const POSITIVE: [&str; 12] = [
-    "great", "excellent", "wonderful", "amazing", "loved", "perfect", "best", "brilliant",
-    "beautiful", "superb", "masterpiece", "favorite",
+    "great",
+    "excellent",
+    "wonderful",
+    "amazing",
+    "loved",
+    "perfect",
+    "best",
+    "brilliant",
+    "beautiful",
+    "superb",
+    "masterpiece",
+    "favorite",
 ];
 
 /// Negative sentiment words mixed into low-scoring reviews.
 const NEGATIVE: [&str; 12] = [
-    "terrible", "awful", "boring", "waste", "worst", "disappointing", "bad", "poor", "dull",
-    "horrible", "mess", "unwatchable",
+    "terrible",
+    "awful",
+    "boring",
+    "waste",
+    "worst",
+    "disappointing",
+    "bad",
+    "poor",
+    "dull",
+    "horrible",
+    "mess",
+    "unwatchable",
 ];
 
 /// One synthesized review record.
@@ -104,7 +124,13 @@ impl ReviewGenerator {
         let mut text = self.text.document(base_len);
         // Blend in sentiment vocabulary proportional to score intensity.
         let sentiment_words = 2 + base_len / 25;
-        let pool: &[&str] = if score >= 4 { &POSITIVE } else if score <= 2 { &NEGATIVE } else { &[] };
+        let pool: &[&str] = if score >= 4 {
+            &POSITIVE
+        } else if score <= 2 {
+            &NEGATIVE
+        } else {
+            &[]
+        };
         for _ in 0..sentiment_words {
             if pool.is_empty() {
                 break;
@@ -142,8 +168,10 @@ mod tests {
         let reviews = ReviewGenerator::new(2).generate(2000);
         let pos_hits = |r: &Review| POSITIVE.iter().filter(|w| r.text.contains(*w)).count();
         let neg_hits = |r: &Review| NEGATIVE.iter().filter(|w| r.text.contains(*w)).count();
-        let pos_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(|r| pos_hits(r)).sum();
-        let neg_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(|r| neg_hits(r)).sum();
+        let pos_in_pos: usize =
+            reviews.iter().filter(|r| r.is_positive()).map(|r| pos_hits(r)).sum();
+        let neg_in_pos: usize =
+            reviews.iter().filter(|r| r.is_positive()).map(|r| neg_hits(r)).sum();
         assert!(pos_in_pos > neg_in_pos * 2, "positive reviews carry positive words");
     }
 

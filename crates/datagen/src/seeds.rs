@@ -157,10 +157,7 @@ pub const SEED_DATASETS: [SeedDataset; 6] = [
 
 /// Looks up the descriptor for `kind`.
 pub fn seed(kind: SeedKind) -> &'static SeedDataset {
-    SEED_DATASETS
-        .iter()
-        .find(|s| s.kind == kind)
-        .expect("all kinds are present")
+    SEED_DATASETS.iter().find(|s| s.kind == kind).expect("all kinds are present")
 }
 
 /// Average edges per node of the Google web graph seed (≈5.83).

@@ -87,7 +87,8 @@ impl EcommerceGenerator {
             let create_date = self.rng.gen_range(0..self.date_range_days);
             order_rows.push(OrderRow { order_id, buyer_id, create_date });
             let n_items = self.sample_items_per_order();
-            let goods = ((orders as f64 * self.items_per_order * self.goods_per_item) as u64).max(1);
+            let goods =
+                ((orders as f64 * self.items_per_order * self.goods_per_item) as u64).max(1);
             for _ in 0..n_items {
                 let goods_id = zipf_sample(&mut self.rng, goods, self.skew);
                 let goods_number = f64::from(self.rng.gen_range(1..=5_u32));

@@ -15,14 +15,14 @@ use rand::{Rng, SeedableRng};
 /// The most frequent English words, used for the head of the vocabulary
 /// so generated text looks like (and tokenizes like) natural language.
 const COMMON_WORDS: [&str; 96] = [
-    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
-    "on", "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or", "have", "an",
-    "they", "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we",
-    "him", "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what",
-    "up", "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "years", "where", "much", "your", "way",
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his", "on",
+    "be", "at", "by", "i", "this", "had", "not", "are", "but", "from", "or", "have", "an", "they",
+    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
+    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
+    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could", "time",
+    "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like", "our",
+    "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before", "must",
+    "through", "years", "where", "much", "your", "way",
 ];
 
 const SYLLABLES: [&str; 24] = [
@@ -62,10 +62,9 @@ impl Vocabulary {
         assert!(s >= 0.0, "Zipf exponent must be non-negative");
         let mut words = Vec::with_capacity(size);
         for rank in 0..size {
-            if rank < COMMON_WORDS.len() {
-                words.push(COMMON_WORDS[rank].to_owned());
-            } else {
-                words.push(synth_word(rank));
+            match COMMON_WORDS.get(rank) {
+                Some(w) => words.push((*w).to_owned()),
+                None => words.push(synth_word(rank)),
             }
         }
         let mut cumulative = Vec::with_capacity(size);

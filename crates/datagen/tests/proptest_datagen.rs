@@ -4,7 +4,9 @@
 use bdb_datagen::convert::{edges_to_text, text_to_edges};
 use bdb_datagen::table::zipf_sample;
 use bdb_datagen::text::{TextGenerator, Vocabulary};
-use bdb_datagen::{EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams};
+use bdb_datagen::{
+    EcommerceGenerator, GraphGenerator, ResumeGenerator, ReviewGenerator, RmatParams,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -9,6 +9,7 @@
 use crate::csr::CsrGraph;
 use crate::trace::GraphTraceModel;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_telemetry::{span, SpanRecorder};
 
 /// Union-find connected components (treating edges as undirected).
 /// Returns each vertex's component label = smallest vertex id in its
@@ -52,16 +53,35 @@ pub fn label_propagation(graph: &CsrGraph) -> (Vec<u32>, u32) {
     label_propagation_traced(graph, &mut NullProbe, &mut None)
 }
 
+/// [`label_propagation`] with per-iteration spans on `telemetry` (one
+/// `cc-iteration` span per synchronous round).
+pub fn label_propagation_instrumented(
+    graph: &CsrGraph,
+    telemetry: &SpanRecorder,
+) -> (Vec<u32>, u32) {
+    label_propagation_impl(graph, &mut NullProbe, &mut None, telemetry)
+}
+
 /// Instrumented [`label_propagation`].
 pub fn label_propagation_traced<P: Probe + ?Sized>(
     graph: &CsrGraph,
     probe: &mut P,
     trace: &mut Option<GraphTraceModel>,
 ) -> (Vec<u32>, u32) {
+    label_propagation_impl(graph, probe, trace, &SpanRecorder::disabled())
+}
+
+fn label_propagation_impl<P: Probe + ?Sized>(
+    graph: &CsrGraph,
+    probe: &mut P,
+    trace: &mut Option<GraphTraceModel>,
+    telemetry: &SpanRecorder,
+) -> (Vec<u32>, u32) {
     let mut labels: Vec<u32> = (0..graph.nodes()).collect();
     let mut iterations = 0;
     loop {
         iterations += 1;
+        let mut iter_span = span!(telemetry, "graph", "cc-iteration", iter = iterations);
         if let Some(t) = trace.as_mut() {
             t.on_superstep(probe);
         }
@@ -91,6 +111,7 @@ pub fn label_propagation_traced<P: Probe + ?Sized>(
                 }
             }
         }
+        iter_span.arg("changed", changed);
         if !changed {
             break;
         }
@@ -178,6 +199,16 @@ mod tests {
         let (traced, _) = label_propagation_traced(&g, &mut probe, &mut trace);
         assert_eq!(traced, connected_components(&g));
         assert!(probe.mix().loads > 0);
+    }
+
+    #[test]
+    fn instrumented_emits_one_span_per_round() {
+        let g = two_triangles();
+        let telemetry = bdb_telemetry::SpanRecorder::enabled();
+        let (labels, iters) = label_propagation_instrumented(&g, &telemetry);
+        assert_eq!(labels, connected_components(&g));
+        let spans = telemetry.events().iter().filter(|e| e.name == "cc-iteration").count();
+        assert_eq!(spans as u32, iters);
     }
 
     #[test]

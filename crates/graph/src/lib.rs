@@ -38,7 +38,7 @@ pub mod pagerank;
 pub mod trace;
 
 pub use bfs::{bfs, bfs_partitioned, BfsResult};
-pub use cc::{connected_components, label_propagation};
+pub use cc::{connected_components, label_propagation, label_propagation_instrumented};
 pub use csr::CsrGraph;
-pub use pagerank::{pagerank, PageRankConfig};
+pub use pagerank::{pagerank, pagerank_instrumented, PageRankConfig};
 pub use trace::GraphTraceModel;

@@ -3,6 +3,7 @@
 use crate::csr::CsrGraph;
 use crate::trace::GraphTraceModel;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_telemetry::{span, SpanRecorder};
 
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +28,17 @@ pub fn pagerank(graph: &CsrGraph, config: PageRankConfig) -> (Vec<f64>, u32) {
     pagerank_traced(graph, config, &mut NullProbe, &mut None)
 }
 
+/// [`pagerank`] with per-iteration spans on `telemetry` (one
+/// `pagerank-iteration` span per power-iteration round, carrying the
+/// round's L1 delta).
+pub fn pagerank_instrumented(
+    graph: &CsrGraph,
+    config: PageRankConfig,
+    telemetry: &SpanRecorder,
+) -> (Vec<f64>, u32) {
+    pagerank_impl(graph, config, &mut NullProbe, &mut None, telemetry)
+}
+
 /// Instrumented [`pagerank`]. The traced access pattern is the push
 /// style: stream vertices sequentially, scatter rank contributions to
 /// out-neighbors (data-dependent stores into the next-rank array).
@@ -35,6 +47,16 @@ pub fn pagerank_traced<P: Probe + ?Sized>(
     config: PageRankConfig,
     probe: &mut P,
     trace: &mut Option<GraphTraceModel>,
+) -> (Vec<f64>, u32) {
+    pagerank_impl(graph, config, probe, trace, &SpanRecorder::disabled())
+}
+
+fn pagerank_impl<P: Probe + ?Sized>(
+    graph: &CsrGraph,
+    config: PageRankConfig,
+    probe: &mut P,
+    trace: &mut Option<GraphTraceModel>,
+    telemetry: &SpanRecorder,
 ) -> (Vec<f64>, u32) {
     let n = graph.nodes() as usize;
     if n == 0 {
@@ -46,6 +68,7 @@ pub fn pagerank_traced<P: Probe + ?Sized>(
     let mut iterations = 0;
     for _ in 0..config.max_iterations {
         iterations += 1;
+        let mut iter_span = span!(telemetry, "graph", "pagerank-iteration", iter = iterations);
         if let Some(t) = trace.as_mut() {
             t.on_superstep(probe);
         }
@@ -83,6 +106,7 @@ pub fn pagerank_traced<P: Probe + ?Sized>(
             delta += (r - ranks[v]).abs();
             ranks[v] = r;
         }
+        iter_span.arg("delta", delta);
         if delta < config.tolerance {
             break;
         }
@@ -142,6 +166,17 @@ mod tests {
         let (ranks, iters) = pagerank(&g, PageRankConfig::default());
         assert!(ranks.is_empty());
         assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn instrumented_emits_one_span_per_iteration() {
+        let telemetry = bdb_telemetry::SpanRecorder::enabled();
+        let (ranks, iters) =
+            pagerank_instrumented(&cycle(10), PageRankConfig::default(), &telemetry);
+        let (plain, _) = pagerank(&cycle(10), PageRankConfig::default());
+        assert_eq!(ranks, plain);
+        let spans = telemetry.events().iter().filter(|e| e.name == "pagerank-iteration").count();
+        assert_eq!(spans as u32, iters);
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl GraphTraceModel {
             probe.load(addr, 8);
         }
         probe.int_ops(3);
-        probe.branch(v % 2 == 0);
+        probe.branch(v.is_multiple_of(2));
     }
 
     /// Appending vertex `v` to the next frontier.

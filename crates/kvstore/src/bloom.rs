@@ -30,11 +30,7 @@ impl BloomFilter {
         let ln2 = std::f64::consts::LN_2;
         let num_bits = (-(items * fp_rate.ln()) / (ln2 * ln2)).ceil().max(64.0) as u64;
         let hashes = ((num_bits as f64 / items) * ln2).round().clamp(1.0, 16.0) as u32;
-        Self {
-            bits: vec![0u64; (num_bits as usize).div_ceil(64)],
-            num_bits,
-            hashes,
-        }
+        Self { bits: vec![0u64; (num_bits as usize).div_ceil(64)], num_bits, hashes }
     }
 
     /// Number of hash probes per operation.
@@ -146,9 +142,7 @@ mod tests {
         for i in 0..10_000u32 {
             bf.insert(&i.to_le_bytes());
         }
-        let fps = (10_000u32..60_000)
-            .filter(|i| bf.contains(&i.to_le_bytes()))
-            .count();
+        let fps = (10_000u32..60_000).filter(|i| bf.contains(&i.to_le_bytes())).count();
         let rate = fps as f64 / 50_000.0;
         assert!(rate < 0.03, "observed fp rate {rate}");
     }

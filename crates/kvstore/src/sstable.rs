@@ -16,7 +16,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: u64 = 0x42_44_42_5353_5442; // "BDB SSTB"
+const MAGIC: u64 = 0x0042_4442_5353_5442; // "BDB SSTB"
 const BLOCK_TARGET: usize = 4096;
 
 /// One index entry: the first key of a block plus its file extent.
@@ -59,18 +59,14 @@ impl SsTable {
         let mut offset = 0u64;
 
         let flush_block = |file: &mut File,
-                               block: &mut Vec<u8>,
-                               first: &mut Option<Vec<u8>>,
-                               offset: &mut u64,
-                               index: &mut Vec<IndexEntry>|
+                           block: &mut Vec<u8>,
+                           first: &mut Option<Vec<u8>>,
+                           offset: &mut u64,
+                           index: &mut Vec<IndexEntry>|
          -> std::io::Result<()> {
             if let Some(first_key) = first.take() {
                 file.write_all(block)?;
-                index.push(IndexEntry {
-                    first_key,
-                    offset: *offset,
-                    len: block.len() as u32,
-                });
+                index.push(IndexEntry { first_key, offset: *offset, len: block.len() as u32 });
                 *offset += block.len() as u64;
                 block.clear();
             }

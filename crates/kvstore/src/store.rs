@@ -6,6 +6,7 @@ use crate::trace::StoreTraceModel;
 use crate::wal::{WalOp, WriteAheadLog};
 use bdb_archsim::layout::splitmix64;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_telemetry::{span, Counter, MetricsRegistry, SpanRecorder};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -46,6 +47,17 @@ pub struct StoreStats {
     pub compactions: u64,
 }
 
+/// Counter handles resolved once when a registry is attached — the
+/// read path is hot, so per-get registry lookups are avoided.
+#[derive(Debug)]
+struct StoreCounters {
+    bloom_hits: Counter,
+    bloom_misses: Counter,
+    wal_appends: Counter,
+    flushes: Counter,
+    compactions: Counter,
+}
+
 /// An LSM-tree store rooted at a directory.
 ///
 /// See the crate docs for the architecture; [`Store::open`] recovers
@@ -61,6 +73,8 @@ pub struct Store {
     next_table_id: u64,
     stats: StoreStats,
     trace: Option<StoreTraceModel>,
+    telemetry: SpanRecorder,
+    counters: Option<StoreCounters>,
 }
 
 impl Store {
@@ -120,12 +134,33 @@ impl Store {
             next_table_id,
             stats: StoreStats::default(),
             trace: None,
+            telemetry: SpanRecorder::disabled(),
+            counters: None,
         })
     }
 
     /// Enables read/write-path instrumentation for `*_with` operations.
     pub fn enable_tracing(&mut self) {
         self.trace = Some(StoreTraceModel::new());
+    }
+
+    /// Attaches a span recorder: WAL appends, memtable flushes and
+    /// compactions become spans on it (default: disabled, one branch
+    /// per maintenance event).
+    pub fn set_telemetry(&mut self, recorder: SpanRecorder) {
+        self.telemetry = recorder;
+    }
+
+    /// Attaches a metrics registry: bloom-filter hit/miss and
+    /// maintenance counters are published under `kvstore.*`.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.counters = Some(StoreCounters {
+            bloom_hits: registry.counter("kvstore.bloom_hits"),
+            bloom_misses: registry.counter("kvstore.bloom_misses"),
+            wal_appends: registry.counter("kvstore.wal_appends"),
+            flushes: registry.counter("kvstore.flushes"),
+            compactions: registry.counter("kvstore.compactions"),
+        });
     }
 
     /// Pre-touches the modeled server code (ramp-up); no-op without
@@ -177,7 +212,14 @@ impl Store {
             t.wal_append(probe, key.len() + value.len());
             t.memtable_walk(probe, hash_key(&key), self.memtable.len(), true);
         }
-        self.wal.log_put(&key, &value)?;
+        {
+            let _wal =
+                span!(self.telemetry, "kvstore", "wal-append", bytes = key.len() + value.len());
+            self.wal.log_put(&key, &value)?;
+        }
+        if let Some(c) = &self.counters {
+            c.wal_appends.inc();
+        }
         self.memtable.put(key, value);
         self.maybe_flush(probe)
     }
@@ -207,7 +249,13 @@ impl Store {
             t.wal_append(probe, key.len());
             t.memtable_walk(probe, hash_key(key), self.memtable.len(), true);
         }
-        self.wal.log_delete(key)?;
+        {
+            let _wal = span!(self.telemetry, "kvstore", "wal-append", bytes = key.len());
+            self.wal.log_delete(key)?;
+        }
+        if let Some(c) = &self.counters {
+            c.wal_appends.inc();
+        }
         self.memtable.delete(key.to_vec());
         self.maybe_flush(probe)
     }
@@ -248,7 +296,13 @@ impl Store {
                 }
                 if !table.may_contain(key) {
                     self.stats.bloom_skips += 1;
+                    if let Some(c) = &self.counters {
+                        c.bloom_misses.inc();
+                    }
                     continue;
+                }
+                if let Some(c) = &self.counters {
+                    c.bloom_hits.inc();
                 }
             }
             if let Some(t) = self.trace.as_mut() {
@@ -308,10 +362,7 @@ impl Store {
             }
             merged.insert(k.to_vec(), e.clone());
         }
-        Ok(merged
-            .into_iter()
-            .filter_map(|(k, e)| e.value().map(|v| (k, v.to_vec())))
-            .collect())
+        Ok(merged.into_iter().filter_map(|(k, e)| e.value().map(|v| (k, v.to_vec()))).collect())
     }
 
     /// Forces a memtable flush (used by tests and shutdown paths).
@@ -334,6 +385,8 @@ impl Store {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        let flush_span =
+            span!(self.telemetry, "kvstore", "memtable-flush", entries = self.memtable.len());
         let entries = self.memtable.drain_sorted();
         if let Some(t) = self.trace.as_mut() {
             // Flush reads the whole memtable arena once.
@@ -345,6 +398,10 @@ impl Store {
         self.tables.insert(0, table);
         self.wal.truncate()?;
         self.stats.flushes += 1;
+        if let Some(c) = &self.counters {
+            c.flushes.inc();
+        }
+        drop(flush_span); // release the recorder borrow before compacting
         if self.tables.len() > self.config.max_tables {
             self.compact()?;
         }
@@ -361,6 +418,7 @@ impl Store {
         if self.tables.len() <= 1 {
             return Ok(());
         }
+        let _compact = span!(self.telemetry, "kvstore", "compaction", tables = self.tables.len());
         // Oldest-to-newest overlay merge.
         let mut merged: BTreeMap<Vec<u8>, Entry> = BTreeMap::new();
         for table in self.tables.iter().rev() {
@@ -368,10 +426,8 @@ impl Store {
                 merged.insert(k, e);
             }
         }
-        let entries: Vec<(Vec<u8>, Entry)> = merged
-            .into_iter()
-            .filter(|(_, e)| matches!(e, Entry::Value(_)))
-            .collect();
+        let entries: Vec<(Vec<u8>, Entry)> =
+            merged.into_iter().filter(|(_, e)| matches!(e, Entry::Value(_))).collect();
         let id = self.next_table_id;
         self.next_table_id += 1;
         let new_table = SsTable::build(&table_path(&self.dir, id), &entries)?;
@@ -380,6 +436,9 @@ impl Store {
         }
         self.tables.push(new_table);
         self.stats.compactions += 1;
+        if let Some(c) = &self.counters {
+            c.compactions.inc();
+        }
         Ok(())
     }
 }
@@ -427,7 +486,11 @@ mod tests {
     #[test]
     fn get_through_sstables_and_tombstones() {
         let dir = tmpdir("sst");
-        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() },
+        )
+        .unwrap();
         for i in 0..500 {
             s.put(key(i), format!("val{i}").into_bytes()).unwrap();
         }
@@ -519,7 +582,11 @@ mod tests {
     #[test]
     fn scan_merges_all_layers() {
         let dir = tmpdir("scan");
-        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() },
+        )
+        .unwrap();
         for i in 0..50 {
             s.put(key(i), b"old".to_vec()).unwrap();
         }
@@ -529,11 +596,7 @@ mod tests {
         let rows = s.scan(&key(9), &key(13)).unwrap();
         assert_eq!(
             rows,
-            vec![
-                (key(9), b"old".to_vec()),
-                (key(10), b"new".to_vec()),
-                (key(12), b"old".to_vec()),
-            ]
+            vec![(key(9), b"old".to_vec()), (key(10), b"new".to_vec()), (key(12), b"old".to_vec()),]
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -541,7 +604,11 @@ mod tests {
     #[test]
     fn bloom_filters_skip_absent_keys() {
         let dir = tmpdir("bloom");
-        let mut s = Store::open_with(&dir, StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() }).unwrap();
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 1 << 30, max_tables: 100, ..Default::default() },
+        )
+        .unwrap();
         for i in 0..200 {
             s.put(key(i), b"v".to_vec()).unwrap();
         }
@@ -550,6 +617,37 @@ mod tests {
             assert_eq!(s.get(&key(i)).unwrap(), None);
         }
         assert!(s.stats().bloom_skips > 150, "bloom skips: {}", s.stats().bloom_skips);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_spans_and_counters_cover_lsm_maintenance() {
+        let dir = tmpdir("telemetry");
+        let mut s = Store::open_with(
+            &dir,
+            StoreConfig { memtable_flush_bytes: 4096, max_tables: 2, ..Default::default() },
+        )
+        .unwrap();
+        let telemetry = SpanRecorder::enabled();
+        let metrics = MetricsRegistry::new();
+        s.set_telemetry(telemetry.clone());
+        s.set_metrics(&metrics);
+        for i in 0..500 {
+            s.put(key(i), vec![b'x'; 64]).unwrap();
+        }
+        for i in 10_000..10_100 {
+            assert_eq!(s.get(&key(i)).unwrap(), None);
+        }
+        let events = telemetry.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("wal-append"), 500, "one span per logged mutation");
+        assert!(count("memtable-flush") > 0, "flush threshold crossed");
+        assert!(count("compaction") > 0, "max_tables=2 forces compaction");
+        assert_eq!(metrics.counter("kvstore.wal_appends").get(), 500);
+        assert_eq!(metrics.counter("kvstore.flushes").get(), s.stats().flushes);
+        assert_eq!(metrics.counter("kvstore.compactions").get(), s.stats().compactions);
+        assert_eq!(metrics.counter("kvstore.bloom_misses").get(), s.stats().bloom_skips);
+        assert!(metrics.counter("kvstore.bloom_misses").get() > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -92,7 +92,13 @@ impl StoreTraceModel {
 
     /// A memtable walk: B-tree with ~64-wide nodes, one node load per
     /// level, plus the leaf write when `write`.
-    pub fn memtable_walk<P: Probe + ?Sized>(&mut self, probe: &mut P, key_hash: u64, len: usize, write: bool) {
+    pub fn memtable_walk<P: Probe + ?Sized>(
+        &mut self,
+        probe: &mut P,
+        key_hash: u64,
+        len: usize,
+        write: bool,
+    ) {
         // log64(len) levels: a 64-ary B-tree as real memstores use.
         let depth = ((len.max(2) as f64).log2() / 6.0).ceil().max(1.0) as u64;
         for level in 0..depth {
@@ -130,7 +136,13 @@ impl StoreTraceModel {
     }
 
     /// A data block of `bytes` scanned from the block cache.
-    pub fn block_read<P: Probe + ?Sized>(&mut self, probe: &mut P, table_id: u64, block_idx: usize, bytes: usize) {
+    pub fn block_read<P: Probe + ?Sized>(
+        &mut self,
+        probe: &mut P,
+        table_id: u64,
+        block_idx: usize,
+        bytes: usize,
+    ) {
         let base = self.block_cache_base
             + splitmix64(table_id.wrapping_mul(31).wrapping_add(block_idx as u64))
                 % self.block_cache_span;

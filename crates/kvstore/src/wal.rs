@@ -92,14 +92,9 @@ impl WriteAheadLog {
         }
         let mut ops = Vec::new();
         let mut s = bytes.as_slice();
-        loop {
-            match parse_record(s) {
-                Some((op, rest)) => {
-                    ops.push(op);
-                    s = rest;
-                }
-                None => break,
-            }
+        while let Some((op, rest)) = parse_record(s) {
+            ops.push(op);
+            s = rest;
         }
         Ok(ops)
     }

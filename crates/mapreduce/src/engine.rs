@@ -5,6 +5,7 @@ use crate::job::{Emitter, Job};
 use crate::spill::{merge_runs, SpillFile};
 use crate::trace::FrameworkModel;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_telemetry::{span, MetricsRegistry, SpanRecorder};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -31,6 +32,18 @@ pub struct JobStats {
     pub map_time: Duration,
     /// Wall-clock time in shuffle + reduce.
     pub reduce_time: Duration,
+    /// Map-side sort + combine time, summed across tasks (within
+    /// `map_time`; parallel tasks may sum past wall-clock).
+    pub sort_time: Duration,
+    /// Spill-file write time, summed across tasks (within `map_time`).
+    pub spill_time: Duration,
+    /// Shuffle-merge time, summed across partitions (within
+    /// `reduce_time`).
+    pub merge_time: Duration,
+    /// Largest per-reducer key-group count (skew indicator).
+    pub max_reduce_groups: u64,
+    /// Smallest per-reducer key-group count (skew indicator).
+    pub min_reduce_groups: u64,
 }
 
 impl JobStats {
@@ -49,9 +62,40 @@ impl JobStats {
             input_bytes as f64 / secs
         }
     }
+
+    /// Ratio of the most- to least-loaded reducer's key-group count
+    /// (1.0 = perfectly balanced; 0 groups anywhere reports `inf`
+    /// unless all reducers are empty, which reports 1.0).
+    pub fn reduce_skew(&self) -> f64 {
+        if self.max_reduce_groups == 0 {
+            1.0
+        } else {
+            self.max_reduce_groups as f64 / self.min_reduce_groups as f64
+        }
+    }
+
+    /// Multi-line per-phase breakdown (sort/spill/merge, reducer skew)
+    /// for text reports.
+    pub fn phase_breakdown(&self) -> String {
+        format!(
+            "map {:.3}s (sort {:.3}s, spill {:.3}s) | reduce {:.3}s (merge {:.3}s) | \
+             groups/reducer max {} min {} (skew {:.2})",
+            self.map_time.as_secs_f64(),
+            self.sort_time.as_secs_f64(),
+            self.spill_time.as_secs_f64(),
+            self.reduce_time.as_secs_f64(),
+            self.merge_time.as_secs_f64(),
+            self.max_reduce_groups,
+            self.min_reduce_groups,
+            self.reduce_skew(),
+        )
+    }
 }
 
 /// Result of one map task, per partition.
+/// Per-partition reduce inputs: in-memory sorted runs plus spill files.
+type PartitionInputs<K, V> = Vec<(Vec<Vec<(K, V)>>, Vec<SpillFile>)>;
+
 struct MapTaskResult<K, V> {
     /// In-memory sorted runs, indexed by partition.
     memory_runs: Vec<Vec<(K, V)>>,
@@ -62,6 +106,16 @@ struct MapTaskResult<K, V> {
     combined_pairs: u64,
     spills: u64,
     spill_bytes: u64,
+    sort_time: Duration,
+    spill_time: Duration,
+}
+
+/// Result of reducing one partition.
+struct ReduceOutcome<O> {
+    outputs: Vec<O>,
+    groups: u64,
+    shuffle_bytes: u64,
+    merge_time: Duration,
 }
 
 /// The MapReduce engine. Configure with [`Engine::builder`].
@@ -71,6 +125,8 @@ pub struct Engine {
     reducers: usize,
     map_buffer_bytes: usize,
     spill_dir: PathBuf,
+    telemetry: SpanRecorder,
+    metrics: Option<MetricsRegistry>,
 }
 
 /// Builder for [`Engine`].
@@ -80,6 +136,8 @@ pub struct EngineBuilder {
     reducers: usize,
     map_buffer_bytes: usize,
     spill_dir: PathBuf,
+    telemetry: SpanRecorder,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl EngineBuilder {
@@ -110,6 +168,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Span recorder for per-task/per-phase spans (default: disabled —
+    /// a disabled recorder costs one branch per task boundary).
+    pub fn telemetry(mut self, recorder: SpanRecorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// Metrics registry fed with job counters after each run (default:
+    /// none).
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Finishes the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -117,6 +189,8 @@ impl EngineBuilder {
             reducers: if self.reducers == 0 { self.threads } else { self.reducers },
             map_buffer_bytes: self.map_buffer_bytes,
             spill_dir: self.spill_dir,
+            telemetry: self.telemetry,
+            metrics: self.metrics,
         }
     }
 }
@@ -136,6 +210,8 @@ impl Engine {
             reducers: 0,
             map_buffer_bytes: 64 << 20,
             spill_dir: std::env::temp_dir(),
+            telemetry: SpanRecorder::disabled(),
+            metrics: None,
         }
     }
 
@@ -154,34 +230,51 @@ impl Engine {
     /// key) and statistics.
     pub fn run<J: Job>(&self, job: &J, inputs: &[J::Input]) -> (Vec<J::Output>, JobStats) {
         let mut stats = JobStats::default();
+        let _job_span = span!(self.telemetry, "mapreduce", "job", inputs = inputs.len());
         let map_start = Instant::now();
         let chunk = inputs.len().div_ceil(self.threads).max(1);
-        let task_results: Vec<MapTaskResult<J::Key, J::Value>> = std::thread::scope(|s| {
-            let handles: Vec<_> = inputs
-                .chunks(chunk)
-                .enumerate()
-                .map(|(task_id, records)| {
-                    let engine = &*self;
-                    s.spawn(move || {
-                        let mut probe = NullProbe;
-                        engine.map_task(job, records, task_id, &mut probe, &mut None)
+        let task_results: Vec<MapTaskResult<J::Key, J::Value>> = {
+            let _map_span = span!(self.telemetry, "mapreduce", "map-phase");
+            std::thread::scope(|s| {
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(task_id, records)| {
+                        let engine = &*self;
+                        s.spawn(move || {
+                            let mut task_span = span!(
+                                engine.telemetry,
+                                "mapreduce",
+                                "map-task",
+                                task = task_id,
+                                records = records.len()
+                            );
+                            let mut probe = NullProbe;
+                            let r = engine.map_task(job, records, task_id, &mut probe, &mut None);
+                            task_span.arg("output_pairs", r.output_pairs);
+                            task_span.arg("spills", r.spills);
+                            r
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
+            })
+        };
         for r in &task_results {
             stats.map_records += r.records;
             stats.map_output_pairs += r.output_pairs;
             stats.combined_pairs += r.combined_pairs;
             stats.spills += r.spills;
             stats.spill_bytes += r.spill_bytes;
+            stats.sort_time += r.sort_time;
+            stats.spill_time += r.spill_time;
         }
         stats.map_time = map_start.elapsed();
 
         let reduce_start = Instant::now();
+        let _reduce_span = span!(self.telemetry, "mapreduce", "reduce-phase");
         // Regroup runs by partition.
-        let mut partitions: Vec<(Vec<Vec<(J::Key, J::Value)>>, Vec<SpillFile>)> =
+        let mut partitions: PartitionInputs<J::Key, J::Value> =
             (0..self.reducers).map(|_| (Vec::new(), Vec::new())).collect();
         for task in task_results {
             for (p, run) in task.memory_runs.into_iter().enumerate() {
@@ -193,28 +286,58 @@ impl Engine {
                 partitions[p].1.extend(spills);
             }
         }
-        let reduced: Vec<(Vec<J::Output>, u64, u64)> = std::thread::scope(|s| {
+        let reduced: Vec<ReduceOutcome<J::Output>> = std::thread::scope(|s| {
             let handles: Vec<_> = partitions
                 .into_iter()
-                .map(|(runs, spills)| {
+                .enumerate()
+                .map(|(p, (runs, spills))| {
                     let engine = &*self;
                     s.spawn(move || {
+                        let mut part_span =
+                            span!(engine.telemetry, "mapreduce", "reduce-partition", partition = p);
                         let mut probe = NullProbe;
-                        engine.reduce_partition(job, runs, spills, &mut probe, &mut None)
+                        let r = engine.reduce_partition(job, runs, spills, &mut probe, &mut None);
+                        part_span.arg("groups", r.groups);
+                        part_span.arg("shuffle_bytes", r.shuffle_bytes);
+                        r
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("reduce task panicked")).collect()
         });
         let mut outputs = Vec::new();
-        for (out, groups, bytes) in reduced {
-            stats.reduce_groups += groups;
-            stats.shuffle_bytes += bytes;
-            stats.output_records += out.len() as u64;
-            outputs.extend(out);
+        stats.min_reduce_groups = u64::MAX;
+        for r in reduced {
+            stats.reduce_groups += r.groups;
+            stats.shuffle_bytes += r.shuffle_bytes;
+            stats.merge_time += r.merge_time;
+            stats.max_reduce_groups = stats.max_reduce_groups.max(r.groups);
+            stats.min_reduce_groups = stats.min_reduce_groups.min(r.groups);
+            stats.output_records += r.outputs.len() as u64;
+            outputs.extend(r.outputs);
+        }
+        if stats.min_reduce_groups == u64::MAX {
+            stats.min_reduce_groups = 0;
         }
         stats.reduce_time = reduce_start.elapsed();
+        self.record_metrics(&stats);
         (outputs, stats)
+    }
+
+    /// Publishes one run's counters into the attached metrics registry
+    /// (no-op without one; called once per run, never on the hot path).
+    fn record_metrics(&self, stats: &JobStats) {
+        let Some(metrics) = &self.metrics else { return };
+        metrics.counter("mapreduce.map_records").add(stats.map_records);
+        metrics.counter("mapreduce.map_output_pairs").add(stats.map_output_pairs);
+        metrics.counter("mapreduce.combined_pairs").add(stats.combined_pairs);
+        metrics.counter("mapreduce.shuffle_bytes").add(stats.shuffle_bytes);
+        metrics.counter("mapreduce.spills").add(stats.spills);
+        metrics.counter("mapreduce.spill_bytes").add(stats.spill_bytes);
+        metrics.counter("mapreduce.reduce_groups").add(stats.reduce_groups);
+        metrics.counter("mapreduce.output_records").add(stats.output_records);
+        metrics.histogram("mapreduce.map_phase_us").record(stats.map_time);
+        metrics.histogram("mapreduce.reduce_phase_us").record(stats.reduce_time);
     }
 
     /// Runs `job` single-threaded against an instrumentation probe,
@@ -250,24 +373,30 @@ impl Engine {
         stats.combined_pairs = task.combined_pairs;
         stats.spills = task.spills;
         stats.spill_bytes = task.spill_bytes;
+        stats.sort_time = task.sort_time;
+        stats.spill_time = task.spill_time;
         stats.map_time = map_start.elapsed();
 
         let reduce_start = Instant::now();
         let mut outputs = Vec::new();
+        stats.min_reduce_groups = u64::MAX;
         for (p, run) in task.memory_runs.into_iter().enumerate() {
             let runs = if run.is_empty() { Vec::new() } else { vec![run] };
             let spills = task.spill_runs.get(p).map_or(0, Vec::len);
             let _ = spills;
-            let (out, groups, bytes) = self.reduce_partition(
+            let r = self.reduce_partition(
                 job,
                 runs,
                 Vec::new(), // spills already merged below
                 probe,
                 &mut fw,
             );
-            stats.reduce_groups += groups;
-            stats.shuffle_bytes += bytes;
-            outputs.extend(out);
+            stats.reduce_groups += r.groups;
+            stats.shuffle_bytes += r.shuffle_bytes;
+            stats.merge_time += r.merge_time;
+            stats.max_reduce_groups = stats.max_reduce_groups.max(r.groups);
+            stats.min_reduce_groups = stats.min_reduce_groups.min(r.groups);
+            outputs.extend(r.outputs);
         }
         // Traced runs use a buffer large enough not to spill in practice;
         // if they did spill, fold those runs in too.
@@ -275,14 +404,18 @@ impl Engine {
             if spills.is_empty() {
                 continue;
             }
-            let (out, groups, bytes) =
-                self.reduce_partition(job, Vec::new(), spills, probe, &mut fw);
-            stats.reduce_groups += groups;
-            stats.shuffle_bytes += bytes;
-            outputs.extend(out);
+            let r = self.reduce_partition(job, Vec::new(), spills, probe, &mut fw);
+            stats.reduce_groups += r.groups;
+            stats.shuffle_bytes += r.shuffle_bytes;
+            stats.merge_time += r.merge_time;
+            outputs.extend(r.outputs);
+        }
+        if stats.min_reduce_groups == u64::MAX {
+            stats.min_reduce_groups = 0;
         }
         stats.output_records = outputs.len() as u64;
         stats.reduce_time = reduce_start.elapsed();
+        self.record_metrics(&stats);
         *caller_fw = fw.take().expect("framework model present throughout");
         (outputs, stats)
     }
@@ -304,6 +437,8 @@ impl Engine {
             combined_pairs: 0,
             spills: 0,
             spill_bytes: 0,
+            sort_time: Duration::ZERO,
+            spill_time: Duration::ZERO,
         };
         let mut buffers: Vec<Vec<(J::Key, J::Value)>> =
             (0..self.reducers).map(|_| Vec::new()).collect();
@@ -332,11 +467,13 @@ impl Engine {
             }
         }
         // Final in-memory runs: sort + combine, keep in memory.
+        let sort_start = Instant::now();
         for (p, buf) in buffers.into_iter().enumerate() {
             let run = sort_and_combine(job, buf);
             result.combined_pairs += run.len() as u64;
             result.memory_runs[p] = run;
         }
+        result.sort_time += sort_start.elapsed();
         result
     }
 
@@ -352,26 +489,33 @@ impl Engine {
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
     ) {
+        let mut spill_span = span!(self.telemetry, "mapreduce", "spill", task = task_id);
+        let mut spilled_bytes = 0u64;
         for (p, buf) in buffers.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
             }
             let pairs = std::mem::take(buf);
             let n = pairs.len();
+            let sort_start = Instant::now();
             let run = sort_and_combine(job, pairs);
+            result.sort_time += sort_start.elapsed();
             result.combined_pairs += run.len() as u64;
             if let Some(fw) = fw.as_mut() {
-                let bytes: usize =
-                    run.iter().map(|(k, v)| k.size_hint() + v.size_hint()).sum();
+                let bytes: usize = run.iter().map(|(k, v)| k.size_hint() + v.size_hint()).sum();
                 fw.on_spill(probe, n, bytes);
             }
+            let write_start = Instant::now();
             let file = SpillFile::write(&self.spill_dir, task_id, *spill_seq, &run)
                 .expect("spill write failed");
+            result.spill_time += write_start.elapsed();
             *spill_seq += 1;
             result.spills += 1;
             result.spill_bytes += file.bytes;
+            spilled_bytes += file.bytes;
             result.spill_runs[p].push(file);
         }
+        spill_span.arg("bytes", spilled_bytes);
     }
 
     /// Shuffle-merge and reduce one partition.
@@ -382,17 +526,24 @@ impl Engine {
         spills: Vec<SpillFile>,
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
-    ) -> (Vec<J::Output>, u64, u64) {
+    ) -> ReduceOutcome<J::Output> {
         let mut shuffle_bytes = 0u64;
-        for spill in &spills {
-            shuffle_bytes += spill.bytes;
-            runs.push(spill.read().expect("spill read failed"));
-        }
-        for run in &runs {
-            shuffle_bytes +=
-                run.iter().map(|(k, v)| (k.size_hint() + v.size_hint()) as u64).sum::<u64>();
-        }
-        let merged = merge_runs(runs);
+        let merge_start = Instant::now();
+        let merged = {
+            let mut merge_span =
+                span!(self.telemetry, "mapreduce", "shuffle-merge", runs = runs.len());
+            merge_span.arg("spills", spills.len());
+            for spill in &spills {
+                shuffle_bytes += spill.bytes;
+                runs.push(spill.read().expect("spill read failed"));
+            }
+            for run in &runs {
+                shuffle_bytes +=
+                    run.iter().map(|(k, v)| (k.size_hint() + v.size_hint()) as u64).sum::<u64>();
+            }
+            merge_runs(runs)
+        };
+        let merge_time = merge_start.elapsed();
         let mut out = Vec::new();
         let mut groups = 0u64;
         let mut iter = merged.into_iter().peekable();
@@ -407,7 +558,7 @@ impl Engine {
             }
             job.reduce(key, values, &mut out, probe);
         }
-        (out, groups, shuffle_bytes)
+        ReduceOutcome { outputs: out, groups, shuffle_bytes, merge_time }
     }
 }
 
@@ -611,6 +762,55 @@ mod tests {
         };
         assert!((stats.dps(1_000_000) - 1_000_000.0).abs() < 1.0);
         assert_eq!(JobStats::default().dps(100), 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_emits_task_spans_and_phase_stats() {
+        let telemetry = SpanRecorder::enabled();
+        let metrics = MetricsRegistry::new();
+        let engine = Engine::builder()
+            .threads(2)
+            .reducers(3)
+            .map_buffer_bytes(1024) // force spills so spill spans appear
+            .telemetry(telemetry.clone())
+            .metrics(metrics.clone())
+            .build();
+        let inputs: Vec<u64> = (0..4000).rev().collect();
+        let (out, stats) = engine.run(&SortJob, &inputs);
+        assert_eq!(out.len(), 4000);
+
+        let events = telemetry.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("job"), 1);
+        assert_eq!(count("map-phase"), 1);
+        assert_eq!(count("reduce-phase"), 1);
+        assert_eq!(count("map-task"), 2, "one span per map task");
+        assert_eq!(count("reduce-partition"), 3, "one span per partition");
+        assert!(count("spill") > 0, "tiny buffer must spill");
+        assert_eq!(count("shuffle-merge"), 3);
+
+        // Per-phase breakdown populated and internally consistent.
+        assert!(stats.spills > 0);
+        assert!(stats.sort_time > Duration::ZERO);
+        assert!(stats.spill_time > Duration::ZERO);
+        assert!(stats.max_reduce_groups >= stats.min_reduce_groups);
+        assert!(stats.reduce_skew() >= 1.0);
+        let breakdown = stats.phase_breakdown();
+        assert!(breakdown.contains("skew"), "breakdown: {breakdown}");
+
+        // Counters flowed into the registry.
+        assert_eq!(metrics.counter("mapreduce.map_records").get(), 4000);
+        assert_eq!(metrics.counter("mapreduce.reduce_groups").get(), stats.reduce_groups);
+        assert_eq!(metrics.histogram("mapreduce.map_phase_us").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn uninstrumented_run_records_no_spans() {
+        let engine = Engine::builder().threads(2).reducers(2).build();
+        let (_, stats) = engine.run(&SortJob, &(0..100u64).collect::<Vec<_>>());
+        assert_eq!(stats.map_records, 100);
+        // Disabled recorder: skew fields still populated from outcomes.
+        assert!(stats.max_reduce_groups >= stats.min_reduce_groups);
     }
 
     #[test]

@@ -36,10 +36,7 @@ impl SpillFile {
         seq: usize,
         pairs: &[(K, V)],
     ) -> std::io::Result<Self> {
-        let path = dir.join(format!(
-            "bdb-spill-{}-{task}-{seq}.run",
-            std::process::id()
-        ));
+        let path = dir.join(format!("bdb-spill-{}-{task}-{seq}.run", std::process::id()));
         let mut buf = Vec::new();
         for (k, v) in pairs {
             k.encode(&mut buf);

@@ -40,8 +40,7 @@ impl FrameworkModel {
     /// Builds the standard model: ~0.9 MiB of framework code across four
     /// layers and a 4 MiB sort buffer.
     pub fn new() -> Self {
-        let mut asp =
-            AddressSpace::with_bases(regions::MAPREDUCE_HEAP, regions::MAPREDUCE_CODE);
+        let mut asp = AddressSpace::with_bases(regions::MAPREDUCE_HEAP, regions::MAPREDUCE_CODE);
         let stack = SoftwareStack::builder("mapreduce-framework")
             // layer: hot_count x hot_bytes, cold_count x cold_bytes,
             //        hot_calls per record, cold every N records

@@ -62,7 +62,7 @@ impl NaiveBayes {
                 probe.load(counts_base + splitmix64(id as u64) % span, 16);
                 probe.store(counts_base + (8 << 20) + (id as u64 * 8) % span, 8);
                 probe.int_ops(12);
-                probe.branch(id % 4 == 0);
+                probe.branch(id.is_multiple_of(4));
                 *word_counts[*label].entry(id).or_insert(0) += 1;
                 class_tokens[*label] += 1;
             }
@@ -124,12 +124,7 @@ impl NaiveBayes {
                 probe.fp_ops(1);
             }
         }
-        scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)
-            .unwrap_or(0)
+        scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c).unwrap_or(0)
     }
 
     /// Classification accuracy on labeled data.

@@ -2,6 +2,7 @@
 
 use bdb_archsim::layout::HEAP_BASE;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_telemetry::{span, SpanRecorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,6 +51,22 @@ impl KMeans {
         self.fit_traced(points, seed, &mut NullProbe)
     }
 
+    /// [`KMeans::fit`] with per-iteration spans on `telemetry` (one
+    /// `kmeans-iteration` span per Lloyd round, carrying the round's
+    /// total centroid movement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn fit_instrumented(
+        &self,
+        points: &[Vec<f64>],
+        seed: u64,
+        telemetry: &SpanRecorder,
+    ) -> KMeansModel {
+        self.fit_impl(points, seed, &mut NullProbe, telemetry)
+    }
+
     /// Instrumented [`KMeans::fit`]: points stream sequentially, the
     /// centroid block stays resident — the access pattern whose
     /// cache behaviour shifts with data volume in the paper's Figure 2
@@ -63,6 +80,16 @@ impl KMeans {
         points: &[Vec<f64>],
         seed: u64,
         probe: &mut P,
+    ) -> KMeansModel {
+        self.fit_impl(points, seed, probe, &SpanRecorder::disabled())
+    }
+
+    fn fit_impl<P: Probe + ?Sized>(
+        &self,
+        points: &[Vec<f64>],
+        seed: u64,
+        probe: &mut P,
+        telemetry: &SpanRecorder,
     ) -> KMeansModel {
         assert!(!points.is_empty(), "need at least one point");
         let dim = points[0].len();
@@ -90,6 +117,7 @@ impl KMeans {
         let mut inertia = 0.0;
         for _ in 0..self.max_iterations {
             iterations += 1;
+            let mut iter_span = span!(telemetry, "mlkit", "kmeans-iteration", iter = iterations);
             inertia = 0.0;
             // Assign.
             for (i, p) in points.iter().enumerate() {
@@ -131,6 +159,7 @@ impl KMeans {
                 probe.store(centroids_base + (c * dim * 8) as u64, (dim * 8) as u32);
                 centroids[c] = new;
             }
+            iter_span.arg("movement", movement);
             if movement < self.tolerance {
                 break;
             }
@@ -201,6 +230,16 @@ mod tests {
         assert_eq!(traced.assignments, native.assignments);
         assert!(probe.mix().fp_ops > 1000, "distance math is FP");
         assert!(probe.mix().loads > 0);
+    }
+
+    #[test]
+    fn instrumented_emits_one_span_per_iteration() {
+        let telemetry = SpanRecorder::enabled();
+        let model = KMeans::new(2).fit_instrumented(&two_blobs(), 7, &telemetry);
+        let native = KMeans::new(2).fit(&two_blobs(), 7);
+        assert_eq!(model.assignments, native.assignments);
+        let spans = telemetry.events().iter().filter(|e| e.name == "kmeans-iteration").count();
+        assert_eq!(spans as u32, model.iterations);
     }
 
     #[test]

@@ -4,10 +4,7 @@ use bdb_mlkit::{ItemCf, KMeans, NaiveBayes};
 use proptest::prelude::*;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, 3),
-        4..60,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 3), 4..60)
 }
 
 proptest! {

@@ -129,7 +129,7 @@ pub fn random_access(scale: usize, probe: &mut dyn Probe) -> u64 {
             probe.call(body);
         }
         ran = splitmix64(ran);
-        let addr = t + (ran % table_bytes) & !7;
+        let addr = (t + (ran % table_bytes)) & !7;
         probe.load(addr, 8);
         probe.int_ops(3); // xor + index math
         probe.store(addr, 8);

@@ -51,7 +51,8 @@ pub enum RefSuite {
 
 impl RefSuite {
     /// All four suites.
-    pub const ALL: [RefSuite; 4] = [RefSuite::Hpcc, RefSuite::Parsec, RefSuite::SpecInt, RefSuite::SpecFp];
+    pub const ALL: [RefSuite; 4] =
+        [RefSuite::Hpcc, RefSuite::Parsec, RefSuite::SpecInt, RefSuite::SpecFp];
 
     /// Display label matching the paper's figures.
     pub fn label(&self) -> &'static str {

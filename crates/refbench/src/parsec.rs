@@ -39,8 +39,8 @@ pub fn blackscholes(scale: usize, probe: &mut dyn Probe) -> u64 {
             probe.call(body);
         }
         probe.load(data + (i * 40) as u64, 40); // 5 f64 inputs
-        // CNDF evaluation: ~40 FP ops per option in the real kernel,
-        // with comparable control/indexing integer work around it.
+                                                // CNDF evaluation: ~40 FP ops per option in the real kernel,
+                                                // with comparable control/indexing integer work around it.
         probe.fp_ops(40);
         probe.int_ops(44);
         probe.store(data + (options * 40 + i * 8) as u64, 8);
@@ -121,7 +121,7 @@ pub fn fluidanimate(scale: usize, probe: &mut dyn Probe) -> u64 {
             probe.call(body);
         }
         probe.load(grid + (p * 48) as u64, 48); // position + velocity
-        // 8 neighbour cells, ~4 particles each.
+                                                // 8 neighbour cells, ~4 particles each.
         for n in 0..8u64 {
             let cell = splitmix64(p as u64 ^ (n << 40)) % particles as u64;
             probe.load(grid + cell * 48, 48);

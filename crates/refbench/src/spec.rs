@@ -46,13 +46,13 @@ pub fn compress(scale: usize, probe: &mut dyn Probe) -> u64 {
     let mut matches = 0u64;
     let mut i = 0usize;
     while i < input {
-        if i % 512 == 0 {
+        if i.is_multiple_of(512) {
             probe.call(body);
         }
         probe.load(data + i as u64, 4);
         h = splitmix64(h ^ i as u64);
         probe.int_ops(12); // rolling hash + compare
-        if i % 128 == 0 {
+        if i.is_multiple_of(128) {
             probe.fp_ops(1); // compression-ratio bookkeeping
         }
         probe.load(hash_table + (h % hash_entries) * 8, 8);
@@ -87,12 +87,12 @@ pub fn pathfind(scale: usize, probe: &mut dyn Probe) -> u64 {
         if expanded > scale as u64 {
             break;
         }
-        if expanded % 128 == 0 {
+        if expanded.is_multiple_of(128) {
             probe.call(body);
         }
         probe.load(grid + ((y as usize * n + x as usize) * 4) as u64, 4);
         probe.int_ops(14); // heuristic + comparisons
-        if expanded % 8 == 0 {
+        if expanded.is_multiple_of(8) {
             probe.fp_ops(1); // distance heuristic
         }
         for (dx, dy) in [(1i32, 0i32), (0, 1), (-1, 0), (0, -1)] {
@@ -207,7 +207,7 @@ pub fn solver(scale: usize, probe: &mut dyn Probe) -> u64 {
     for sweep in 0..4 {
         probe.call(body);
         for i in 2..n - 2 {
-            if i % 512 == 0 {
+            if i.is_multiple_of(512) {
                 probe.call(body);
             }
             probe.load(a + (i * 40) as u64, 40); // 5-band row

@@ -20,7 +20,10 @@
 //!   queueing simulator ([`queue`]) that converts measured service times
 //!   into achieved-RPS/latency curves under the paper's offered loads
 //!   (100×(1..32) requests/s, Table 6);
-//! * [`latency`] — latency histograms with percentile queries.
+//! * [`latency`] — latency histograms with percentile queries
+//!   (re-exported from [`bdb_telemetry`], the suite-wide telemetry
+//!   substrate; the `*_instrumented` load-generator variants also emit
+//!   per-request spans through a [`bdb_telemetry::SpanRecorder`]).
 //!
 //! # Example
 //!
@@ -47,7 +50,10 @@ pub mod social;
 pub mod trace;
 
 pub use latency::LatencyHistogram;
-pub use loadgen::{run_closed_loop, run_offered_load, ServiceReport};
+pub use loadgen::{
+    run_closed_loop, run_closed_loop_instrumented, run_offered_load, run_offered_load_instrumented,
+    ServiceReport,
+};
 pub use queue::QueueSim;
 pub use server::Server;
 pub use trace::ServingTraceModel;

@@ -5,6 +5,7 @@ use crate::latency::LatencyHistogram;
 use crate::queue::QueueSim;
 use crate::server::Server;
 use bdb_archsim::NullProbe;
+use bdb_telemetry::{span, MetricsRegistry, SpanRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -36,17 +37,51 @@ impl ServiceReport {
 /// Runs `requests` back-to-back requests (closed loop, zero think time)
 /// natively, measuring true service times.
 pub fn run_closed_loop<S: Server>(server: &mut S, requests: usize, seed: u64) -> ServiceReport {
+    run_closed_loop_instrumented(
+        server,
+        requests,
+        seed,
+        &SpanRecorder::disabled(),
+        &MetricsRegistry::new(),
+    )
+}
+
+/// [`run_closed_loop`] with telemetry: each request becomes a span on
+/// `telemetry` and its service time also feeds the
+/// `serving.request_us` histogram in `metrics`.
+pub fn run_closed_loop_instrumented<S: Server>(
+    server: &mut S,
+    requests: usize,
+    seed: u64,
+    telemetry: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServiceReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut latency = LatencyHistogram::new();
     let mut result_units = 0u64;
+    let request_us =
+        if telemetry.is_enabled() { Some(metrics.histogram("serving.request_us")) } else { None };
+    let completed_requests = metrics.counter("serving.requests");
+    let _run = span!(telemetry, "serving", "closed-loop", requests = requests);
     let start = Instant::now();
-    for _ in 0..requests {
+    for i in 0..requests {
         let req = server.sample_request(&mut rng);
+        let mut s = span!(telemetry, "serving", "request", seq = i);
         let t0 = Instant::now();
-        result_units += server.handle(&req, &mut NullProbe) as u64;
-        latency.record(t0.elapsed());
+        let units = server.handle(&req, &mut NullProbe) as u64;
+        let service_time = t0.elapsed();
+        s.arg("units", units);
+        drop(s);
+        result_units += units;
+        latency.record(service_time);
+        if let Some(h) = &request_us {
+            h.record(service_time);
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    if telemetry.is_enabled() {
+        completed_requests.add(requests as u64);
+    }
     ServiceReport {
         name: server.name().to_owned(),
         offered_rps: None,
@@ -73,16 +108,54 @@ pub fn run_offered_load<S: Server>(
     samples: usize,
     seed: u64,
 ) -> ServiceReport {
+    run_offered_load_instrumented(
+        server,
+        offered_rps,
+        horizon,
+        workers,
+        samples,
+        seed,
+        &SpanRecorder::disabled(),
+        &MetricsRegistry::new(),
+    )
+}
+
+/// [`run_offered_load`] with telemetry: the native sampling phase and
+/// the queueing simulation each become spans, and measured service
+/// times feed the `serving.request_us` histogram in `metrics`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_offered_load_instrumented<S: Server>(
+    server: &mut S,
+    offered_rps: f64,
+    horizon: Duration,
+    workers: u32,
+    samples: usize,
+    seed: u64,
+    telemetry: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServiceReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut service_times = Vec::with_capacity(samples.max(1));
     let mut result_units = 0u64;
-    for _ in 0..samples.max(1) {
-        let req = server.sample_request(&mut rng);
-        let t0 = Instant::now();
-        result_units += server.handle(&req, &mut NullProbe) as u64;
-        // Guard against timer quantization on very fast handlers.
-        service_times.push(t0.elapsed().max(Duration::from_nanos(200)));
+    let request_us =
+        if telemetry.is_enabled() { Some(metrics.histogram("serving.request_us")) } else { None };
+    {
+        let _sampling =
+            span!(telemetry, "serving", "service-time-sampling", samples = samples.max(1));
+        for i in 0..samples.max(1) {
+            let req = server.sample_request(&mut rng);
+            let _s = span!(telemetry, "serving", "request", seq = i);
+            let t0 = Instant::now();
+            result_units += server.handle(&req, &mut NullProbe) as u64;
+            // Guard against timer quantization on very fast handlers.
+            let service_time = t0.elapsed().max(Duration::from_nanos(200));
+            service_times.push(service_time);
+            if let Some(h) = &request_us {
+                h.record(service_time);
+            }
+        }
     }
+    let _queueing = span!(telemetry, "serving", "queue-simulation", offered_rps = offered_rps);
     let sim = QueueSim::new(workers);
     let qr = sim.run(offered_rps, horizon, &service_times, seed ^ 0x51AB);
     ServiceReport {
@@ -136,8 +209,7 @@ mod tests {
         let mut s = Spin;
         // Measure capacity via closed loop first.
         let capacity = run_closed_loop(&mut s, 500, 2).achieved_rps;
-        let light =
-            run_offered_load(&mut s, capacity * 0.05, Duration::from_secs(5), 1, 200, 3);
+        let light = run_offered_load(&mut s, capacity * 0.05, Duration::from_secs(5), 1, 200, 3);
         assert!(
             (light.achieved_rps - capacity * 0.05).abs() / (capacity * 0.05) < 0.15,
             "light load achieves offered: {} vs {}",
@@ -147,5 +219,20 @@ mod tests {
         let heavy = run_offered_load(&mut s, capacity * 4.0, Duration::from_secs(5), 1, 200, 3);
         assert!(heavy.saturated(), "4x capacity must saturate");
         assert!(heavy.achieved_rps < capacity * 1.6);
+    }
+
+    #[test]
+    fn instrumented_loop_emits_request_spans() {
+        let mut s = Spin;
+        let telemetry = SpanRecorder::enabled();
+        let metrics = MetricsRegistry::new();
+        let r = run_closed_loop_instrumented(&mut s, 25, 1, &telemetry, &metrics);
+        assert_eq!(r.completed, 25);
+        let events = telemetry.events();
+        let requests = events.iter().filter(|e| e.name == "request").count();
+        assert_eq!(requests, 25, "one span per request");
+        assert!(events.iter().any(|e| e.name == "closed-loop"));
+        assert_eq!(metrics.histogram("serving.request_us").snapshot().count(), 25);
+        assert_eq!(metrics.counter("serving.requests").get(), 25);
     }
 }

@@ -202,10 +202,7 @@ mod tests {
     #[test]
     fn missing_term_returns_empty() {
         let mut s = SearchServer::build(50, 5);
-        let hits = s.search(
-            &SearchRequest { terms: vec![999_999], top_k: 10 },
-            &mut NullProbe,
-        );
+        let hits = s.search(&SearchRequest { terms: vec![999_999], top_k: 10 }, &mut NullProbe);
         assert!(hits.is_empty());
     }
 

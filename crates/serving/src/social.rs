@@ -228,8 +228,7 @@ mod tests {
         let s = SocialServer::build(100, 10, 1);
         assert_eq!(s.users(), 100);
         assert_eq!(s.event_count(), 300, "3 seed events per user");
-        let avg: f64 =
-            s.friends.iter().map(Vec::len).sum::<usize>() as f64 / s.users() as f64;
+        let avg: f64 = s.friends.iter().map(Vec::len).sum::<usize>() as f64 / s.users() as f64;
         assert!(avg > 5.0 && avg < 15.0, "avg friends {avg}");
     }
 
@@ -246,17 +245,11 @@ mod tests {
     #[test]
     fn feed_excludes_non_friends() {
         let mut s = SocialServer::build(10, 2, 3);
-        let friend_set: std::collections::HashSet<u32> =
-            s.friends[0].iter().copied().collect();
+        let friend_set: std::collections::HashSet<u32> = s.friends[0].iter().copied().collect();
         let feed = s.feed(0, &mut NullProbe);
         for id in feed {
-            let author = s
-                .timelines
-                .iter()
-                .flatten()
-                .find(|e| e.id == id)
-                .map(|e| e.author)
-                .unwrap();
+            let author =
+                s.timelines.iter().flatten().find(|e| e.id == id).map(|e| e.author).unwrap();
             assert!(friend_set.contains(&author));
         }
     }

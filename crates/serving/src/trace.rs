@@ -67,12 +67,18 @@ impl ServingTraceModel {
         probe.load(s & !63, 256);
         probe.store(s & !63, 64);
         probe.int_ops(60);
-        probe.branch(session_id % 3 == 0);
+        probe.branch(session_id.is_multiple_of(3));
     }
 
     /// Application data access of `bytes` at a key-derived location (DB
     /// row, index node, cached page).
-    pub fn data_access<P: Probe + ?Sized>(&mut self, probe: &mut P, key: u64, bytes: u32, write: bool) {
+    pub fn data_access<P: Probe + ?Sized>(
+        &mut self,
+        probe: &mut P,
+        key: u64,
+        bytes: u32,
+        write: bool,
+    ) {
         let addr = self.page_cache_base + splitmix64(key) % self.page_cache_span;
         if write {
             probe.store(addr & !63, bytes.clamp(8, 4096));

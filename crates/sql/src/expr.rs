@@ -229,10 +229,8 @@ mod tests {
     use crate::schema::{ColumnType, Schema};
 
     fn table() -> Table {
-        let mut t = Table::new(
-            "t",
-            Schema::new(&[("id", ColumnType::Int), ("price", ColumnType::Float)]),
-        );
+        let mut t =
+            Table::new("t", Schema::new(&[("id", ColumnType::Int), ("price", ColumnType::Float)]));
         t.push_row(vec![Value::Int(1), Value::Float(10.0)]).unwrap();
         t.push_row(vec![Value::Int(2), Value::Float(3.0)]).unwrap();
         t.push_row(vec![Value::Int(3), Value::Null]).unwrap();

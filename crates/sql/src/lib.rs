@@ -46,7 +46,7 @@ pub mod table;
 pub mod trace;
 pub mod value;
 
-pub use exec::{Aggregation, AggregateFn};
+pub use exec::{AggregateFn, Aggregation};
 pub use schema::{ColumnType, Schema};
 pub use table::{Database, Table};
 pub use trace::SqlTraceModel;

@@ -123,7 +123,9 @@ fn tokenize(sql: &str) -> Vec<String> {
             '!' | '<' | '>' => {
                 flush(&mut cur, &mut tokens);
                 let mut op = c.to_string();
-                if matches!(chars.peek(), Some('=') | Some('>')) && c != '>' || chars.peek() == Some(&'=') {
+                if matches!(chars.peek(), Some('=') | Some('>')) && c != '>'
+                    || chars.peek() == Some(&'=')
+                {
                     op.push(chars.next().expect("peeked"));
                 }
                 tokens.push(op);
@@ -497,10 +499,7 @@ mod tests {
 
     #[test]
     fn tokenizer_handles_operators_and_strings() {
-        assert_eq!(
-            tokenize("a<=3 AND b!='x y'"),
-            vec!["a", "<=", "3", "AND", "b", "!=", "'x y"]
-        );
+        assert_eq!(tokenize("a<=3 AND b!='x y'"), vec!["a", "<=", "3", "AND", "b", "!=", "'x y"]);
         assert_eq!(tokenize("COUNT(*)"), vec!["COUNT", "(", "*", ")"]);
     }
 

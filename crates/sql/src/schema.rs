@@ -57,9 +57,7 @@ impl Schema {
         for (name, _) in columns {
             assert!(seen.insert(*name), "duplicate column `{name}`");
         }
-        Self {
-            columns: columns.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect(),
-        }
+        Self { columns: columns.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect() }
     }
 
     /// Number of columns.

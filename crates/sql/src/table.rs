@@ -183,7 +183,11 @@ mod tests {
     fn table() -> Table {
         let mut t = Table::new(
             "t",
-            Schema::new(&[("id", ColumnType::Int), ("p", ColumnType::Float), ("s", ColumnType::Str)]),
+            Schema::new(&[
+                ("id", ColumnType::Int),
+                ("p", ColumnType::Float),
+                ("s", ColumnType::Str),
+            ]),
         );
         t.push_row(vec![Value::Int(1), Value::Float(1.5), "a".into()]).unwrap();
         t.push_row(vec![Value::Int(2), Value::Null, "b".into()]).unwrap();
@@ -210,9 +214,7 @@ mod tests {
     fn schema_violations_rejected() {
         let mut t = table();
         assert!(t.push_row(vec![Value::Int(1)]).is_err());
-        assert!(t
-            .push_row(vec!["x".into(), Value::Float(0.0), "y".into()])
-            .is_err());
+        assert!(t.push_row(vec!["x".into(), Value::Float(0.0), "y".into()]).is_err());
         assert_eq!(t.len(), 2, "failed pushes must not change the table");
     }
 

@@ -108,7 +108,7 @@ impl SqlTraceModel {
             probe.load(addr & !7, 48);
         }
         probe.int_ops(6);
-        probe.branch(hash % 3 == 0);
+        probe.branch(hash.is_multiple_of(3));
     }
 
     /// Periodic operator-boundary overhead (row batches crossing
@@ -160,10 +160,8 @@ mod tests {
     use bdb_archsim::CountingProbe;
 
     fn table(rows: usize) -> Table {
-        let mut t = Table::new(
-            "t",
-            Schema::new(&[("id", ColumnType::Int), ("p", ColumnType::Float)]),
-        );
+        let mut t =
+            Table::new("t", Schema::new(&[("id", ColumnType::Int), ("p", ColumnType::Float)]));
         for i in 0..rows {
             t.push_row(vec![Value::Int(i as i64), Value::Float(i as f64)]).unwrap();
         }

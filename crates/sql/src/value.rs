@@ -152,10 +152,7 @@ mod tests {
         assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(1.5)), Ordering::Greater);
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
-        assert_eq!(
-            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
-            Ordering::Less
-        );
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
         assert_eq!(Value::Date(1).total_cmp(&Value::Date(1)), Ordering::Equal);
     }
 

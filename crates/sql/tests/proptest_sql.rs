@@ -8,10 +8,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn table_from(rows: &[(i64, f64)]) -> Table {
-    let mut t = Table::new(
-        "t",
-        Schema::new(&[("k", ColumnType::Int), ("x", ColumnType::Float)]),
-    );
+    let mut t = Table::new("t", Schema::new(&[("k", ColumnType::Int), ("x", ColumnType::Float)]));
     for (k, x) in rows {
         t.push_row(vec![Value::Int(*k), Value::Float(*x)]).expect("schema");
     }

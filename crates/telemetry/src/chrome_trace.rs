@@ -1,0 +1,230 @@
+//! Chrome trace-event-format export.
+//!
+//! Produces a JSON array of trace events loadable in `chrome://tracing`
+//! and in the Perfetto UI (<https://ui.perfetto.dev> — "Open trace
+//! file"). Spans become complete (`"ph":"X"`) events, instants become
+//! `"ph":"i"`, counters become `"ph":"C"` samples, and process/thread
+//! names are attached via `"ph":"M"` metadata events.
+
+use crate::json::ObjectWriter;
+use crate::metrics::MetricsRegistry;
+use crate::span::{ArgValue, SpanEvent, SpanRecorder};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Process id used for all exported events (the suite is one process).
+const PID: u64 = 1;
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    let mut o = ObjectWriter::new(out);
+    for (k, v) in args {
+        match v {
+            ArgValue::Int(i) => o.field_i64(k, *i),
+            ArgValue::Float(f) => o.field_f64(k, *f),
+            ArgValue::Str(s) => o.field_str(k, s),
+        };
+    }
+    o.finish();
+}
+
+fn write_event(out: &mut String, e: &SpanEvent) {
+    let mut o = ObjectWriter::new(out);
+    o.field_str("name", e.name)
+        .field_str("cat", e.cat)
+        .field_str("ph", if e.dur_us.is_some() { "X" } else { "i" })
+        .field_u64("ts", e.start_us)
+        .field_u64("pid", PID)
+        .field_u64("tid", e.tid);
+    if let Some(dur) = e.dur_us {
+        o.field_u64("dur", dur);
+    } else {
+        o.field_str("s", "t"); // instant scope: thread
+    }
+    if !e.args.is_empty() {
+        write_args(o.field_raw("args"), &e.args);
+    }
+    o.finish();
+}
+
+fn write_metadata(out: &mut String, name: &str, tid: Option<u64>, value: &str) {
+    let mut o = ObjectWriter::new(out);
+    o.field_str("name", name).field_str("ph", "M").field_u64("ts", 0).field_u64("pid", PID);
+    if let Some(tid) = tid {
+        o.field_u64("tid", tid);
+    }
+    {
+        let args = o.field_raw("args");
+        let mut a = ObjectWriter::new(args);
+        a.field_str("name", value);
+        a.finish();
+    }
+    o.finish();
+}
+
+fn write_counter_sample(out: &mut String, ts: u64, name: &str, value: u64) {
+    let mut o = ObjectWriter::new(out);
+    o.field_str("name", name).field_str("ph", "C").field_u64("ts", ts).field_u64("pid", PID);
+    {
+        let args = o.field_raw("args");
+        let mut a = ObjectWriter::new(args);
+        a.field_u64("value", value);
+        a.finish();
+    }
+    o.finish();
+}
+
+/// Renders `events` (plus optional final counter samples from
+/// `metrics`) as a Chrome trace-event JSON array.
+pub fn chrome_trace_json(
+    process_name: &str,
+    events: &[SpanEvent],
+    metrics: Option<&MetricsRegistry>,
+) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push('[');
+    let mut first = true;
+    let mut emit = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+    };
+
+    emit(&mut out);
+    write_metadata(&mut out, "process_name", None, process_name);
+    let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    for tid in tids {
+        emit(&mut out);
+        write_metadata(&mut out, "thread_name", Some(tid), &format!("worker-{tid}"));
+    }
+    for e in events {
+        emit(&mut out);
+        write_event(&mut out, e);
+    }
+    if let Some(metrics) = metrics {
+        let end_ts = events.iter().map(|e| e.start_us + e.dur_us.unwrap_or(0)).max().unwrap_or(0);
+        for (name, value) in metrics.counter_values() {
+            emit(&mut out);
+            write_counter_sample(&mut out, end_ts, &name, value);
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// A bundle of recorder + registry for one workload run, with one-call
+/// export of `<name>.trace.json` and `<name>.metrics.txt`.
+#[derive(Debug, Clone)]
+pub struct TraceSession {
+    /// Workload name; becomes the process name and the file stem.
+    pub name: String,
+    /// Span sink; attach to engines.
+    pub recorder: SpanRecorder,
+    /// Metric sink; attach to engines.
+    pub metrics: MetricsRegistry,
+}
+
+impl TraceSession {
+    /// A collecting session.
+    pub fn enabled(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            recorder: SpanRecorder::enabled(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The session's trace as Chrome trace-event JSON.
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(&self.name, &self.recorder.events(), Some(&self.metrics))
+    }
+
+    /// The session's metrics as plain text.
+    pub fn metrics_summary(&self) -> String {
+        format!("== metrics: {} ==\n{}", self.name, self.metrics.summary())
+    }
+
+    /// Writes `<name>.trace.json` and `<name>.metrics.txt` into `dir`
+    /// (created if missing); returns the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let stem = self.name.to_lowercase().replace([' ', '/'], "-");
+        let trace_path = dir.join(format!("{stem}.trace.json"));
+        let metrics_path = dir.join(format!("{stem}.metrics.txt"));
+        std::fs::File::create(&trace_path)?.write_all(self.trace_json().as_bytes())?;
+        std::fs::File::create(&metrics_path)?.write_all(self.metrics_summary().as_bytes())?;
+        Ok((trace_path, metrics_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, start: u64, dur: u64, tid: u64) -> SpanEvent {
+        SpanEvent { name, cat: "test", start_us: start, dur_us: Some(dur), tid, args: Vec::new() }
+    }
+
+    #[test]
+    fn empty_trace_is_an_array() {
+        let json = chrome_trace_json("empty", &[], None);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn events_become_complete_x_events() {
+        let events = vec![event("a", 0, 10, 1), event("b", 5, 2, 2)];
+        let json = chrome_trace_json("t", &events, None);
+        assert!(json.contains("\"name\":\"a\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn counters_appended_from_registry() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops").add(42);
+        let json = chrome_trace_json("t", &[event("a", 0, 3, 1)], Some(&reg));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":42"));
+        // Counter sampled at the end of the timeline.
+        assert!(json.contains("\"ts\":3"));
+    }
+
+    #[test]
+    fn args_are_serialized() {
+        let mut e = event("a", 0, 1, 1);
+        e.args.push(("n", ArgValue::Int(5)));
+        e.args.push(("ratio", ArgValue::Float(0.5)));
+        e.args.push(("tag", ArgValue::Str("x\"y".into())));
+        let json = chrome_trace_json("t", &[e], None);
+        assert!(json.contains("\"args\":{\"n\":5,\"ratio\":0.5,\"tag\":\"x\\\"y\"}"));
+    }
+
+    #[test]
+    fn session_roundtrip_to_files() {
+        let session = TraceSession::enabled("Unit Test");
+        {
+            let _s = session.recorder.span("test", "work");
+        }
+        session.metrics.counter("done").inc();
+        let dir = std::env::temp_dir().join(format!("bdb-telemetry-{}", std::process::id()));
+        let (trace, metrics) = session.write(&dir).unwrap();
+        assert!(trace.ends_with("unit-test.trace.json"));
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"work\""));
+        let summary = std::fs::read_to_string(&metrics).unwrap();
+        assert!(summary.contains("done"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

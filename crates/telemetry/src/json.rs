@@ -1,0 +1,129 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The telemetry crate must build with zero external dependencies (the
+//! build environment may be offline), so trace export writes JSON through
+//! this small helper instead of `serde_json`. It only ever *writes* —
+//! parsing for the golden tests lives in the integration-test crate.
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f64` in a JSON-legal form (`NaN`/`inf` become `0`).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` always keeps a decimal point or exponent, so the value
+        // round-trips as a JSON number even when integral.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// An object writer that tracks comma placement.
+#[derive(Debug)]
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens `{` on `out`.
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        Self { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes `"key": "value"`.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_escaped(self.out, value);
+        self
+    }
+
+    /// Writes `"key": value` for an unsigned integer.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes `"key": value` for a signed integer.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes `"key": value` for a float.
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        write_f64(self.out, value);
+        self
+    }
+
+    /// Writes `"key":` and hands the raw buffer over for a nested value.
+    pub fn field_raw(&mut self, key: &str) -> &mut String {
+        self.key(key);
+        self.out
+    }
+
+    /// Closes the object with `}`.
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn object_commas() {
+        let mut s = String::new();
+        let mut o = ObjectWriter::new(&mut s);
+        o.field_str("name", "x").field_u64("ts", 7).field_f64("v", 1.5);
+        o.finish();
+        assert_eq!(s, "{\"name\":\"x\",\"ts\":7,\"v\":1.5}");
+    }
+
+    #[test]
+    fn floats_stay_legal() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        s.push(' ');
+        write_f64(&mut s, 2.0);
+        assert_eq!(s, "0 2.0");
+    }
+}

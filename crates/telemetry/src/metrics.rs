@@ -1,0 +1,420 @@
+//! Named metrics: counters, gauges and log-bucketed histograms.
+//!
+//! A [`MetricsRegistry`] hands out cheap atomic handles keyed by name;
+//! the registry renders a plain-text summary next to each exported
+//! trace. [`LatencyHistogram`] lives here (promoted out of
+//! `bdb-serving`, which re-exports it) so every engine can share one
+//! histogram implementation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+const BUCKETS: usize = 400;
+const GROWTH: f64 = 1.05;
+
+/// Geometric bucket upper bounds, computed once. Bucket `i`'s upper
+/// bound is `ceil(GROWTH^i)` microseconds; precomputing keeps
+/// `percentile()` queries from re-deriving powers on every call.
+fn bounds() -> &'static [u64; BUCKETS] {
+    static BOUNDS: OnceLock<[u64; BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = [0u64; BUCKETS];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = GROWTH.powi(i as i32).ceil() as u64;
+        }
+        b
+    })
+}
+
+fn bucket_for(micros: u64) -> usize {
+    if micros == 0 {
+        return 0;
+    }
+    let b = (micros as f64).ln() / GROWTH.ln();
+    (b.ceil() as usize).min(BUCKETS - 1)
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    bounds()[i.min(BUCKETS - 1)]
+}
+
+/// A log-bucketed latency histogram (1 µs granularity at the low end,
+/// ~2% relative error overall), cheap enough to update per request.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Bucket `i` covers `[bound(i-1), bound(i))` where bounds grow
+    /// geometrically from 1 µs.
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: u128,
+    max_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, sum_micros: 0, max_micros: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_micros(micros);
+    }
+
+    /// Records one sample given directly in microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.counts[bucket_for(micros)] += 1;
+        self.total += 1;
+        self.sum_micros += micros as u128;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_micros / self.total as u128) as u64)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bucket bound, so
+    /// within ~5% above the true value). Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_micros(bucket_upper(i).min(self.max_micros.max(1)));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A named monotonic counter; clone of a registry slot.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge (last-write-wins signed value).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared histogram slot from a registry.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<LatencyHistogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        self.0.lock().expect("histogram poisoned").record(latency);
+    }
+
+    /// Records one sample in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.0.lock().expect("histogram poisoned").record_micros(micros);
+    }
+
+    /// A copy of the current distribution.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().expect("histogram poisoned").clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<LatencyHistogram>>>>,
+}
+
+/// A registry of named metrics. Cloning shares the underlying slots, so
+/// engines can hold a clone and the exporter another.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        Counter(Arc::clone(
+            map.entry(name.to_owned()).or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        Gauge(Arc::clone(map.entry(name.to_owned()).or_insert_with(|| Arc::new(AtomicI64::new(0)))))
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.inner.histograms.lock().expect("registry poisoned");
+        HistogramHandle(Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Mutex::new(LatencyHistogram::new()))),
+        ))
+    }
+
+    /// Current counter values, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Current gauge values, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshots of every histogram, sorted by name.
+    pub fn histogram_snapshots(&self) -> Vec<(String, LatencyHistogram)> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().expect("histogram poisoned").clone()))
+            .collect()
+    }
+
+    /// Renders every metric as aligned plain text, one per line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counter_values() {
+            out.push_str(&format!("counter  {name:<40} {v}\n"));
+        }
+        for (name, v) in self.gauge_values() {
+            out.push_str(&format!("gauge    {name:<40} {v}\n"));
+        }
+        for (name, h) in self.histogram_snapshots() {
+            out.push_str(&format!(
+                "hist     {name:<40} count={} mean={}us p50={}us p95={}us p99={}us max={}us\n",
+                h.count(),
+                h.mean().as_micros(),
+                h.percentile(0.50).as_micros(),
+                h.percentile(0.95).as_micros(),
+                h.percentile(0.99).as_micros(),
+                h.max().as_micros(),
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(0.0), Duration::ZERO);
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        assert_eq!(h.percentile(1.0), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(777));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = h.percentile(q).as_micros() as f64;
+            assert!((p - 777.0).abs() / 777.0 < 0.06, "q={q} p={p}");
+        }
+        assert_eq!(h.mean(), Duration::from_micros(777));
+        assert_eq!(h.max(), Duration::from_micros(777));
+    }
+
+    #[test]
+    fn max_bucket_clamps() {
+        let mut h = LatencyHistogram::new();
+        // Far beyond the last bucket bound: must clamp to BUCKETS - 1,
+        // not index out of bounds.
+        h.record(Duration::from_secs(1_000_000));
+        assert_eq!(h.count(), 1);
+        assert_eq!(bucket_for(u64::MAX), BUCKETS - 1);
+        // The reported percentile is the last bucket's bound, capped by
+        // the observed max.
+        let p = h.percentile(0.99);
+        assert_eq!(p, Duration::from_micros(bucket_upper(BUCKETS - 1)));
+        assert!(p <= h.max());
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= Duration::from_micros(450) && p50 <= Duration::from_micros(600));
+        assert!(p99 >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn bucket_bound_roundtrip() {
+        // Regression: a value at bucket i's upper bound must never be
+        // classified into an earlier bucket, or percentile() would
+        // under-report.
+        for i in 0..BUCKETS {
+            assert!(bucket_for(bucket_upper(i)) >= i, "bucket {i}");
+        }
+        // And bounds are non-decreasing.
+        for i in 1..BUCKETS {
+            assert!(bucket_upper(i) >= bucket_upper(i - 1));
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn registry_slots_are_shared() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("x.ops");
+        let c2 = reg.counter("x.ops");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(reg.counter("x.ops").get(), 4);
+
+        reg.gauge("x.level").set(-7);
+        assert_eq!(reg.gauge("x.level").get(), -7);
+
+        reg.histogram("x.lat").record(Duration::from_micros(100));
+        assert_eq!(reg.histogram("x.lat").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn registry_clone_shares_state() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter("shared").add(5);
+        assert_eq!(reg.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn summary_lists_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(2);
+        reg.gauge("b.gauge").set(1);
+        reg.histogram("c.hist").record(Duration::from_micros(50));
+        let s = reg.summary();
+        assert!(s.contains("counter  a.count"));
+        assert!(s.contains("gauge    b.gauge"));
+        assert!(s.contains("hist     c.hist"));
+        assert!(s.contains("count=1"));
+        assert_eq!(MetricsRegistry::new().summary(), "(no metrics recorded)\n");
+    }
+}

@@ -9,12 +9,7 @@ fn all_nineteen_workloads_run_natively() {
     let reports = suite.run_all_native(1);
     assert_eq!(reports.len(), 19);
     for r in &reports {
-        assert!(
-            r.metric.value() > 0.0,
-            "{} reported zero {}",
-            r.workload,
-            r.metric.unit()
-        );
+        assert!(r.metric.value() > 0.0, "{} reported zero {}", r.workload, r.metric.unit());
     }
 }
 
@@ -61,7 +56,8 @@ fn e5310_runs_without_l3() {
 #[test]
 fn figure3_sweep_produces_five_points() {
     let suite = Suite::with_fraction(1.0 / 32.0);
-    let rows = characterize::figure3_for(&suite, WorkloadId::WordCount, &MachineConfig::xeon_e5645());
+    let rows =
+        characterize::figure3_for(&suite, WorkloadId::WordCount, &MachineConfig::xeon_e5645());
     assert_eq!(rows.len(), 5);
     assert_eq!(rows[0].multiplier, 1);
     assert_eq!(rows[4].multiplier, 32);

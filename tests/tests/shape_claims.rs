@@ -106,10 +106,10 @@ fn stack_swap_moves_the_l1i_misses() {
     // stack and see whether the front-end stalls follow the stack.
     // They do: the same WordCount on the in-memory dataflow engine has
     // a fraction of the Hadoop-style L1I misses.
+    use bdb_archsim::Probe;
     use bdb_archsim::SimProbe;
     use bdb_dataflow::Dataset;
     use bdb_mapreduce::{Emitter, Engine, FrameworkModel, Job};
-    use bdb_archsim::Probe;
 
     struct Wc;
     impl Job for Wc {
