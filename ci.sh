@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate. Run before every merge.
 #
-#   ./ci.sh            # full gate: fmt, clippy, release build, tests
-#   ./ci.sh --fast     # skip the release build (debug build via tests)
+#   ./ci.sh                # full gate: fmt, clippy, release build, tests
+#   ./ci.sh --fast         # skip the release build (debug build via tests)
+#   ./ci.sh --bench-check  # also diff simulated perf vs BENCH_RESULTS.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
+bench_check=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
-        *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+        --bench-check) bench_check=1 ;;
+        *) echo "usage: $0 [--fast] [--bench-check]" >&2; exit 2 ;;
     esac
 done
 
@@ -25,5 +28,13 @@ if [ "$fast" -eq 0 ]; then
     run cargo build --workspace --release
 fi
 run cargo test --workspace -q
+
+if [ "$bench_check" -eq 1 ]; then
+    # Regenerate the simulated perf numbers at the committed baseline's
+    # fraction and fail on drift beyond tolerance. Only deterministic
+    # simulator metrics are gated; wall-clock never is.
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --fraction 0.02 --bench-baseline BENCH_RESULTS.json
+fi
 
 echo "ci: all gates passed"

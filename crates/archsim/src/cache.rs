@@ -65,9 +65,25 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Lookups that hit.
+    /// Lookups that hit. Saturates at zero if `misses` somehow exceeds
+    /// `accesses` (e.g. stats assembled by hand or from a delta), rather
+    /// than panicking in release-mode wraparound.
     pub fn hits(&self) -> u64 {
-        self.accesses - self.misses
+        self.accesses.saturating_sub(self.misses)
+    }
+
+    /// Counter increase since `earlier` (field-wise, saturating at zero).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
     }
 
     /// Miss ratio in `[0, 1]`; zero when no accesses were made.
@@ -325,5 +341,39 @@ mod tests {
         assert!((s.miss_ratio() - 0.025).abs() < 1e-12);
         assert!((s.mpki(10_000) - 2.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().mpki(0), 0.0);
+    }
+
+    #[test]
+    fn hits_saturate_instead_of_wrapping() {
+        // Inconsistent by construction — hits() must not underflow.
+        let s = CacheStats { accesses: 10, misses: 25 };
+        assert_eq!(s.hits(), 0);
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hits(), 0);
+        assert_eq!(empty.miss_ratio(), 0.0);
+        assert_eq!(empty.mpki(0), 0.0);
+        assert_eq!(empty.mpki(1_000_000), 0.0);
+        let all_miss = CacheStats { accesses: 7, misses: 7 };
+        assert_eq!(all_miss.hits(), 0);
+        assert!((all_miss.miss_ratio() - 1.0).abs() < 1e-12);
+        // mpki with zero instructions must stay zero even with misses.
+        assert_eq!(all_miss.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn stats_delta_and_merge() {
+        let earlier = CacheStats { accesses: 100, misses: 10 };
+        let later = CacheStats { accesses: 150, misses: 12 };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta, CacheStats { accesses: 50, misses: 2 });
+        // Reversed order saturates to zero instead of wrapping.
+        assert_eq!(earlier.delta_since(&later), CacheStats::default());
+        let mut acc = earlier;
+        acc.merge(&delta);
+        assert_eq!(acc, later);
     }
 }

@@ -48,7 +48,9 @@ pub mod tlb;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use layout::{AddressSpace, CodeRegion, SoftwareStack, StackLayer};
 pub use machine::{MachineConfig, MachineSim};
-pub use metrics::{CharacterizationReport, InstructionMix, LevelStats};
+pub use metrics::{
+    CharacterizationReport, CounterSnapshot, InstructionMix, LevelStats, PhaseCounters,
+};
 pub use probe::{CountingProbe, NullProbe, Probe, SimProbe};
 pub use timing::TimingModel;
 pub use tlb::{Tlb, TlbConfig};

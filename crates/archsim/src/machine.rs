@@ -7,7 +7,7 @@
 
 use crate::cache::{Cache, CacheConfig};
 use crate::layout::CodeRegion;
-use crate::metrics::{CharacterizationReport, InstructionMix};
+use crate::metrics::{CharacterizationReport, CounterSnapshot, InstructionMix};
 use crate::timing::TimingModel;
 use crate::tlb::{Tlb, TlbConfig};
 use serde::{Deserialize, Serialize};
@@ -237,8 +237,11 @@ impl MachineSim {
         self.llc_misses
     }
 
-    /// Builds the characterization report for events so far.
-    pub fn report(&self) -> CharacterizationReport {
+    /// Takes a cheap point-in-time copy of every counter — a handful of
+    /// integers, no cache contents. Pair two snapshots with
+    /// [`CounterSnapshot::delta_since`] to attribute the interval's
+    /// events to a span or phase.
+    pub fn snapshot_counters(&self) -> CounterSnapshot {
         let tlb_misses = self.itlb.stats().misses + self.dtlb.stats().misses;
         let cycles = self.config.timing.cycles(
             self.mix.total(),
@@ -248,20 +251,25 @@ impl MachineSim {
             tlb_misses,
             self.predictor.mispredicts,
         );
-        CharacterizationReport {
-            machine: self.config.name.clone(),
+        CounterSnapshot {
             mix: self.mix,
-            l1i: self.l1i.stats().into(),
-            l1d: self.l1d.stats().into(),
-            l2: self.l2.stats().into(),
-            l3: self.l3.as_ref().map(|c| c.stats().into()),
-            itlb: self.itlb.stats().into(),
-            dtlb: self.dtlb.stats().into(),
-            dram_bytes: self.llc_misses * self.l2.line_size() as u64,
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+            l3: self.l3.as_ref().map(|c| c.stats()),
+            itlb: self.itlb.stats(),
+            dtlb: self.dtlb.stats(),
             requested_bytes: self.requested_bytes,
+            llc_misses: self.llc_misses,
+            mispredicts: self.predictor.mispredicts,
+            dram_bytes: self.llc_misses * self.l2.line_size() as u64,
             cycles,
-            freq_mhz: self.config.freq_mhz,
         }
+    }
+
+    /// Builds the characterization report for events so far.
+    pub fn report(&self) -> CharacterizationReport {
+        self.snapshot_counters().to_report(&self.config.name, self.config.freq_mhz)
     }
 }
 

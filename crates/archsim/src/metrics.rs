@@ -93,6 +93,18 @@ impl InstructionMix {
         self.fp_ops += other.fp_ops;
         self.other += other.other;
     }
+
+    /// Counter increase since `earlier` (field-wise, saturating at zero).
+    pub fn delta_since(&self, earlier: &InstructionMix) -> InstructionMix {
+        InstructionMix {
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            branches: self.branches.saturating_sub(earlier.branches),
+            int_ops: self.int_ops.saturating_sub(earlier.int_ops),
+            fp_ops: self.fp_ops.saturating_sub(earlier.fp_ops),
+            other: self.other.saturating_sub(earlier.other),
+        }
+    }
 }
 
 /// Instruction classes used for breakdown reporting.
@@ -130,6 +142,144 @@ impl From<CacheStats> for LevelStats {
     }
 }
 
+/// A point-in-time copy of every counter a [`crate::MachineSim`] keeps.
+///
+/// Snapshots are cheap (a handful of integers, no cache contents) and
+/// support exact attribution: because every field is a monotone running
+/// total, `later.delta_since(&earlier)` yields the events of the
+/// interval, and deltas over consecutive snapshots telescope — summing
+/// them reproduces the whole-run totals exactly, including `cycles`
+/// (each snapshot's cycle count is rounded the same way, so consecutive
+/// differences cancel).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dynamic instruction breakdown so far.
+    pub mix: InstructionMix,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Unified L3 counters, if the machine has an L3.
+    pub l3: Option<CacheStats>,
+    /// Instruction TLB counters.
+    pub itlb: CacheStats,
+    /// Data TLB counters.
+    pub dtlb: CacheStats,
+    /// Bytes requested by loads and stores (pre-hierarchy).
+    pub requested_bytes: u64,
+    /// Misses that went all the way to DRAM.
+    pub llc_misses: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Bytes transferred from DRAM (LLC misses × line size).
+    pub dram_bytes: u64,
+    /// Cycles estimated by the timing model.
+    pub cycles: u64,
+}
+
+impl CounterSnapshot {
+    /// Total dynamic instructions.
+    pub fn instructions(&self) -> u64 {
+        self.mix.total()
+    }
+
+    /// Counter increase since `earlier` (field-wise, saturating at zero).
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            mix: self.mix.delta_since(&earlier.mix),
+            l1i: self.l1i.delta_since(&earlier.l1i),
+            l1d: self.l1d.delta_since(&earlier.l1d),
+            l2: self.l2.delta_since(&earlier.l2),
+            l3: self.l3.map(|s| s.delta_since(&earlier.l3.unwrap_or_default())),
+            itlb: self.itlb.delta_since(&earlier.itlb),
+            dtlb: self.dtlb.delta_since(&earlier.dtlb),
+            requested_bytes: self.requested_bytes.saturating_sub(earlier.requested_bytes),
+            llc_misses: self.llc_misses.saturating_sub(earlier.llc_misses),
+            mispredicts: self.mispredicts.saturating_sub(earlier.mispredicts),
+            dram_bytes: self.dram_bytes.saturating_sub(earlier.dram_bytes),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+        }
+    }
+
+    /// Adds another snapshot's counters into this one.
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        self.mix.merge(&other.mix);
+        self.l1i.merge(&other.l1i);
+        self.l1d.merge(&other.l1d);
+        self.l2.merge(&other.l2);
+        match (&mut self.l3, &other.l3) {
+            (Some(a), Some(b)) => a.merge(b),
+            (l3 @ None, Some(b)) => *l3 = Some(*b),
+            _ => {}
+        }
+        self.itlb.merge(&other.itlb);
+        self.dtlb.merge(&other.dtlb);
+        self.requested_bytes += other.requested_bytes;
+        self.llc_misses += other.llc_misses;
+        self.mispredicts += other.mispredicts;
+        self.dram_bytes += other.dram_bytes;
+        self.cycles += other.cycles;
+    }
+
+    /// The snapshot as `("counter.<name>", value)` pairs with a fixed,
+    /// `'static` key set — the bridge format consumed by telemetry span
+    /// args and the Chrome-trace counter tracks. Every snapshot emits
+    /// the same keys (an absent L3 reports zero misses) so counter
+    /// tracks line up across spans.
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("counter.instructions", self.mix.total()),
+            ("counter.loads", self.mix.loads),
+            ("counter.stores", self.mix.stores),
+            ("counter.branches", self.mix.branches),
+            ("counter.int_ops", self.mix.int_ops),
+            ("counter.fp_ops", self.mix.fp_ops),
+            ("counter.l1i_misses", self.l1i.misses),
+            ("counter.l1d_misses", self.l1d.misses),
+            ("counter.l2_misses", self.l2.misses),
+            ("counter.l3_misses", self.l3.map_or(0, |s| s.misses)),
+            ("counter.itlb_misses", self.itlb.misses),
+            ("counter.dtlb_misses", self.dtlb.misses),
+            ("counter.llc_misses", self.llc_misses),
+            ("counter.branch_mispredicts", self.mispredicts),
+            ("counter.dram_bytes", self.dram_bytes),
+            ("counter.cycles", self.cycles),
+        ]
+    }
+
+    /// Expands the snapshot into a full [`CharacterizationReport`] (with
+    /// no phases of its own) so per-phase counters can reuse every
+    /// derived metric — MPKI, MIPS, operation intensity.
+    pub fn to_report(&self, machine: &str, freq_mhz: u64) -> CharacterizationReport {
+        CharacterizationReport {
+            machine: machine.to_owned(),
+            mix: self.mix,
+            l1i: self.l1i.into(),
+            l1d: self.l1d.into(),
+            l2: self.l2.into(),
+            l3: self.l3.map(Into::into),
+            itlb: self.itlb.into(),
+            dtlb: self.dtlb.into(),
+            dram_bytes: self.dram_bytes,
+            requested_bytes: self.requested_bytes,
+            cycles: self.cycles,
+            freq_mhz,
+            phases: Vec::new(),
+        }
+    }
+}
+
+/// Counter deltas attributed to one named phase of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCounters {
+    /// Phase name, e.g. `"map"`, `"shuffle"`, `"iter-3"`.
+    pub name: String,
+    /// Events credited to this phase.
+    pub counters: CounterSnapshot,
+}
+
 /// Everything the simulator learned from one characterized run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CharacterizationReport {
@@ -157,6 +307,10 @@ pub struct CharacterizationReport {
     pub cycles: u64,
     /// Core frequency in MHz used for the MIPS estimate.
     pub freq_mhz: u64,
+    /// Per-phase counter deltas in first-appearance order; empty when
+    /// the probe saw no phase marks. Integer counters sum exactly to
+    /// the whole-run totals above (deltas telescope).
+    pub phases: Vec<PhaseCounters>,
 }
 
 impl CharacterizationReport {
@@ -227,6 +381,17 @@ impl CharacterizationReport {
     /// DTLB misses per kilo-instruction.
     pub fn dtlb_mpki(&self) -> f64 {
         self.dtlb.mpki(self.instructions())
+    }
+
+    /// Expands each phase into its own report (machine name and core
+    /// frequency inherited from the whole-run report) so every derived
+    /// metric — MPKI, MIPS, operation intensity — is available per
+    /// phase. Order matches [`CharacterizationReport::phases`].
+    pub fn phase_reports(&self) -> Vec<(String, CharacterizationReport)> {
+        self.phases
+            .iter()
+            .map(|p| (p.name.clone(), p.counters.to_report(&self.machine, self.freq_mhz)))
+            .collect()
     }
 }
 
@@ -322,5 +487,82 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: CharacterizationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.mix, r.mix);
+    }
+
+    fn snap(scale: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            mix: InstructionMix { loads: 10 * scale, int_ops: 5 * scale, ..Default::default() },
+            l1d: CacheStats { accesses: 10 * scale, misses: scale },
+            l3: Some(CacheStats { accesses: scale, misses: scale / 2 }),
+            requested_bytes: 80 * scale,
+            llc_misses: scale / 2,
+            dram_bytes: 32 * scale,
+            cycles: 100 * scale,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_and_merge_roundtrip() {
+        let earlier = snap(2);
+        let later = snap(5);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.mix.loads, 30);
+        assert_eq!(delta.l1d.misses, 3);
+        assert_eq!(delta.l3.unwrap().misses, 1);
+        assert_eq!(delta.cycles, 300);
+        let mut acc = earlier.clone();
+        acc.merge(&delta);
+        assert_eq!(acc, later);
+        // Reversed delta saturates to zeros rather than wrapping.
+        assert_eq!(
+            earlier.delta_since(&later),
+            CounterSnapshot { l3: Some(CacheStats::default()), ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn named_counters_have_fixed_static_keys() {
+        let with_l3 = snap(1);
+        let without_l3 = CounterSnapshot { l3: None, ..snap(1) };
+        let a = with_l3.named_counters();
+        let b = without_l3.named_counters();
+        assert_eq!(a.len(), b.len(), "key set must not depend on the machine");
+        for ((ka, _), (kb, _)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            assert!(ka.starts_with("counter."));
+        }
+        let insts = a.iter().find(|(k, _)| *k == "counter.instructions").unwrap().1;
+        assert_eq!(insts, with_l3.instructions());
+    }
+
+    #[test]
+    fn snapshot_to_report_carries_derived_metrics() {
+        let s = snap(4);
+        let r = s.to_report("Xeon E5645", 2400);
+        assert_eq!(r.machine, "Xeon E5645");
+        assert_eq!(r.instructions(), s.instructions());
+        assert_eq!(r.cycles, s.cycles);
+        assert!(r.mips() > 0.0);
+        assert!(r.phases.is_empty());
+    }
+
+    #[test]
+    fn phase_reports_inherit_machine_and_frequency() {
+        let r = CharacterizationReport {
+            machine: "m".into(),
+            freq_mhz: 1600,
+            phases: vec![
+                PhaseCounters { name: "map".into(), counters: snap(1) },
+                PhaseCounters { name: "reduce".into(), counters: snap(2) },
+            ],
+            ..Default::default()
+        };
+        let per_phase = r.phase_reports();
+        assert_eq!(per_phase.len(), 2);
+        assert_eq!(per_phase[0].0, "map");
+        assert_eq!(per_phase[1].1.machine, "m");
+        assert_eq!(per_phase[1].1.freq_mhz, 1600);
+        assert_eq!(per_phase[1].1.instructions(), snap(2).instructions());
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::layout::{AddressSpace, CodeRegion};
 use crate::machine::{MachineConfig, MachineSim};
-use crate::metrics::{CharacterizationReport, InstructionMix};
+use crate::metrics::{CharacterizationReport, CounterSnapshot, InstructionMix, PhaseCounters};
 
 /// Receiver of micro-architectural events emitted by instrumented kernels.
 ///
@@ -47,6 +47,25 @@ pub trait Probe {
     #[inline(always)]
     fn call(&mut self, region: CodeRegion) {
         let _ = region;
+    }
+
+    /// Marks a phase boundary named `name`. Events since the previous
+    /// mark are credited to the previously named phase; repeated marks
+    /// with the same name are no-ops, and repeated *names* merge (so a
+    /// `spill` nested inside `map` accumulates across occurrences).
+    /// Probes that don't attribute phases ignore the call.
+    #[inline(always)]
+    fn phase(&mut self, name: &str) {
+        let _ = name;
+    }
+
+    /// A point-in-time copy of the probe's performance counters, if it
+    /// keeps any. Span-instrumented code snapshots at span open, again
+    /// at span close, and attaches the
+    /// [`delta`](CounterSnapshot::delta_since) as span args.
+    #[inline(always)]
+    fn counters(&self) -> Option<CounterSnapshot> {
+        None
     }
 
     /// Whether this probe actually records anything. Kernels may use this
@@ -147,12 +166,21 @@ impl Probe for CountingProbe {
 pub struct SimProbe {
     machine: MachineSim,
     address_space: AddressSpace,
+    phases: Vec<PhaseCounters>,
+    current_phase: Option<String>,
+    phase_mark: CounterSnapshot,
 }
 
 impl SimProbe {
     /// Builds a probe simulating `config`.
     pub fn new(config: MachineConfig) -> Self {
-        Self { machine: MachineSim::new(config), address_space: AddressSpace::new() }
+        Self {
+            machine: MachineSim::new(config),
+            address_space: AddressSpace::new(),
+            phases: Vec::new(),
+            current_phase: None,
+            phase_mark: CounterSnapshot::default(),
+        }
     }
 
     /// The synthetic address space for data/code allocation.
@@ -165,22 +193,60 @@ impl SimProbe {
         &self.machine
     }
 
-    /// Finishes the run and produces the characterization report.
-    pub fn finish(self) -> CharacterizationReport {
-        self.machine.report()
+    /// Finishes the run and produces the characterization report,
+    /// including per-phase counters when the run marked phases (the
+    /// tail since the last mark is credited to the last phase, so
+    /// phase counters sum to the whole-run totals exactly).
+    pub fn finish(mut self) -> CharacterizationReport {
+        self.close_phase();
+        let mut report = self.machine.report();
+        report.phases = std::mem::take(&mut self.phases);
+        report
     }
 
-    /// Produces a report of the events so far without consuming the probe.
+    /// Produces a report of the events so far without consuming the
+    /// probe. The open phase, if any, is credited with its
+    /// events-so-far in the returned report but stays open.
     pub fn snapshot(&self) -> CharacterizationReport {
-        self.machine.report()
+        let mut report = self.machine.report();
+        let mut phases = self.phases.clone();
+        if let Some(name) = &self.current_phase {
+            let delta = self.machine.snapshot_counters().delta_since(&self.phase_mark);
+            Self::credit(&mut phases, name.clone(), delta);
+        }
+        report.phases = phases;
+        report
     }
 
     /// Zeroes all statistics while keeping cache/TLB contents — call
     /// after a warm-up phase so reports reflect steady state, as the
     /// paper does ("we collect performance data after a ramp up
-    /// period").
+    /// period"). Accumulated phases are discarded and the phase mark
+    /// restarts at zero.
     pub fn reset_stats(&mut self) {
         self.machine.reset_stats();
+        self.phases.clear();
+        self.current_phase = None;
+        self.phase_mark = CounterSnapshot::default();
+    }
+
+    /// Credits everything since the last mark to the open phase and
+    /// advances the mark.
+    fn close_phase(&mut self) {
+        if let Some(name) = self.current_phase.take() {
+            let now = self.machine.snapshot_counters();
+            let delta = now.delta_since(&self.phase_mark);
+            Self::credit(&mut self.phases, name, delta);
+            self.phase_mark = now;
+        }
+    }
+
+    fn credit(phases: &mut Vec<PhaseCounters>, name: String, delta: CounterSnapshot) {
+        if let Some(p) = phases.iter_mut().find(|p| p.name == name) {
+            p.counters.merge(&delta);
+        } else {
+            phases.push(PhaseCounters { name, counters: delta });
+        }
     }
 }
 
@@ -208,6 +274,22 @@ impl Probe for SimProbe {
     fn call(&mut self, region: CodeRegion) {
         self.machine.ifetch(region);
     }
+
+    fn phase(&mut self, name: &str) {
+        if self.current_phase.as_deref() == Some(name) {
+            return;
+        }
+        if self.current_phase.is_some() {
+            self.close_phase();
+        }
+        // With no phase open the mark stays put, so events recorded
+        // before the first named phase fold into that phase.
+        self.current_phase = Some(name.to_owned());
+    }
+
+    fn counters(&self) -> Option<CounterSnapshot> {
+        Some(self.machine.snapshot_counters())
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +316,106 @@ mod tests {
     fn null_probe_is_inactive() {
         assert!(!NullProbe.is_active());
         assert!(CountingProbe::default().is_active());
+    }
+
+    fn churn(p: &mut SimProbe, base: u64, n: u64) {
+        for i in 0..n {
+            p.load(base + i * 64, 8);
+            p.int_ops(2);
+            p.branch(i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn phase_counters_sum_to_whole_run_totals() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5645());
+        let base = p.address_space_mut().alloc(1 << 22, "x");
+        churn(&mut p, base, 500); // pre-phase: folds into "map"
+        p.phase("map");
+        churn(&mut p, base, 2000);
+        p.phase("spill");
+        churn(&mut p, base + (1 << 20), 700);
+        p.phase("map"); // back to map: merges with the earlier delta
+        churn(&mut p, base, 300);
+        p.phase("reduce");
+        churn(&mut p, base + (2 << 20), 900); // tail: credited at finish
+        let r = p.finish();
+        assert_eq!(r.phases.len(), 3, "map/spill/reduce in first-appearance order");
+        assert_eq!(r.phases[0].name, "map");
+        assert_eq!(r.phases[1].name, "spill");
+        assert_eq!(r.phases[2].name, "reduce");
+        let mut sum = CounterSnapshot::default();
+        for ph in &r.phases {
+            sum.merge(&ph.counters);
+        }
+        assert_eq!(sum.mix, r.mix, "instruction mix attributes exactly");
+        assert_eq!(sum.l1d, r.l1d.stats);
+        assert_eq!(sum.l1i, r.l1i.stats);
+        assert_eq!(sum.l2, r.l2.stats);
+        assert_eq!(sum.l3.unwrap(), r.l3.unwrap().stats);
+        assert_eq!(sum.dtlb, r.dtlb.stats);
+        assert_eq!(sum.dram_bytes, r.dram_bytes);
+        assert_eq!(sum.requested_bytes, r.requested_bytes);
+        assert_eq!(sum.cycles, r.cycles, "cycle deltas telescope exactly");
+        // "map" saw the pre-phase churn plus two separate intervals.
+        assert_eq!(r.phases[0].counters.mix.loads, 2800);
+    }
+
+    #[test]
+    fn repeated_same_phase_mark_is_noop() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5310());
+        let base = p.address_space_mut().alloc(1 << 16, "x");
+        p.phase("only");
+        churn(&mut p, base, 100);
+        p.phase("only");
+        churn(&mut p, base, 100);
+        let r = p.finish();
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].counters.mix.loads, 200);
+    }
+
+    #[test]
+    fn reset_stats_clears_phases_and_remarks() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5645());
+        let base = p.address_space_mut().alloc(1 << 16, "x");
+        p.phase("warm");
+        churn(&mut p, base, 400);
+        p.reset_stats();
+        p.phase("measured");
+        churn(&mut p, base, 150);
+        let r = p.finish();
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].name, "measured");
+        assert_eq!(r.phases[0].counters.mix.loads, 150);
+        assert_eq!(r.mix.loads, 150);
+    }
+
+    #[test]
+    fn snapshot_includes_open_phase_without_closing_it() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5645());
+        let base = p.address_space_mut().alloc(1 << 16, "x");
+        p.phase("a");
+        churn(&mut p, base, 50);
+        let mid = p.snapshot();
+        assert_eq!(mid.phases.len(), 1);
+        assert_eq!(mid.phases[0].counters.mix.loads, 50);
+        churn(&mut p, base, 50);
+        let r = p.finish();
+        assert_eq!(r.phases[0].counters.mix.loads, 100, "snapshot did not consume");
+    }
+
+    #[test]
+    fn probe_counters_bridge() {
+        let mut p = SimProbe::new(MachineConfig::xeon_e5645());
+        assert!(NullProbe.counters().is_none());
+        let base = p.address_space_mut().alloc(1 << 16, "x");
+        let before = p.counters().unwrap();
+        churn(&mut p, base, 10);
+        let after = p.counters().unwrap();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.mix.loads, 10);
+        let named = delta.named_counters();
+        assert!(named.iter().any(|&(k, v)| k == "counter.loads" && v == 10));
     }
 
     #[test]

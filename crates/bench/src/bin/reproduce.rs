@@ -38,86 +38,136 @@ struct Args {
     fraction: f64,
     json_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
+    bench_json: Option<std::path::PathBuf>,
+    bench_baseline: Option<std::path::PathBuf>,
+    bench_tolerance: f64,
+}
+
+const USAGE: &str = "\
+reproduce — regenerate the BigDataBench paper's tables and figures
+
+usage: reproduce [SELECTION...] [OPTIONS...]
+
+selection (default: everything):
+  --all                  every table, figure and shape check
+  --table2..--table6     individual tables
+  --fig2..--fig6         individual figures
+  --checks               shape checks vs the paper's headline claims
+
+options:
+  --fraction F           scale library inputs by F (default 0.25)
+  --json DIR             dump each artifact as JSON into DIR
+  --trace DIR            instrumented pass: Chrome trace + metrics +
+                         Prometheus text exposition per workload
+  --bench-json PATH      write the versioned BENCH_RESULTS.json
+                         performance artifact to PATH
+  --bench-baseline PATH  compare this run against a committed
+                         BENCH_RESULTS.json; exit 1 on regression
+  --bench-tolerance PCT  allowed drift per gated metric (default 2.0)
+  -h, --help             this text
+
+`--trace`/`--bench-json`/`--bench-baseline` without a selection run
+only that pass.";
+
+/// What the next raw argument is expected to be. The parser is a
+/// two-state machine: flags, or the value owed to the previous flag.
+enum Expecting {
+    Flag,
+    Value(&'static str),
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { fraction: 0.25, ..Default::default() };
-    let mut it = std::env::args().skip(1);
-    let mut any = false;
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--all" => {
-                args.table2 = true;
-                args.table3 = true;
-                args.table4 = true;
-                args.table5 = true;
-                args.table6 = true;
-                args.fig2 = true;
-                args.fig3 = true;
-                args.fig4 = true;
-                args.fig5 = true;
-                args.fig6 = true;
-                args.checks = true;
-                any = true;
+    let mut args = Args { fraction: 0.25, bench_tolerance: 2.0, ..Default::default() };
+    let mut selected = false;
+    let mut state = Expecting::Flag;
+    for raw in std::env::args().skip(1) {
+        match state {
+            Expecting::Value(flag) => {
+                apply_value(&mut args, flag, &raw);
+                state = Expecting::Flag;
             }
-            "--table2" => args.table2 = true,
-            "--table3" => args.table3 = true,
-            "--table4" => args.table4 = true,
-            "--table5" => args.table5 = true,
-            "--table6" => args.table6 = true,
-            "--fig2" => args.fig2 = true,
-            "--fig3" => args.fig3 = true,
-            "--fig4" => args.fig4 = true,
-            "--fig5" => args.fig5 = true,
-            "--fig6" => args.fig6 = true,
-            "--checks" => args.checks = true,
-            "--fraction" => {
-                args.fraction = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--fraction needs a positive number"));
-            }
-            "--json" => {
-                args.json_dir =
-                    Some(it.next().unwrap_or_else(|| die("--json needs a directory")).into());
-            }
-            "--trace" => {
-                args.trace_dir =
-                    Some(it.next().unwrap_or_else(|| die("--trace needs a directory")).into());
-            }
-            "--help" | "-h" => {
-                println!(
-                    "reproduce — regenerate the BigDataBench paper's tables and figures\n\
-                     flags: --all --table2..6 --fig2..6 --checks --fraction F --json DIR \
-                     --trace DIR"
-                );
-                std::process::exit(0);
-            }
-            other => die(&format!("unknown flag {other}")),
-        }
-        if a != "--fraction" && a != "--json" && a != "--trace" {
-            any = any || a.starts_with("--");
+            Expecting::Flag => match raw.as_str() {
+                "--all" => {
+                    select_everything(&mut args);
+                    selected = true;
+                }
+                "--table2" => (args.table2, selected) = (true, true),
+                "--table3" => (args.table3, selected) = (true, true),
+                "--table4" => (args.table4, selected) = (true, true),
+                "--table5" => (args.table5, selected) = (true, true),
+                "--table6" => (args.table6, selected) = (true, true),
+                "--fig2" => (args.fig2, selected) = (true, true),
+                "--fig3" => (args.fig3, selected) = (true, true),
+                "--fig4" => (args.fig4, selected) = (true, true),
+                "--fig5" => (args.fig5, selected) = (true, true),
+                "--fig6" => (args.fig6, selected) = (true, true),
+                "--checks" => (args.checks, selected) = (true, true),
+                "--fraction" => state = Expecting::Value("--fraction"),
+                "--json" => state = Expecting::Value("--json"),
+                "--trace" => state = Expecting::Value("--trace"),
+                "--bench-json" => state = Expecting::Value("--bench-json"),
+                "--bench-baseline" => state = Expecting::Value("--bench-baseline"),
+                "--bench-tolerance" => state = Expecting::Value("--bench-tolerance"),
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => usage_error(&format!("unknown argument `{other}`")),
+            },
         }
     }
-    if args.trace_dir.is_some() && !any {
-        // `--trace DIR` alone runs only the instrumented pass.
-        return args;
+    if let Expecting::Value(flag) = state {
+        usage_error(&format!("{flag} needs a value"));
     }
-    if !any {
-        // Default: everything.
-        args.table2 = true;
-        args.table3 = true;
-        args.table4 = true;
-        args.table5 = true;
-        args.table6 = true;
-        args.fig2 = true;
-        args.fig3 = true;
-        args.fig4 = true;
-        args.fig5 = true;
-        args.fig6 = true;
-        args.checks = true;
+    let side_pass =
+        args.trace_dir.is_some() || args.bench_json.is_some() || args.bench_baseline.is_some();
+    if !selected && !side_pass {
+        select_everything(&mut args);
     }
     args
+}
+
+fn apply_value(args: &mut Args, flag: &str, value: &str) {
+    match flag {
+        "--fraction" => {
+            args.fraction = value
+                .parse()
+                .ok()
+                .filter(|f| *f > 0.0)
+                .unwrap_or_else(|| usage_error("--fraction needs a positive number"));
+        }
+        "--json" => args.json_dir = Some(value.into()),
+        "--trace" => args.trace_dir = Some(value.into()),
+        "--bench-json" => args.bench_json = Some(value.into()),
+        "--bench-baseline" => args.bench_baseline = Some(value.into()),
+        "--bench-tolerance" => {
+            args.bench_tolerance = value
+                .parse()
+                .ok()
+                .filter(|t| *t >= 0.0)
+                .unwrap_or_else(|| usage_error("--bench-tolerance needs a percentage >= 0"));
+        }
+        _ => unreachable!("values are only owed to known flags"),
+    }
+}
+
+fn select_everything(args: &mut Args) {
+    args.table2 = true;
+    args.table3 = true;
+    args.table4 = true;
+    args.table5 = true;
+    args.table6 = true;
+    args.fig2 = true;
+    args.fig3 = true;
+    args.fig4 = true;
+    args.fig5 = true;
+    args.fig6 = true;
+    args.checks = true;
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn die(msg: &str) -> ! {
@@ -331,11 +381,12 @@ impl Job for TraceSort {
 /// Chrome trace-event JSON + plain-text metrics summary per workload
 /// into `dir` (loadable at <https://ui.perfetto.dev>).
 fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
+    use bdb_archsim::SimProbe;
     use bdb_graph::{label_propagation_instrumented, pagerank_instrumented, PageRankConfig};
     use bdb_kvstore::{Store, StoreConfig};
     use bdb_mapreduce::Engine;
     use bdb_mlkit::KMeans;
-    use bdb_serving::loadgen::run_closed_loop_instrumented;
+    use bdb_serving::loadgen::{run_closed_loop_sampled, PrometheusSampler};
     use bdb_serving::search::SearchServer;
     use bdb_sql::exec::{hash_join_instrumented, select_instrumented};
     use bdb_sql::expr::{col, lit};
@@ -355,12 +406,16 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
     let mut text = bdb_datagen::text::TextGenerator::wikipedia(42);
     let lines: Vec<String> = text.corpus(text_bytes).lines().map(str::to_owned).collect();
 
+    // Traced (simulated-counter) runs: the spans carry `counter.*`
+    // deltas, which the Chrome exporter renders as counter tracks.
+    let machine = MachineConfig::xeon_e5645();
     let session = TraceSession::enabled("WordCount");
     let engine = Engine::builder()
         .telemetry(session.recorder.clone())
         .metrics(session.metrics.clone())
         .build();
-    let (_, stats) = engine.run(&TraceWordCount, &lines);
+    let mut probe = SimProbe::new(machine.clone());
+    let (_, stats) = engine.run_traced(&TraceWordCount, &lines, &mut probe);
     export(&session, &stats.phase_breakdown());
 
     let session = TraceSession::enabled("Sort");
@@ -369,7 +424,8 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
         .telemetry(session.recorder.clone())
         .metrics(session.metrics.clone())
         .build();
-    let (_, stats) = engine.run(&TraceSort, &lines);
+    let mut probe = SimProbe::new(machine);
+    let (_, stats) = engine.run_traced(&TraceSort, &lines, &mut probe);
     export(&session, &stats.phase_breakdown());
 
     // Graph analytics: PageRank and Connected Components.
@@ -401,13 +457,29 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
     session.metrics.counter("mlkit.kmeans_iterations").add(u64::from(model.iterations));
     export(&session, &format!("{} points | {} iterations", points.len(), model.iterations));
 
-    // Online service: Nutch-style search server, closed loop.
+    // Online service: Nutch-style search server, closed loop, with
+    // periodic Prometheus scrapes written next to the trace.
     let session = TraceSession::enabled("NutchServer");
     let mut server = SearchServer::build(((400.0 * f) as u32).max(100), 42);
     let requests = ((1_000.0 * f) as usize).max(200);
-    let report =
-        run_closed_loop_instrumented(&mut server, requests, 7, &session.recorder, &session.metrics);
+    let mut sampler = PrometheusSampler::every(requests / 4);
+    let report = run_closed_loop_sampled(
+        &mut server,
+        requests,
+        7,
+        &session.recorder,
+        &session.metrics,
+        &mut sampler,
+    );
     export(&session, &format!("{requests} requests | {:.0} req/s", report.achieved_rps));
+    let scrapes = sampler.finish(&session.metrics);
+    let prom_path = dir.join("nutchserver.prom.txt");
+    let body: String =
+        scrapes.iter().enumerate().map(|(i, s)| format!("# scrape {i}\n{s}\n")).collect();
+    match std::fs::write(&prom_path, body) {
+        Ok(()) => println!("  {:<20} -> {}", "", prom_path.display()),
+        Err(e) => eprintln!("  NutchServer: prometheus export failed: {e}"),
+    }
 
     // Cloud OLTP: LSM store write + read mix with flushes/compactions.
     let session = TraceSession::enabled("CloudOLTP");
@@ -605,5 +677,66 @@ fn main() {
 
     if let Some(dir) = &args.trace_dir {
         trace_exports(&suite, args.fraction, dir);
+    }
+
+    if args.bench_json.is_some() || args.bench_baseline.is_some() {
+        bench_results(&args);
+    }
+}
+
+/// Collects the BENCH_RESULTS.json artifact and, when a baseline is
+/// given, gates the run on it (exit 1 on drift beyond tolerance).
+fn bench_results(args: &Args) {
+    use bdb_bench::results::{collect, compare_json, DEFAULT_WORKLOADS};
+
+    section("BENCH_RESULTS — simulated performance artifact");
+    eprintln!("collecting {} workloads at fraction {}...", DEFAULT_WORKLOADS.len(), args.fraction);
+    let results = collect(args.fraction, &DEFAULT_WORKLOADS);
+    let current = results.to_json();
+    let mut t = TextTable::new(&["workload", "metric", "MIPS", "L1I", "L2", "L3 MPKI", "phases"]);
+    for w in &results.workloads {
+        t.row(&[
+            w.name.clone(),
+            format!("{} {}", fnum(w.metric_value), w.metric_unit),
+            fnum(w.mips),
+            fnum(w.mpki[0]),
+            fnum(w.mpki[2]),
+            fnum(w.mpki[3]),
+            w.phases.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let Some(path) = &args.bench_json {
+        match results.write(path) {
+            Ok(()) => eprintln!("  wrote {}", path.display()),
+            Err(e) => die(&format!("writing {}: {e}", path.display())),
+        }
+    }
+    if let Some(path) = &args.bench_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("reading baseline {}: {e}", path.display())));
+        match compare_json(&baseline, &current, args.bench_tolerance) {
+            Ok(drifts) if drifts.is_empty() => {
+                println!(
+                    "bench-check PASS: all gated metrics within {}% of {}",
+                    args.bench_tolerance,
+                    path.display()
+                );
+            }
+            Ok(drifts) => {
+                eprintln!(
+                    "bench-check FAIL: {} metric(s) drifted beyond {}% of {}:",
+                    drifts.len(),
+                    args.bench_tolerance,
+                    path.display()
+                );
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => die(&format!("bench-check: {e}")),
+        }
     }
 }

@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod results;
 pub mod table;
 
+pub use results::{collect, compare_json, BenchResults, Drift};
 pub use table::TextTable;

@@ -1,0 +1,662 @@
+//! The versioned `BENCH_RESULTS.json` regression artifact.
+//!
+//! [`collect`] runs a fixed set of workloads natively (for the
+//! user-perceivable metric and wall time) and under the architecture
+//! simulator (for MIPS, MPKI, instruction mix, operation intensity and
+//! the per-phase counter breakdown), then renders everything as one
+//! stable JSON document. [`compare_json`] diffs two such documents and
+//! reports every simulated metric that drifted beyond a tolerance —
+//! the `ci.sh --bench-check` gate. Wall-clock numbers are recorded for
+//! context but never gated: only deterministic simulator outputs are.
+//!
+//! The JSON is written by hand through [`bdb_telemetry::json`] so the
+//! artifact builds identically with or without a real `serde_json`.
+
+use bdb_telemetry::json::ObjectWriter;
+use bigdatabench::{MachineConfig, Suite, WorkloadId};
+use std::path::Path;
+use std::time::Instant;
+
+/// Bumped whenever the JSON layout changes incompatibly; the
+/// comparator refuses to diff documents of different versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Workloads captured in the artifact: one per paper scenario family
+/// (micro MapReduce ×2, graph analytics, machine learning, relational
+/// query).
+pub const DEFAULT_WORKLOADS: [WorkloadId; 5] = [
+    WorkloadId::WordCount,
+    WorkloadId::Sort,
+    WorkloadId::PageRank,
+    WorkloadId::KMeans,
+    WorkloadId::JoinQuery,
+];
+
+/// One phase of one workload, as raw counters (not rates), so the
+/// golden test can assert the phases partition the whole run.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Phase name (`map`, `iter-3`, `build`...), first-appearance order.
+    pub name: String,
+    /// Instructions retired in the phase.
+    pub instructions: u64,
+    /// Modeled cycles spent in the phase.
+    pub cycles: u64,
+    /// L2 misses within the phase.
+    pub l2_misses: u64,
+    /// Last-level cache misses within the phase.
+    pub llc_misses: u64,
+    /// Modeled DRAM traffic attributed to the phase.
+    pub dram_bytes: u64,
+}
+
+/// One workload's native measurement plus simulated characterization.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name, Table 6 spelling.
+    pub name: String,
+    /// Native wall time of the run (context only — never gated).
+    pub wall_ms: f64,
+    /// Unit of the user-perceivable metric (`B/s`, `ops/s`, `req/s`).
+    pub metric_unit: &'static str,
+    /// The user-perceivable rate (records/bytes/requests per second).
+    pub metric_value: f64,
+    /// Timing-model MIPS.
+    pub mips: f64,
+    /// Instructions per cycle from the timing model.
+    pub ipc: f64,
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Total modeled cycles.
+    pub cycles: u64,
+    /// Misses per kilo-instruction: L1I, L1D, L2, L3, ITLB, DTLB.
+    pub mpki: [f64; 6],
+    /// Instruction-mix fractions: load, store, branch, int, fp.
+    pub mix: [f64; 5],
+    /// Integer operations per DRAM byte.
+    pub int_per_dram_byte: f64,
+    /// FP operations per DRAM byte.
+    pub fp_per_dram_byte: f64,
+    /// Per-phase counter breakdown; phases partition the whole run.
+    pub phases: Vec<PhaseResult>,
+}
+
+/// The whole artifact.
+#[derive(Debug, Clone)]
+pub struct BenchResults {
+    /// Simulated machine the characterization ran on.
+    pub machine: String,
+    /// Input-scale fraction the suite ran at.
+    pub fraction: f64,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// Runs `ids` at `fraction` scale and gathers the artifact.
+pub fn collect(fraction: f64, ids: &[WorkloadId]) -> BenchResults {
+    let suite = Suite::with_fraction(fraction);
+    let machine = MachineConfig::xeon_e5645();
+    let workloads = ids
+        .iter()
+        .map(|&id| {
+            let wall_start = Instant::now();
+            let native = suite.run_native(id, 1);
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1_000.0;
+            let report = suite.run_traced(id, 1, machine.clone());
+            let total = report.mix.total();
+            let phases = report
+                .phases
+                .iter()
+                .map(|p| PhaseResult {
+                    name: p.name.clone(),
+                    instructions: p.counters.instructions(),
+                    cycles: p.counters.cycles,
+                    l2_misses: p.counters.l2.misses,
+                    llc_misses: p.counters.llc_misses,
+                    dram_bytes: p.counters.dram_bytes,
+                })
+                .collect();
+            use bdb_archsim::metrics::InstClass;
+            WorkloadResult {
+                name: id.name().to_owned(),
+                wall_ms,
+                metric_unit: native.metric.unit(),
+                metric_value: native.metric.value(),
+                mips: report.mips(),
+                ipc: report.ipc(),
+                instructions: total,
+                cycles: report.cycles,
+                mpki: [
+                    report.l1i_mpki(),
+                    report.l1d.stats.mpki(total),
+                    report.l2_mpki(),
+                    report.l3_mpki(),
+                    report.itlb_mpki(),
+                    report.dtlb_mpki(),
+                ],
+                mix: [
+                    report.mix.fraction(InstClass::Load),
+                    report.mix.fraction(InstClass::Store),
+                    report.mix.fraction(InstClass::Branch),
+                    report.mix.fraction(InstClass::Int),
+                    report.mix.fraction(InstClass::Fp),
+                ],
+                int_per_dram_byte: report.int_intensity(),
+                fp_per_dram_byte: report.fp_intensity(),
+                phases,
+            }
+        })
+        .collect();
+    BenchResults { machine: machine.name, fraction, workloads }
+}
+
+const MPKI_KEYS: [&str; 6] = ["l1i", "l1d", "l2", "l3", "itlb", "dtlb"];
+const MIX_KEYS: [&str; 5] = ["load", "store", "branch", "int", "fp"];
+
+impl BenchResults {
+    /// Renders the artifact as pretty-stable JSON (one workload per
+    /// line group, keys in fixed order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut root = ObjectWriter::new(&mut out);
+        root.field_u64("schema_version", SCHEMA_VERSION)
+            .field_str("machine", &self.machine)
+            .field_f64("fraction", self.fraction);
+        {
+            let buf = root.field_raw("workloads");
+            buf.push('[');
+            for (i, w) in self.workloads.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                buf.push_str("\n  ");
+                write_workload(buf, w);
+            }
+            buf.push_str("\n]");
+        }
+        root.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Writes [`BenchResults::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn write_workload(out: &mut String, w: &WorkloadResult) {
+    let mut o = ObjectWriter::new(out);
+    o.field_str("name", &w.name)
+        .field_f64("wall_ms", w.wall_ms)
+        .field_str("metric_unit", w.metric_unit)
+        .field_f64("metric_value", w.metric_value)
+        .field_f64("mips", w.mips)
+        .field_f64("ipc", w.ipc)
+        .field_u64("instructions", w.instructions)
+        .field_u64("cycles", w.cycles);
+    {
+        let buf = o.field_raw("mpki");
+        let mut m = ObjectWriter::new(buf);
+        for (key, value) in MPKI_KEYS.iter().zip(w.mpki) {
+            m.field_f64(key, value);
+        }
+        m.finish();
+    }
+    {
+        let buf = o.field_raw("mix");
+        let mut m = ObjectWriter::new(buf);
+        for (key, value) in MIX_KEYS.iter().zip(w.mix) {
+            m.field_f64(key, value);
+        }
+        m.finish();
+    }
+    o.field_f64("int_per_dram_byte", w.int_per_dram_byte)
+        .field_f64("fp_per_dram_byte", w.fp_per_dram_byte);
+    {
+        let buf = o.field_raw("phases");
+        buf.push('[');
+        for (i, p) in w.phases.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let mut ph = ObjectWriter::new(buf);
+            ph.field_str("name", &p.name)
+                .field_u64("instructions", p.instructions)
+                .field_u64("cycles", p.cycles)
+                .field_u64("l2_misses", p.l2_misses)
+                .field_u64("llc_misses", p.llc_misses)
+                .field_u64("dram_bytes", p.dram_bytes);
+            ph.finish();
+        }
+        buf.push(']');
+    }
+    o.finish();
+}
+
+/// One simulated metric that moved beyond tolerance between two
+/// artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Workload name.
+    pub workload: String,
+    /// Metric path within the workload object (e.g. `mpki.l2`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = increased).
+    pub change_pct: f64,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {} ({:+.2}%)",
+            self.workload, self.metric, self.baseline, self.current, self.change_pct
+        )
+    }
+}
+
+/// A tiny structural JSON reader for the comparator: it needs numbers
+/// and strings by key path from documents *we* wrote, nothing more.
+/// Hand-rolled so the gate works against any `serde_json` (including
+/// offline stand-ins whose serializers are inert).
+mod reader {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true`/`false`.
+        Bool(bool),
+        /// Any number (parsed as f64; exact for the u64s we gate on
+        /// only up to 2^53, which simulated counters stay far below).
+        Num(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object, insertion order preserved.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number, if this is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses `text` into a [`Json`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Json::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Json::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Json::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, text: &str, v: Json) -> Result<Json, String> {
+        if b[*pos..].starts_with(text.as_bytes()) {
+            *pos += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        *pos += 1; // opening quote
+        let mut s = String::new();
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    format!("bad \\u escape at byte {pos}", pos = *pos)
+                                })?;
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        Some(&esc) => s.push(esc as char),
+                        None => return Err("unterminated escape".to_owned()),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let ch_len = utf8_len(c);
+                    let chunk = b
+                        .get(*pos..*pos + ch_len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {pos}", pos = *pos))?;
+                    s.push_str(chunk);
+                    *pos += ch_len;
+                }
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0xF0..=0xF7 => 4,
+            0xE0..=0xEF => 3,
+            0xC0..=0xDF => 2,
+            _ => 1,
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        *pos += 1; // '{'
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}", pos = *pos));
+            }
+            *pos += 1;
+            members.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+}
+
+/// The gated metric paths: deterministic simulator outputs only.
+const GATED: [&str; 4] = ["mips", "ipc", "instructions", "cycles"];
+
+fn change_pct(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline) / baseline * 100.0
+    }
+}
+
+fn require_f64(v: &reader::Json, workload: &str, path: &str) -> Result<f64, String> {
+    let mut node = v;
+    for part in path.split('.') {
+        node =
+            node.get(part).ok_or_else(|| format!("workload {workload}: missing field {path}"))?;
+    }
+    node.as_f64().ok_or_else(|| format!("workload {workload}: field {path} is not a number"))
+}
+
+/// Diffs two artifacts, returning every gated metric whose relative
+/// change exceeds `tolerance_pct` in either direction.
+///
+/// # Errors
+///
+/// Returns an explanation when the documents are not comparable:
+/// malformed JSON, different schema versions, different input
+/// fractions, or a baseline workload missing from the current run.
+pub fn compare_json(
+    baseline: &str,
+    current: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<Drift>, String> {
+    let base = reader::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = reader::parse(current).map_err(|e| format!("current: {e}"))?;
+    for (doc, label) in [(&base, "baseline"), (&cur, "current")] {
+        let version = doc
+            .get("schema_version")
+            .and_then(reader::Json::as_f64)
+            .ok_or_else(|| format!("{label}: missing schema_version"))?;
+        if version != SCHEMA_VERSION as f64 {
+            return Err(format!(
+                "{label}: schema_version {version} != supported {SCHEMA_VERSION}; regenerate the baseline"
+            ));
+        }
+    }
+    let base_fraction = base.get("fraction").and_then(reader::Json::as_f64);
+    let cur_fraction = cur.get("fraction").and_then(reader::Json::as_f64);
+    if base_fraction != cur_fraction {
+        return Err(format!(
+            "input fractions differ (baseline {base_fraction:?}, current {cur_fraction:?}); \
+             the runs are not comparable"
+        ));
+    }
+    let empty: [reader::Json; 0] = [];
+    let cur_workloads = cur.get("workloads").and_then(reader::Json::as_array).unwrap_or(&empty);
+    let mut drifts = Vec::new();
+    for bw in base.get("workloads").and_then(reader::Json::as_array).unwrap_or(&empty) {
+        let name = bw.get("name").and_then(reader::Json::as_str).unwrap_or("?").to_owned();
+        let Some(cw) = cur_workloads
+            .iter()
+            .find(|w| w.get("name").and_then(reader::Json::as_str) == Some(&name))
+        else {
+            return Err(format!(
+                "workload {name} present in baseline but missing from current run"
+            ));
+        };
+        let mut paths: Vec<String> = GATED.iter().map(|m| (*m).to_owned()).collect();
+        paths.extend(MPKI_KEYS.iter().map(|k| format!("mpki.{k}")));
+        for path in paths {
+            let b = require_f64(bw, &name, &path)?;
+            let c = require_f64(cw, &name, &path)?;
+            let pct = change_pct(b, c);
+            if pct.abs() > tolerance_pct {
+                drifts.push(Drift {
+                    workload: name.clone(),
+                    metric: path,
+                    baseline: b,
+                    current: c,
+                    change_pct: pct,
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchResults {
+        collect(1.0 / 64.0, &[WorkloadId::WordCount])
+    }
+
+    #[test]
+    fn artifact_round_trips_through_own_reader() {
+        let results = tiny();
+        let json = results.to_json();
+        let v = reader::parse(&json).expect("self-written JSON parses");
+        assert_eq!(
+            v.get("schema_version").and_then(reader::Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        let workloads = v.get("workloads").and_then(reader::Json::as_array).unwrap();
+        assert_eq!(workloads.len(), 1);
+        let w = &workloads[0];
+        assert_eq!(w.get("name").and_then(reader::Json::as_str), Some("WordCount"));
+        assert!(w.get("mips").and_then(reader::Json::as_f64).unwrap() > 0.0);
+        let phases = w.get("phases").and_then(reader::Json::as_array).unwrap();
+        assert!(!phases.is_empty(), "WordCount records map/shuffle/reduce phases");
+        let phase_instructions: f64 = phases
+            .iter()
+            .map(|p| p.get("instructions").and_then(reader::Json::as_f64).unwrap())
+            .sum();
+        let total = w.get("instructions").and_then(reader::Json::as_f64).unwrap();
+        assert!((phase_instructions - total).abs() < 0.5, "phases partition the run");
+    }
+
+    #[test]
+    fn identical_artifacts_show_no_drift() {
+        let json = tiny().to_json();
+        let drifts = compare_json(&json, &json, 0.0).expect("comparable");
+        assert!(drifts.is_empty(), "{drifts:?}");
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_reported() {
+        let results = tiny();
+        let mut moved = results.clone();
+        moved.workloads[0].mips *= 1.25;
+        moved.workloads[0].mpki[2] *= 0.9;
+        let drifts = compare_json(&results.to_json(), &moved.to_json(), 5.0).expect("comparable");
+        let metrics: Vec<&str> = drifts.iter().map(|d| d.metric.as_str()).collect();
+        assert!(metrics.contains(&"mips"), "{metrics:?}");
+        assert!(metrics.contains(&"mpki.l2"), "{metrics:?}");
+        assert!(drifts.iter().all(|d| d.change_pct.abs() > 5.0));
+        // Within tolerance the same pair is clean.
+        let ok = compare_json(&results.to_json(), &moved.to_json(), 30.0).expect("comparable");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn incompatible_documents_are_refused() {
+        let json = tiny().to_json();
+        let other_version = json.replacen("\"schema_version\":1", "\"schema_version\":2", 1);
+        assert!(compare_json(&other_version, &json, 5.0).is_err());
+        let other_fraction = json.replacen("\"fraction\":", "\"fraction\":0.5, \"x\":", 1);
+        assert!(compare_json(&json, &other_fraction, 5.0).is_err());
+        let renamed = json.replacen("\"name\":\"WordCount\"", "\"name\":\"Sort\"", 1);
+        assert!(compare_json(&renamed, &json, 5.0).is_err(), "missing workload is an error");
+        assert!(compare_json("not json", &json, 5.0).is_err());
+    }
+
+    #[test]
+    fn collect_is_deterministic_on_sim_metrics() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.workloads[0].instructions, b.workloads[0].instructions);
+        assert_eq!(a.workloads[0].cycles, b.workloads[0].cycles);
+        assert_eq!(a.workloads[0].mpki, b.workloads[0].mpki);
+        // Only wall_ms (and possibly the native rate) may differ.
+        let drifts = compare_json(&a.to_json(), &b.to_json(), 0.0).expect("comparable");
+        assert!(drifts.is_empty(), "sim metrics must be bit-stable: {drifts:?}");
+    }
+}

@@ -1,0 +1,53 @@
+//! CLI contract tests for the `reproduce` binary: unknown arguments
+//! and missing values must print usage and exit 2; `--help` must
+//! document every flag, including the bench-artifact ones.
+
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn unknown_argument_prints_usage_and_exits_2() {
+    let out = reproduce().arg("--no-such-flag").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument `--no-such-flag`"), "{stderr}");
+    assert!(stderr.contains("usage: reproduce"), "usage text on stderr: {stderr}");
+}
+
+#[test]
+fn stray_positional_is_rejected() {
+    let out = reproduce().args(["--checks", "extra"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument `extra`"));
+}
+
+#[test]
+fn flag_missing_its_value_is_a_usage_error() {
+    for flag in ["--fraction", "--json", "--trace", "--bench-json", "--bench-baseline"] {
+        let out = reproduce().arg(flag).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{flag} without value");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(&format!("{flag} needs a value")), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn bad_numeric_values_are_usage_errors() {
+    let out = reproduce().args(["--fraction", "nope"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = reproduce().args(["--bench-tolerance", "-3"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_documents_the_bench_flags() {
+    let out = reproduce().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--bench-json", "--bench-baseline", "--bench-tolerance", "--trace", "--fraction"] {
+        assert!(stdout.contains(flag), "help mentions {flag}: {stdout}");
+    }
+}

@@ -286,6 +286,61 @@ pub fn figure6(
     rows
 }
 
+/// One row of the per-phase breakdown: an execution phase of one
+/// workload (map/spill/shuffle/reduce for MapReduce jobs, `iter-N` for
+/// iterative algorithms, per-operator for SQL) with the figure-level
+/// metrics recomputed over that phase alone. This is the drill-down
+/// behind Figures 2–6: the same MPKI and instruction-mix axes, but
+/// attributed to the phase that caused them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Workload name.
+    pub workload: String,
+    /// Phase name, in first-appearance order.
+    pub phase: String,
+    /// Instructions retired within the phase.
+    pub instructions: u64,
+    /// This phase's share of the run's instructions (0..=1).
+    pub instruction_share: f64,
+    /// This phase's share of the run's modeled cycles (0..=1).
+    pub cycle_share: f64,
+    /// Timing-model MIPS over the phase alone.
+    pub mips: f64,
+    /// L1 instruction-cache MPKI within the phase.
+    pub l1i_mpki: f64,
+    /// L2 MPKI within the phase.
+    pub l2_mpki: f64,
+    /// L3 MPKI within the phase.
+    pub l3_mpki: f64,
+}
+
+/// Expands one traced report into per-phase rows. Empty when the run
+/// recorded no phase marks (e.g. refbench kernels).
+pub fn phase_rows(workload: &str, report: &CharacterizationReport) -> Vec<PhaseRow> {
+    let total_instructions = report.mix.total().max(1);
+    let total_cycles = report.cycles.max(1);
+    report
+        .phase_reports()
+        .iter()
+        .map(|(phase, r)| PhaseRow {
+            workload: workload.to_owned(),
+            phase: phase.clone(),
+            instructions: r.mix.total(),
+            instruction_share: r.mix.total() as f64 / total_instructions as f64,
+            cycle_share: r.cycles as f64 / total_cycles as f64,
+            mips: r.mips(),
+            l1i_mpki: r.l1i_mpki(),
+            l2_mpki: r.l2_mpki(),
+            l3_mpki: r.l3_mpki(),
+        })
+        .collect()
+}
+
+/// Computes the per-phase breakdown for every workload in `reports`.
+pub fn phase_breakdown(reports: &[(WorkloadId, CharacterizationReport)]) -> Vec<PhaseRow> {
+    reports.iter().flat_map(|(id, r)| phase_rows(id.name(), r)).collect()
+}
+
 /// Convenience: the multipliers of [`RunScale::MULTIPLIERS`] as labels.
 pub fn multiplier_labels() -> Vec<String> {
     RunScale::MULTIPLIERS
@@ -327,5 +382,31 @@ mod tests {
     #[test]
     fn multiplier_labels_match_paper() {
         assert_eq!(multiplier_labels(), vec!["Baseline", "4X", "8X", "16X", "32X"]);
+    }
+
+    #[test]
+    fn phase_rows_partition_a_mapreduce_run() {
+        let suite = tiny_suite();
+        let report = suite.run_traced(WorkloadId::WordCount, 1, MachineConfig::xeon_e5645());
+        let rows = phase_rows("WordCount", &report);
+        assert!(!rows.is_empty(), "traced WordCount records phases");
+        let names: Vec<&str> = rows.iter().map(|r| r.phase.as_str()).collect();
+        assert!(names.contains(&"map"), "phases: {names:?}");
+        assert!(names.contains(&"reduce"), "phases: {names:?}");
+        let instructions: u64 = rows.iter().map(|r| r.instructions).sum();
+        assert_eq!(instructions, report.mix.total(), "phases partition the instruction stream");
+        let inst_share: f64 = rows.iter().map(|r| r.instruction_share).sum();
+        let cycle_share: f64 = rows.iter().map(|r| r.cycle_share).sum();
+        assert!((inst_share - 1.0).abs() < 1e-9, "shares sum to 1: {inst_share}");
+        assert!((cycle_share - 1.0).abs() < 1e-9, "cycle shares sum to 1: {cycle_share}");
+        assert!(rows.iter().filter(|r| r.instructions > 0).all(|r| r.mips > 0.0));
+    }
+
+    #[test]
+    fn phase_rows_name_iterations_for_iterative_workloads() {
+        let suite = tiny_suite();
+        let report = suite.run_traced(WorkloadId::PageRank, 1, MachineConfig::xeon_e5645());
+        let rows = phase_rows("PageRank", &report);
+        assert!(rows.iter().any(|r| r.phase == "iter-1"), "per-iteration phases recorded");
     }
 }

@@ -81,6 +81,10 @@ fn label_propagation_impl<P: Probe + ?Sized>(
     let mut iterations = 0;
     loop {
         iterations += 1;
+        if probe.is_active() {
+            probe.phase(&format!("iter-{iterations}"));
+        }
+        let counters_before = probe.counters();
         let mut iter_span = span!(telemetry, "graph", "cc-iteration", iter = iterations);
         if let Some(t) = trace.as_mut() {
             t.on_superstep(probe);
@@ -112,6 +116,11 @@ fn label_propagation_impl<P: Probe + ?Sized>(
             }
         }
         iter_span.arg("changed", changed);
+        if let (Some(b), Some(a)) = (counters_before, probe.counters()) {
+            for (k, v) in a.delta_since(&b).named_counters() {
+                iter_span.arg(k, v);
+            }
+        }
         if !changed {
             break;
         }

@@ -68,6 +68,10 @@ fn pagerank_impl<P: Probe + ?Sized>(
     let mut iterations = 0;
     for _ in 0..config.max_iterations {
         iterations += 1;
+        if probe.is_active() {
+            probe.phase(&format!("iter-{iterations}"));
+        }
+        let counters_before = probe.counters();
         let mut iter_span = span!(telemetry, "graph", "pagerank-iteration", iter = iterations);
         if let Some(t) = trace.as_mut() {
             t.on_superstep(probe);
@@ -107,6 +111,11 @@ fn pagerank_impl<P: Probe + ?Sized>(
             ranks[v] = r;
         }
         iter_span.arg("delta", delta);
+        if let (Some(b), Some(a)) = (counters_before, probe.counters()) {
+            for (k, v) in a.delta_since(&b).named_counters() {
+                iter_span.arg(k, v);
+            }
+        }
         if delta < config.tolerance {
             break;
         }

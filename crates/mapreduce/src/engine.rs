@@ -4,8 +4,8 @@ use crate::codec::Datum;
 use crate::job::{Emitter, Job};
 use crate::spill::{merge_runs, SpillFile};
 use crate::trace::FrameworkModel;
-use bdb_archsim::{NullProbe, Probe};
-use bdb_telemetry::{span, MetricsRegistry, SpanRecorder};
+use bdb_archsim::{CounterSnapshot, NullProbe, Probe};
+use bdb_telemetry::{span, MetricsRegistry, SpanGuard, SpanRecorder};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -367,7 +367,14 @@ impl Engine {
         let caller_fw = fw;
         let mut fw = Some(std::mem::take(caller_fw));
         let map_start = Instant::now();
-        let task = self.map_task(job, inputs, 0, probe, &mut fw);
+        probe.phase("map");
+        let task = {
+            let before = probe.counters();
+            let mut map_span = span!(self.telemetry, "mapreduce", "map-phase");
+            let task = self.map_task(job, inputs, 0, probe, &mut fw);
+            attach_counter_delta(&mut map_span, before.as_ref(), probe);
+            task
+        };
         stats.map_records = task.records;
         stats.map_output_pairs = task.output_pairs;
         stats.combined_pairs = task.combined_pairs;
@@ -384,6 +391,9 @@ impl Engine {
             let runs = if run.is_empty() { Vec::new() } else { vec![run] };
             let spills = task.spill_runs.get(p).map_or(0, Vec::len);
             let _ = spills;
+            let before = probe.counters();
+            let mut part_span =
+                span!(self.telemetry, "mapreduce", "reduce-partition", partition = p);
             let r = self.reduce_partition(
                 job,
                 runs,
@@ -391,6 +401,8 @@ impl Engine {
                 probe,
                 &mut fw,
             );
+            attach_counter_delta(&mut part_span, before.as_ref(), probe);
+            drop(part_span);
             stats.reduce_groups += r.groups;
             stats.shuffle_bytes += r.shuffle_bytes;
             stats.merge_time += r.merge_time;
@@ -489,6 +501,8 @@ impl Engine {
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
     ) {
+        probe.phase("spill");
+        let before = probe.counters();
         let mut spill_span = span!(self.telemetry, "mapreduce", "spill", task = task_id);
         let mut spilled_bytes = 0u64;
         for (p, buf) in buffers.iter_mut().enumerate() {
@@ -516,6 +530,11 @@ impl Engine {
             result.spill_runs[p].push(file);
         }
         spill_span.arg("bytes", spilled_bytes);
+        attach_counter_delta(&mut spill_span, before.as_ref(), probe);
+        drop(spill_span);
+        // Spills interrupt the map loop; attribution returns to "map"
+        // for the records that follow.
+        probe.phase("map");
     }
 
     /// Shuffle-merge and reduce one partition.
@@ -529,7 +548,9 @@ impl Engine {
     ) -> ReduceOutcome<J::Output> {
         let mut shuffle_bytes = 0u64;
         let merge_start = Instant::now();
+        probe.phase("shuffle");
         let merged = {
+            let before = probe.counters();
             let mut merge_span =
                 span!(self.telemetry, "mapreduce", "shuffle-merge", runs = runs.len());
             merge_span.arg("spills", spills.len());
@@ -541,9 +562,12 @@ impl Engine {
                 shuffle_bytes +=
                     run.iter().map(|(k, v)| (k.size_hint() + v.size_hint()) as u64).sum::<u64>();
             }
-            merge_runs(runs)
+            let merged = merge_runs(runs);
+            attach_counter_delta(&mut merge_span, before.as_ref(), probe);
+            merged
         };
         let merge_time = merge_start.elapsed();
+        probe.phase("reduce");
         let mut out = Vec::new();
         let mut groups = 0u64;
         let mut iter = merged.into_iter().peekable();
@@ -559,6 +583,23 @@ impl Engine {
             job.reduce(key, values, &mut out, probe);
         }
         ReduceOutcome { outputs: out, groups, shuffle_bytes, merge_time }
+    }
+}
+
+/// Copies the counter deltas accumulated since `before` onto `span` as
+/// `counter.*` args, when the probe exposes simulated counters. The
+/// Chrome exporter additionally renders such args as `"ph":"C"`
+/// samples, giving per-phase counter tracks over the run timeline.
+fn attach_counter_delta<P: Probe + ?Sized>(
+    span: &mut SpanGuard<'_>,
+    before: Option<&CounterSnapshot>,
+    probe: &P,
+) {
+    let (Some(before), Some(after)) = (before, probe.counters()) else {
+        return;
+    };
+    for (key, value) in after.delta_since(before).named_counters() {
+        span.arg(key, value);
     }
 }
 
@@ -802,6 +843,37 @@ mod tests {
         assert_eq!(metrics.counter("mapreduce.map_records").get(), 4000);
         assert_eq!(metrics.counter("mapreduce.reduce_groups").get(), stats.reduce_groups);
         assert_eq!(metrics.histogram("mapreduce.map_phase_us").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn traced_run_attributes_counters_to_phases_and_spans() {
+        let telemetry = SpanRecorder::enabled();
+        let engine = Engine::builder().reducers(2).telemetry(telemetry.clone()).build();
+        let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+        engine.run_traced(&WordCount, &lines(), &mut probe);
+        let report = probe.finish();
+
+        // Phase attribution: map/shuffle/reduce named, sums to totals.
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["map", "shuffle", "reduce"], "phases in first-appearance order");
+        let summed: u64 = report.phases.iter().map(|p| p.counters.instructions()).sum();
+        assert_eq!(summed, report.mix.total(), "phase counters sum to whole-run totals");
+
+        // The map-phase span and each reduce-partition span carry the
+        // full fixed counter-delta key set.
+        let events = telemetry.events();
+        let carrying: Vec<_> = events
+            .iter()
+            .filter(|e| e.args.iter().any(|(k, _)| k.starts_with("counter.")))
+            .collect();
+        assert!(carrying.len() >= 2, "counter deltas on ≥2 spans, got {}", carrying.len());
+        assert!(carrying.iter().any(|e| e.name == "map-phase"));
+        assert!(carrying.iter().any(|e| e.name == "reduce-partition"));
+        let keys = CounterSnapshot::default().named_counters().len();
+        for e in &carrying {
+            let n = e.args.iter().filter(|(k, _)| k.starts_with("counter.")).count();
+            assert_eq!(n, keys, "span {} carries the full key set", e.name);
+        }
     }
 
     #[test]

@@ -34,6 +34,45 @@ impl ServiceReport {
     }
 }
 
+/// Captures Prometheus text-format expositions of a [`MetricsRegistry`]
+/// at a fixed request cadence, so a load run leaves behind a series of
+/// scrape-like snapshots rather than only one final state.
+#[derive(Debug)]
+pub struct PrometheusSampler {
+    every: usize,
+    seen: usize,
+    snapshots: Vec<String>,
+}
+
+impl PrometheusSampler {
+    /// A sampler that scrapes after every `requests` completed requests
+    /// (clamped to at least 1).
+    pub fn every(requests: usize) -> Self {
+        Self { every: requests.max(1), seen: 0, snapshots: Vec::new() }
+    }
+
+    /// Counts one completed request, scraping `metrics` when the
+    /// cadence comes due.
+    pub fn tick(&mut self, metrics: &MetricsRegistry) {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            self.snapshots.push(metrics.prometheus_text());
+        }
+    }
+
+    /// The expositions captured so far, in scrape order.
+    pub fn snapshots(&self) -> &[String] {
+        &self.snapshots
+    }
+
+    /// Takes one final scrape of `metrics` and returns every captured
+    /// exposition. The last entry always reflects the end-of-run state.
+    pub fn finish(mut self, metrics: &MetricsRegistry) -> Vec<String> {
+        self.snapshots.push(metrics.prometheus_text());
+        self.snapshots
+    }
+}
+
 /// Runs `requests` back-to-back requests (closed loop, zero think time)
 /// natively, measuring true service times.
 pub fn run_closed_loop<S: Server>(server: &mut S, requests: usize, seed: u64) -> ServiceReport {
@@ -56,11 +95,37 @@ pub fn run_closed_loop_instrumented<S: Server>(
     telemetry: &SpanRecorder,
     metrics: &MetricsRegistry,
 ) -> ServiceReport {
+    closed_loop_impl(server, requests, seed, telemetry, metrics, None)
+}
+
+/// [`run_closed_loop_instrumented`] with periodic Prometheus scrapes:
+/// `sampler` ticks once per completed request, capturing text-format
+/// expositions of `metrics` at its cadence.
+pub fn run_closed_loop_sampled<S: Server>(
+    server: &mut S,
+    requests: usize,
+    seed: u64,
+    telemetry: &SpanRecorder,
+    metrics: &MetricsRegistry,
+    sampler: &mut PrometheusSampler,
+) -> ServiceReport {
+    closed_loop_impl(server, requests, seed, telemetry, metrics, Some(sampler))
+}
+
+fn closed_loop_impl<S: Server>(
+    server: &mut S,
+    requests: usize,
+    seed: u64,
+    telemetry: &SpanRecorder,
+    metrics: &MetricsRegistry,
+    mut sampler: Option<&mut PrometheusSampler>,
+) -> ServiceReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut latency = LatencyHistogram::new();
     let mut result_units = 0u64;
+    let instrumented = telemetry.is_enabled() || sampler.is_some();
     let request_us =
-        if telemetry.is_enabled() { Some(metrics.histogram("serving.request_us")) } else { None };
+        if instrumented { Some(metrics.histogram("serving.request_us")) } else { None };
     let completed_requests = metrics.counter("serving.requests");
     let _run = span!(telemetry, "serving", "closed-loop", requests = requests);
     let start = Instant::now();
@@ -77,11 +142,16 @@ pub fn run_closed_loop_instrumented<S: Server>(
         if let Some(h) = &request_us {
             h.record(service_time);
         }
+        if instrumented {
+            // Incremented per request (not once at the end) so periodic
+            // scrapes observe the counter advancing monotonically.
+            completed_requests.inc();
+        }
+        if let Some(sampler) = sampler.as_deref_mut() {
+            sampler.tick(metrics);
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    if telemetry.is_enabled() {
-        completed_requests.add(requests as u64);
-    }
     ServiceReport {
         name: server.name().to_owned(),
         offered_rps: None,
@@ -234,5 +304,38 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "closed-loop"));
         assert_eq!(metrics.histogram("serving.request_us").snapshot().count(), 25);
         assert_eq!(metrics.counter("serving.requests").get(), 25);
+    }
+
+    #[test]
+    fn sampled_loop_scrapes_prometheus_periodically() {
+        let mut s = Spin;
+        let telemetry = SpanRecorder::enabled();
+        let metrics = MetricsRegistry::new();
+        let mut sampler = PrometheusSampler::every(10);
+        let r = run_closed_loop_sampled(&mut s, 25, 1, &telemetry, &metrics, &mut sampler);
+        assert_eq!(r.completed, 25);
+        // Scrapes after requests 10 and 20, plus the final one.
+        let snapshots = sampler.finish(&metrics);
+        assert_eq!(snapshots.len(), 3);
+        for (text, want) in snapshots.iter().zip(["10", "20", "25"]) {
+            assert!(
+                text.contains(&format!("serving_requests {want}")),
+                "scrape should show {want} requests: {text}"
+            );
+            assert!(text.contains("# TYPE serving_request_us histogram"));
+        }
+        // The request counter advances monotonically across scrapes.
+        assert_eq!(metrics.counter("serving.requests").get(), 25);
+    }
+
+    #[test]
+    fn sampler_without_telemetry_still_observes_metrics() {
+        let mut s = Spin;
+        let metrics = MetricsRegistry::new();
+        let mut sampler = PrometheusSampler::every(100);
+        run_closed_loop_sampled(&mut s, 30, 1, &SpanRecorder::disabled(), &metrics, &mut sampler);
+        let snapshots = sampler.finish(&metrics);
+        assert_eq!(snapshots.len(), 1, "cadence longer than the run: final scrape only");
+        assert!(snapshots[0].contains("serving_requests 30"));
     }
 }

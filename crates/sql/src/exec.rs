@@ -192,6 +192,7 @@ fn select_impl<P: Probe + ?Sized>(
     if let Some(t) = trace.as_mut() {
         t.on_query(probe);
     }
+    probe.phase("scan");
     let mut scan_span = span!(telemetry, "sql", "select-scan", rows = table.len());
     let mut out = Vec::new();
     for row in 0..table.len() {
@@ -285,6 +286,7 @@ fn aggregate_impl<P: Probe + ?Sized>(
     if let Some(t) = trace.as_mut() {
         t.on_query(probe);
     }
+    probe.phase("aggregate");
     let mut agg_span = span!(telemetry, "sql", "aggregate", rows = table.len());
     let mut groups: HashMap<u64, (Value, Vec<Acc>)> = HashMap::new();
     let buckets = (table.len() / 4).max(64);
@@ -387,6 +389,7 @@ fn hash_join_impl<P: Probe + ?Sized>(
         t.on_query(probe);
     }
     // Build phase over the left table.
+    probe.phase("build");
     let build_span = span!(telemetry, "sql", "join-build", rows = left.len());
     let buckets = left.len().max(64);
     let mut build: HashMap<u64, Vec<usize>> = HashMap::with_capacity(left.len());
@@ -405,6 +408,7 @@ fn hash_join_impl<P: Probe + ?Sized>(
     }
     drop(build_span);
     // Probe phase over the right table.
+    probe.phase("probe");
     let mut probe_span = span!(telemetry, "sql", "join-probe", rows = right.len());
     let mut out = Vec::new();
     for row in 0..right.len() {

@@ -102,6 +102,17 @@ pub fn chrome_trace_json(
     for e in events {
         emit(&mut out);
         write_event(&mut out, e);
+        // Span args keyed `counter.*` are performance-counter deltas
+        // (see `CounterSnapshot::named_counters` in bdb-archsim): also
+        // emit each as a "ph":"C" sample at the span's end so Perfetto
+        // renders counter tracks over time, not just one final value.
+        let sample_ts = e.start_us + e.dur_us.unwrap_or(0);
+        for (k, v) in &e.args {
+            if let (true, ArgValue::Int(i)) = (k.starts_with("counter."), v) {
+                emit(&mut out);
+                write_counter_sample(&mut out, sample_ts, k, (*i).max(0) as u64);
+            }
+        }
     }
     if let Some(metrics) = metrics {
         let end_ts = events.iter().map(|e| e.start_us + e.dur_us.unwrap_or(0)).max().unwrap_or(0);
@@ -154,12 +165,32 @@ impl TraceSession {
     /// Propagates filesystem errors.
     pub fn write(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
         std::fs::create_dir_all(dir)?;
-        let stem = self.name.to_lowercase().replace([' ', '/'], "-");
+        let stem = file_stem(&self.name);
         let trace_path = dir.join(format!("{stem}.trace.json"));
         let metrics_path = dir.join(format!("{stem}.metrics.txt"));
         std::fs::File::create(&trace_path)?.write_all(self.trace_json().as_bytes())?;
         std::fs::File::create(&metrics_path)?.write_all(self.metrics_summary().as_bytes())?;
         Ok((trace_path, metrics_path))
+    }
+}
+
+/// Lowercases `name` and maps every non-alphanumeric character to `-`,
+/// collapsing runs and trimming the ends, so any workload name — e.g.
+/// `"OLTP: read/write 50%"` — yields a safe, tidy file stem.
+fn file_stem(name: &str) -> String {
+    let mut stem = String::with_capacity(name.len());
+    for c in name.to_lowercase().chars() {
+        if c.is_alphanumeric() {
+            stem.push(c);
+        } else if !stem.ends_with('-') && !stem.is_empty() {
+            stem.push('-');
+        }
+    }
+    let stem = stem.trim_end_matches('-').to_owned();
+    if stem.is_empty() {
+        "trace".to_owned()
+    } else {
+        stem
     }
 }
 
@@ -199,6 +230,50 @@ mod tests {
         assert!(json.contains("\"value\":42"));
         // Counter sampled at the end of the timeline.
         assert!(json.contains("\"ts\":3"));
+    }
+
+    #[test]
+    fn counter_args_become_intermediate_samples() {
+        // Two spans carrying the same counter key → two "C" samples at
+        // the spans' end timestamps, plus the end-of-run registry
+        // sample for backward compatibility.
+        let mut a = event("map", 0, 10, 1);
+        a.args.push(("counter.l1d_misses", ArgValue::Int(100)));
+        a.args.push(("rows", ArgValue::Int(5))); // not a counter: no sample
+        let mut b = event("reduce", 10, 7, 1);
+        b.args.push(("counter.l1d_misses", ArgValue::Int(40)));
+        let reg = MetricsRegistry::new();
+        reg.counter("ops").add(1);
+        let json = chrome_trace_json("t", &[a, b], Some(&reg));
+        let samples = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"C\"") && l.contains("counter.l1d_misses"))
+            .count();
+        assert_eq!(samples, 2, "one sample per span carrying the counter");
+        assert!(json.contains("\"name\":\"counter.l1d_misses\",\"ph\":\"C\",\"ts\":10"));
+        assert!(json.contains("\"name\":\"counter.l1d_misses\",\"ph\":\"C\",\"ts\":17"));
+        assert!(!json.contains("\"name\":\"rows\",\"ph\":\"C\""));
+        // End-of-run registry sample still present at the timeline end.
+        assert!(json.contains("\"name\":\"ops\",\"ph\":\"C\",\"ts\":17"));
+    }
+
+    #[test]
+    fn file_stems_sanitize_all_non_alphanumerics() {
+        assert_eq!(file_stem("OLTP: read/write 50%"), "oltp-read-write-50");
+        assert_eq!(file_stem("Unit Test"), "unit-test");
+        assert_eq!(file_stem("a***b"), "a-b");
+        assert_eq!(file_stem("///"), "trace");
+    }
+
+    #[test]
+    fn session_with_hostile_name_writes_sanitized_files() {
+        let session = TraceSession::enabled("OLTP: read/write 50%");
+        session.metrics.counter("done").inc();
+        let dir = std::env::temp_dir().join(format!("bdb-telemetry-stem-{}", std::process::id()));
+        let (trace, metrics) = session.write(&dir).unwrap();
+        assert!(trace.ends_with("oltp-read-write-50.trace.json"), "{trace:?}");
+        assert!(metrics.ends_with("oltp-read-write-50.metrics.txt"), "{metrics:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

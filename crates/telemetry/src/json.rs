@@ -110,6 +110,59 @@ mod tests {
     }
 
     #[test]
+    fn escapes_every_control_character() {
+        // RFC 8259 §7: U+0000..U+001F MUST be escaped. Anything the
+        // short forms don't cover must come out as \u00XX.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let mut s = String::new();
+            write_escaped(&mut s, &c.to_string());
+            let body = &s[1..s.len() - 1];
+            let expected = match c {
+                '\n' => "\\n".to_owned(),
+                '\r' => "\\r".to_owned(),
+                '\t' => "\\t".to_owned(),
+                _ => format!("\\u{code:04x}"),
+            };
+            assert_eq!(body, expected, "control char U+{code:04X}");
+        }
+    }
+
+    #[test]
+    fn escapes_backslash_sequences() {
+        let mut s = String::new();
+        write_escaped(&mut s, r"C:\temp\new");
+        // The backslash is escaped, so `\n`/`\t` in the source text
+        // stay literal characters rather than becoming escapes.
+        assert_eq!(s, r#""C:\\temp\\new""#);
+        let mut s = String::new();
+        write_escaped(&mut s, "\\\"");
+        assert_eq!(s, r#""\\\"""#);
+    }
+
+    #[test]
+    fn passes_through_printable_and_unicode() {
+        let mut s = String::new();
+        write_escaped(&mut s, "héllo ∆ 漢字 ~");
+        assert_eq!(s, "\"héllo ∆ 漢字 ~\"");
+    }
+
+    #[test]
+    fn field_str_emits_valid_json_for_hostile_values() {
+        let mut s = String::new();
+        let mut o = ObjectWriter::new(&mut s);
+        o.field_str("k", "line1\nline2\tcol\u{1f}end\\");
+        o.finish();
+        assert_eq!(s, "{\"k\":\"line1\\nline2\\tcol\\u001fend\\\\\"}");
+        // Keys are escaped through the same path as values.
+        let mut s = String::new();
+        let mut o = ObjectWriter::new(&mut s);
+        o.field_u64("a\"b\n", 1);
+        o.finish();
+        assert_eq!(s, "{\"a\\\"b\\n\":1}");
+    }
+
+    #[test]
     fn object_commas() {
         let mut s = String::new();
         let mut o = ObjectWriter::new(&mut s);

@@ -112,6 +112,28 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_micros(&self) -> u128 {
+        self.sum_micros
+    }
+
+    /// Cumulative distribution over the non-empty buckets: for each
+    /// bucket that holds at least one sample, its upper bound in
+    /// microseconds and the number of samples at or below that bound.
+    /// Bounds and counts are both strictly increasing — the shape the
+    /// Prometheus `_bucket{le="..."}` series requires.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cumulative += c;
+                out.push((bucket_upper(i), cumulative));
+            }
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -291,6 +313,60 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4, the `text/plain` scrape format).
+    ///
+    /// Metric names are sanitized to `[a-zA-Z0-9_:]`. Counters and
+    /// gauges render as single samples; histograms render as the
+    /// canonical `_bucket`/`_sum`/`_count` triplet in microseconds,
+    /// with cumulative bucket counts over the non-empty buckets plus
+    /// the mandatory `le="+Inf"` bucket.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counter_values() {
+            let n = prometheus_name(&name);
+            out.push_str(&format!("# HELP {n} Monotonic counter.\n"));
+            out.push_str(&format!("# TYPE {n} counter\n"));
+            out.push_str(&format!("{n} {v}\n"));
+        }
+        for (name, v) in self.gauge_values() {
+            let n = prometheus_name(&name);
+            out.push_str(&format!("# HELP {n} Gauge.\n"));
+            out.push_str(&format!("# TYPE {n} gauge\n"));
+            out.push_str(&format!("{n} {v}\n"));
+        }
+        for (name, h) in self.histogram_snapshots() {
+            let n = prometheus_name(&name);
+            out.push_str(&format!("# HELP {n} Latency histogram (microseconds).\n"));
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            for (bound, cumulative) in h.cumulative_buckets() {
+                out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n", h.sum_micros()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// `[a-zA-Z0-9_:]`, e.g. `serving.request_us` → `serving_request_us`.
+/// A leading digit is prefixed with `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -402,6 +478,68 @@ mod tests {
         let clone = reg.clone();
         clone.counter("shared").add(5);
         assert_eq!(reg.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 1, 50, 50, 50, 4000, 123_456] {
+            h.record_micros(us);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds strictly increase");
+            assert!(w[0].1 < w[1].1, "cumulative counts strictly increase");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count(), "last bucket covers all samples");
+        assert_eq!(h.sum_micros(), (1 + 1 + 50 + 50 + 50 + 4000 + 123_456) as u128);
+    }
+
+    #[test]
+    fn prometheus_text_format_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serving.requests").add(7);
+        reg.gauge("queue.depth").set(-2);
+        let h = reg.histogram("serving.request_us");
+        for us in [3u64, 3, 90, 90, 1500, 88_000] {
+            h.record_micros(us);
+        }
+        let text = reg.prometheus_text();
+
+        // Names are sanitized and HELP/TYPE precede each family.
+        assert!(text.contains("# HELP serving_requests "));
+        assert!(text.contains("# TYPE serving_requests counter\n"));
+        assert!(text.contains("serving_requests 7\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\n"));
+        assert!(text.contains("queue_depth -2\n"));
+        assert!(text.contains("# TYPE serving_request_us histogram\n"));
+        assert!(!text.contains("serving.request"), "dots must be sanitized away");
+
+        // Bucket series: cumulative counts are monotone non-decreasing
+        // and end at the +Inf bucket, which equals _count.
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines().filter(|l| l.starts_with("serving_request_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative bucket counts must not decrease: {line}");
+            last = v;
+            if line.contains("le=\"+Inf\"") {
+                inf = Some(v);
+            }
+        }
+        let snapshot = h.snapshot();
+        assert_eq!(inf, Some(snapshot.count()), "+Inf bucket equals sample count");
+        assert!(text.contains(&format!("serving_request_us_count {}\n", snapshot.count())));
+        assert!(text.contains(&format!("serving_request_us_sum {}\n", snapshot.sum_micros())));
+        assert!(MetricsRegistry::new().prometheus_text().is_empty());
+    }
+
+    #[test]
+    fn prometheus_name_charset() {
+        assert_eq!(prometheus_name("a.b-c/d e"), "a_b_c_d_e");
+        assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
     }
 
     #[test]

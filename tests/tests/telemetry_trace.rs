@@ -126,6 +126,53 @@ fn balanced_span_names_cover_all_engine_phases() {
 }
 
 #[test]
+fn traced_run_trace_has_counter_tracks_with_multiple_samples() {
+    use bdb_archsim::{CounterSnapshot, MachineConfig, SimProbe};
+    use std::collections::HashMap;
+
+    // A traced (simulated-counter) run: spans carry `counter.*` deltas,
+    // each rendered as a "ph":"C" sample. Perfetto needs at least two
+    // samples per counter to draw a track over time.
+    let session = TraceSession::enabled("Counter Tracks");
+    let engine = Engine::builder()
+        .reducers(2)
+        .map_buffer_bytes(2048) // force spill spans into the trace
+        .telemetry(session.recorder.clone())
+        .metrics(session.metrics.clone())
+        .build();
+    let lines: Vec<String> =
+        (0..400).map(|i| format!("alpha beta gamma delta-{} epsilon", i % 17)).collect();
+    let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+    let (out, _) = engine.run_traced(&WordCount, &lines, &mut probe);
+    assert!(!out.is_empty());
+
+    let json = session.trace_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let mut samples: HashMap<String, usize> = HashMap::new();
+    for e in parsed.as_array().expect("array") {
+        if e.get("ph").and_then(|v| v.as_str()) != Some("C") {
+            continue;
+        }
+        let name = e.get("name").and_then(|v| v.as_str()).expect("counter name");
+        if name.starts_with("counter.") {
+            assert!(
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(serde_json::Value::as_u64)
+                    .is_some(),
+                "counter sample carries a numeric value"
+            );
+            *samples.entry(name.to_owned()).or_insert(0) += 1;
+        }
+    }
+    // Every tracked counter appears, and with enough samples for a track.
+    for (key, _) in CounterSnapshot::default().named_counters() {
+        let n = samples.get(key).copied().unwrap_or(0);
+        assert!(n >= 2, "{key}: need >= 2 samples for a counter track, got {n}");
+    }
+}
+
+#[test]
 fn metrics_summary_is_plain_text_with_counters() {
     let session = traced_session();
     let summary = session.metrics_summary();
