@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-722e022348525a2c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-722e022348525a2c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

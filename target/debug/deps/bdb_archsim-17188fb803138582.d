@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_archsim-17188fb803138582.d: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs
+
+/root/repo/target/debug/deps/bdb_archsim-17188fb803138582: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs
+
+crates/archsim/src/lib.rs:
+crates/archsim/src/cache.rs:
+crates/archsim/src/layout.rs:
+crates/archsim/src/machine.rs:
+crates/archsim/src/metrics.rs:
+crates/archsim/src/probe.rs:
+crates/archsim/src/timing.rs:
+crates/archsim/src/tlb.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bdb_archsim-ff41b775e3f23eaf.d: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_archsim-ff41b775e3f23eaf.rmeta: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs Cargo.toml
+
+crates/archsim/src/lib.rs:
+crates/archsim/src/cache.rs:
+crates/archsim/src/layout.rs:
+crates/archsim/src/machine.rs:
+crates/archsim/src/metrics.rs:
+crates/archsim/src/probe.rs:
+crates/archsim/src/timing.rs:
+crates/archsim/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

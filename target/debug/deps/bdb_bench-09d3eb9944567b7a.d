@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdb_bench-09d3eb9944567b7a.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libbdb_bench-09d3eb9944567b7a.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libbdb_bench-09d3eb9944567b7a.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/results.rs:
+crates/bench/src/table.rs:

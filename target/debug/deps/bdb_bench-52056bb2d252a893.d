@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bdb_bench-52056bb2d252a893.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/bdb_bench-52056bb2d252a893: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/results.rs:
+crates/bench/src/table.rs:

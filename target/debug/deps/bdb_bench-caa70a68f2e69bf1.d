@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_bench-caa70a68f2e69bf1.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_bench-caa70a68f2e69bf1.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/results.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdb_dataflow-6571bcabf9139445.d: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_dataflow-6571bcabf9139445.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_dataflow-6571bcabf9139445.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/dataset.rs:
+crates/dataflow/src/trace.rs:

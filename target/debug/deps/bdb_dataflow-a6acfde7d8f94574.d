@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdb_dataflow-a6acfde7d8f94574.d: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+/root/repo/target/debug/deps/bdb_dataflow-a6acfde7d8f94574: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/dataset.rs:
+crates/dataflow/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdb_dataflow-b484358db79d56df.d: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_dataflow-b484358db79d56df.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs Cargo.toml
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/dataset.rs:
+crates/dataflow/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bdb_datagen-1241c552aa6a60a2.d: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_datagen-1241c552aa6a60a2.rmeta: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/convert.rs:
+crates/datagen/src/graph.rs:
+crates/datagen/src/resume.rs:
+crates/datagen/src/review.rs:
+crates/datagen/src/seeds.rs:
+crates/datagen/src/stats.rs:
+crates/datagen/src/table.rs:
+crates/datagen/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdb_datagen-b45a858eaf2cfb83.d: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/bdb_datagen-b45a858eaf2cfb83: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/convert.rs:
+crates/datagen/src/graph.rs:
+crates/datagen/src/resume.rs:
+crates/datagen/src/review.rs:
+crates/datagen/src/seeds.rs:
+crates/datagen/src/stats.rs:
+crates/datagen/src/table.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdb_graph-1fb665a0819628f0.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+/root/repo/target/debug/deps/bdb_graph-1fb665a0819628f0: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/trace.rs:

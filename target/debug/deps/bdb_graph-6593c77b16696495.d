@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_graph-6593c77b16696495.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_graph-6593c77b16696495.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_graph-6593c77b16696495.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bdb_graph-9d7f50c0d6c820b7.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_graph-9d7f50c0d6c820b7.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

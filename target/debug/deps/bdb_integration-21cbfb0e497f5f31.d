@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdb_integration-21cbfb0e497f5f31.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_integration-21cbfb0e497f5f31.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdb_integration-97835a31202729ac.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libbdb_integration-97835a31202729ac.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libbdb_integration-97835a31202729ac.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

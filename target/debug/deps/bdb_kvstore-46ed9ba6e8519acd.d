@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bdb_kvstore-46ed9ba6e8519acd.d: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_kvstore-46ed9ba6e8519acd.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/bloom.rs:
+crates/kvstore/src/memtable.rs:
+crates/kvstore/src/sstable.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/trace.rs:
+crates/kvstore/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

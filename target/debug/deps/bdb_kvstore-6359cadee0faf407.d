@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdb_kvstore-6359cadee0faf407.d: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/libbdb_kvstore-6359cadee0faf407.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/libbdb_kvstore-6359cadee0faf407.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/bloom.rs:
+crates/kvstore/src/memtable.rs:
+crates/kvstore/src/sstable.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/trace.rs:
+crates/kvstore/src/wal.rs:

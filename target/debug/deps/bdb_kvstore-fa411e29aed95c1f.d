@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdb_kvstore-fa411e29aed95c1f.d: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/debug/deps/bdb_kvstore-fa411e29aed95c1f: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/bloom.rs:
+crates/kvstore/src/memtable.rs:
+crates/kvstore/src/sstable.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/trace.rs:
+crates/kvstore/src/wal.rs:

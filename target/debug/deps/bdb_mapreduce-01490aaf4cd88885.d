@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bdb_mapreduce-01490aaf4cd88885.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_mapreduce-01490aaf4cd88885.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/codec.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/spill.rs:
+crates/mapreduce/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_mapreduce-c8fc2cf646a10e2c.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_mapreduce-c8fc2cf646a10e2c.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+/root/repo/target/debug/deps/libbdb_mapreduce-c8fc2cf646a10e2c.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/codec.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/spill.rs:
+crates/mapreduce/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdb_mapreduce-e4b0310d4e78c4ba.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+/root/repo/target/debug/deps/bdb_mapreduce-e4b0310d4e78c4ba: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/codec.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/spill.rs:
+crates/mapreduce/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bdb_mlkit-37245c0ca1eaca68.d: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+/root/repo/target/debug/deps/bdb_mlkit-37245c0ca1eaca68: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/bayes.rs:
+crates/mlkit/src/cf.rs:
+crates/mlkit/src/kmeans.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdb_mlkit-84b56305302d99ad.d: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+/root/repo/target/debug/deps/libbdb_mlkit-84b56305302d99ad.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+/root/repo/target/debug/deps/libbdb_mlkit-84b56305302d99ad.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/bayes.rs:
+crates/mlkit/src/cf.rs:
+crates/mlkit/src/kmeans.rs:

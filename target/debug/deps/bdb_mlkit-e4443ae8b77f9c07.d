@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_mlkit-e4443ae8b77f9c07.d: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_mlkit-e4443ae8b77f9c07.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs Cargo.toml
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/bayes.rs:
+crates/mlkit/src/cf.rs:
+crates/mlkit/src/kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bdb_refbench-1f14bbc19b97c40a.d: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+/root/repo/target/debug/deps/bdb_refbench-1f14bbc19b97c40a: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+crates/refbench/src/lib.rs:
+crates/refbench/src/hpcc.rs:
+crates/refbench/src/parsec.rs:
+crates/refbench/src/spec.rs:

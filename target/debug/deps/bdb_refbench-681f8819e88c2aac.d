@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdb_refbench-681f8819e88c2aac.d: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+/root/repo/target/debug/deps/libbdb_refbench-681f8819e88c2aac.rlib: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+/root/repo/target/debug/deps/libbdb_refbench-681f8819e88c2aac.rmeta: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+crates/refbench/src/lib.rs:
+crates/refbench/src/hpcc.rs:
+crates/refbench/src/parsec.rs:
+crates/refbench/src/spec.rs:

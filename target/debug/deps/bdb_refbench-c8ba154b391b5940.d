@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_refbench-c8ba154b391b5940.d: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_refbench-c8ba154b391b5940.rmeta: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs Cargo.toml
+
+crates/refbench/src/lib.rs:
+crates/refbench/src/hpcc.rs:
+crates/refbench/src/parsec.rs:
+crates/refbench/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

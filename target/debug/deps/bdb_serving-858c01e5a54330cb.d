@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdb_serving-858c01e5a54330cb.d: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs
+
+/root/repo/target/debug/deps/bdb_serving-858c01e5a54330cb: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/auction.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/loadgen.rs:
+crates/serving/src/queue.rs:
+crates/serving/src/search.rs:
+crates/serving/src/server.rs:
+crates/serving/src/social.rs:
+crates/serving/src/trace.rs:

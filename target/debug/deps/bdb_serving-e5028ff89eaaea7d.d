@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bdb_serving-e5028ff89eaaea7d.d: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_serving-e5028ff89eaaea7d.rmeta: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs Cargo.toml
+
+crates/serving/src/lib.rs:
+crates/serving/src/auction.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/loadgen.rs:
+crates/serving/src/queue.rs:
+crates/serving/src/search.rs:
+crates/serving/src/server.rs:
+crates/serving/src/social.rs:
+crates/serving/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bdb_sql-4c9e31120a4d107f.d: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+/root/repo/target/debug/deps/libbdb_sql-4c9e31120a4d107f.rlib: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+/root/repo/target/debug/deps/libbdb_sql-4c9e31120a4d107f.rmeta: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/schema.rs:
+crates/sql/src/table.rs:
+crates/sql/src/trace.rs:
+crates/sql/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdb_sql-5b814f8d084df405.d: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+/root/repo/target/debug/deps/bdb_sql-5b814f8d084df405: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/schema.rs:
+crates/sql/src/table.rs:
+crates/sql/src/trace.rs:
+crates/sql/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bdb_sql-648ff18f826ada2e.d: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_sql-648ff18f826ada2e.rmeta: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/schema.rs:
+crates/sql/src/table.rs:
+crates/sql/src/trace.rs:
+crates/sql/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdb_telemetry-45ece16327ce8b2e.d: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libbdb_telemetry-45ece16327ce8b2e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libbdb_telemetry-45ece16327ce8b2e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/chrome_trace.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

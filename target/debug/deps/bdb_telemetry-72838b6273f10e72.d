@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdb_telemetry-72838b6273f10e72.d: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdb_telemetry-72838b6273f10e72.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/chrome_trace.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

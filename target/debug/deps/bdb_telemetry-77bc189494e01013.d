@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdb_telemetry-77bc189494e01013.d: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/bdb_telemetry-77bc189494e01013: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/chrome_trace.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

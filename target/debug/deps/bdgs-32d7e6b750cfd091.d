@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdgs-32d7e6b750cfd091.d: crates/bench/src/bin/bdgs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdgs-32d7e6b750cfd091.rmeta: crates/bench/src/bin/bdgs.rs Cargo.toml
+
+crates/bench/src/bin/bdgs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdgs-963c0ef903497f0a.d: crates/bench/src/bin/bdgs.rs
+
+/root/repo/target/debug/deps/bdgs-963c0ef903497f0a: crates/bench/src/bin/bdgs.rs
+
+crates/bench/src/bin/bdgs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_results-ee441322de05d62d.d: tests/tests/bench_results.rs
+
+/root/repo/target/debug/deps/bench_results-ee441322de05d62d: tests/tests/bench_results.rs
+
+tests/tests/bench_results.rs:

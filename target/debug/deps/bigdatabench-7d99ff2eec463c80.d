@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/bigdatabench-7d99ff2eec463c80.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/suite.rs crates/core/src/workload.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/ecommerce.rs crates/core/src/workloads/micro.rs crates/core/src/workloads/oltp.rs crates/core/src/workloads/query.rs crates/core/src/workloads/search.rs crates/core/src/workloads/service.rs crates/core/src/workloads/social.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbigdatabench-7d99ff2eec463c80.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/suite.rs crates/core/src/workload.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/ecommerce.rs crates/core/src/workloads/micro.rs crates/core/src/workloads/oltp.rs crates/core/src/workloads/query.rs crates/core/src/workloads/search.rs crates/core/src/workloads/service.rs crates/core/src/workloads/social.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/suite.rs:
+crates/core/src/workload.rs:
+crates/core/src/workloads/mod.rs:
+crates/core/src/workloads/ecommerce.rs:
+crates/core/src/workloads/micro.rs:
+crates/core/src/workloads/oltp.rs:
+crates/core/src/workloads/query.rs:
+crates/core/src/workloads/search.rs:
+crates/core/src/workloads/service.rs:
+crates/core/src/workloads/social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bigdatabench-a7bcd91387969c04.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/suite.rs crates/core/src/workload.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/ecommerce.rs crates/core/src/workloads/micro.rs crates/core/src/workloads/oltp.rs crates/core/src/workloads/query.rs crates/core/src/workloads/search.rs crates/core/src/workloads/service.rs crates/core/src/workloads/social.rs
+
+/root/repo/target/debug/deps/bigdatabench-a7bcd91387969c04: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/suite.rs crates/core/src/workload.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/ecommerce.rs crates/core/src/workloads/micro.rs crates/core/src/workloads/oltp.rs crates/core/src/workloads/query.rs crates/core/src/workloads/search.rs crates/core/src/workloads/service.rs crates/core/src/workloads/social.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/suite.rs:
+crates/core/src/workload.rs:
+crates/core/src/workloads/mod.rs:
+crates/core/src/workloads/ecommerce.rs:
+crates/core/src/workloads/micro.rs:
+crates/core/src/workloads/oltp.rs:
+crates/core/src/workloads/query.rs:
+crates/core/src/workloads/search.rs:
+crates/core/src/workloads/service.rs:
+crates/core/src/workloads/social.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3bbe28edbac0d64f.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3bbe28edbac0d64f.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3bbe28edbac0d64f.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-f5352829e1a64575.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f5352829e1a64575.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-7898fcddde7527e3.d: crates/bench/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-7898fcddde7527e3: crates/bench/tests/cli.rs
+
+crates/bench/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_reproduce=/root/repo/target/debug/reproduce

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-149a529be7c0496e.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-149a529be7c0496e.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-149a529be7c0496e.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-7bbc2e0842650490.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-7bbc2e0842650490.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

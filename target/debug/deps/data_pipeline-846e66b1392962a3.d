@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_pipeline-846e66b1392962a3.d: tests/tests/data_pipeline.rs
+
+/root/repo/target/debug/deps/data_pipeline-846e66b1392962a3: tests/tests/data_pipeline.rs
+
+tests/tests/data_pipeline.rs:

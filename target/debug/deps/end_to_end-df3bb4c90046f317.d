@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-df3bb4c90046f317.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-df3bb4c90046f317: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

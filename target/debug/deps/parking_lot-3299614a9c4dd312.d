@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-3299614a9c4dd312.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3299614a9c4dd312.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-3ba7ddacce783007.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3ba7ddacce783007.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3ba7ddacce783007.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

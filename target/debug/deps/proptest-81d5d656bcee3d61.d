@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-81d5d656bcee3d61.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-81d5d656bcee3d61.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-81d5d656bcee3d61.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cache-267c659343b974bd.d: crates/archsim/tests/proptest_cache.rs
+
+/root/repo/target/debug/deps/proptest_cache-267c659343b974bd: crates/archsim/tests/proptest_cache.rs
+
+crates/archsim/tests/proptest_cache.rs:

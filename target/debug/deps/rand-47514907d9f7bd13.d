@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-47514907d9f7bd13.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-47514907d9f7bd13.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-47514907d9f7bd13.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

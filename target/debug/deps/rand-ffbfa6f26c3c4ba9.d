@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ffbfa6f26c3c4ba9.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ffbfa6f26c3c4ba9.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-d64557a360af3e9f.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-d64557a360af3e9f: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-e30816df3360f4ee.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-e30816df3360f4ee.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

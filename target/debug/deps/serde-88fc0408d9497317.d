@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-88fc0408d9497317.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-88fc0408d9497317.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-88fc0408d9497317.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

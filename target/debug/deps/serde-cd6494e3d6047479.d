@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-cd6494e3d6047479.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cd6494e3d6047479.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-22263aff76d0b5d1.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-22263aff76d0b5d1.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-28a5229e9cebd384.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-28a5229e9cebd384.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-28a5229e9cebd384.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

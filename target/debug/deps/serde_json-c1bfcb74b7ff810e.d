@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c1bfcb74b7ff810e.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c1bfcb74b7ff810e.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_claims-2c7d5f450c2fe387.d: tests/tests/shape_claims.rs
+
+/root/repo/target/debug/deps/shape_claims-2c7d5f450c2fe387: tests/tests/shape_claims.rs
+
+tests/tests/shape_claims.rs:

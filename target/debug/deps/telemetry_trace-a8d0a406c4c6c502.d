@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_trace-a8d0a406c4c6c502.d: tests/tests/telemetry_trace.rs
+
+/root/repo/target/debug/deps/telemetry_trace-a8d0a406c4c6c502: tests/tests/telemetry_trace.rs
+
+tests/tests/telemetry_trace.rs:

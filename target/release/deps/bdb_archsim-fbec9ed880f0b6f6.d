@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bdb_archsim-fbec9ed880f0b6f6.d: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs
+
+/root/repo/target/release/deps/libbdb_archsim-fbec9ed880f0b6f6.rlib: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs
+
+/root/repo/target/release/deps/libbdb_archsim-fbec9ed880f0b6f6.rmeta: crates/archsim/src/lib.rs crates/archsim/src/cache.rs crates/archsim/src/layout.rs crates/archsim/src/machine.rs crates/archsim/src/metrics.rs crates/archsim/src/probe.rs crates/archsim/src/timing.rs crates/archsim/src/tlb.rs
+
+crates/archsim/src/lib.rs:
+crates/archsim/src/cache.rs:
+crates/archsim/src/layout.rs:
+crates/archsim/src/machine.rs:
+crates/archsim/src/metrics.rs:
+crates/archsim/src/probe.rs:
+crates/archsim/src/timing.rs:
+crates/archsim/src/tlb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bdb_bench-ed023372a54a461a.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbdb_bench-ed023372a54a461a.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbdb_bench-ed023372a54a461a.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/results.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/results.rs:
+crates/bench/src/table.rs:

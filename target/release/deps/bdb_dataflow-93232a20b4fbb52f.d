@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bdb_dataflow-93232a20b4fbb52f.d: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_dataflow-93232a20b4fbb52f.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_dataflow-93232a20b4fbb52f.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/dataset.rs crates/dataflow/src/trace.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/dataset.rs:
+crates/dataflow/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bdb_datagen-ec7b4853ba0bcd93.d: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libbdb_datagen-ec7b4853ba0bcd93.rlib: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libbdb_datagen-ec7b4853ba0bcd93.rmeta: crates/datagen/src/lib.rs crates/datagen/src/convert.rs crates/datagen/src/graph.rs crates/datagen/src/resume.rs crates/datagen/src/review.rs crates/datagen/src/seeds.rs crates/datagen/src/stats.rs crates/datagen/src/table.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/convert.rs:
+crates/datagen/src/graph.rs:
+crates/datagen/src/resume.rs:
+crates/datagen/src/review.rs:
+crates/datagen/src/seeds.rs:
+crates/datagen/src/stats.rs:
+crates/datagen/src/table.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bdb_graph-f092698976a69bb8.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_graph-f092698976a69bb8.rlib: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_graph-f092698976a69bb8.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cc.rs crates/graph/src/csr.rs crates/graph/src/pagerank.rs crates/graph/src/trace.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cc.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/trace.rs:

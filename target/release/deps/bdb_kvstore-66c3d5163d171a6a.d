@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bdb_kvstore-66c3d5163d171a6a.d: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/release/deps/libbdb_kvstore-66c3d5163d171a6a.rlib: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+/root/repo/target/release/deps/libbdb_kvstore-66c3d5163d171a6a.rmeta: crates/kvstore/src/lib.rs crates/kvstore/src/bloom.rs crates/kvstore/src/memtable.rs crates/kvstore/src/sstable.rs crates/kvstore/src/store.rs crates/kvstore/src/trace.rs crates/kvstore/src/wal.rs
+
+crates/kvstore/src/lib.rs:
+crates/kvstore/src/bloom.rs:
+crates/kvstore/src/memtable.rs:
+crates/kvstore/src/sstable.rs:
+crates/kvstore/src/store.rs:
+crates/kvstore/src/trace.rs:
+crates/kvstore/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bdb_mapreduce-f74e52b6527c7c95.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_mapreduce-f74e52b6527c7c95.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_mapreduce-f74e52b6527c7c95.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/codec.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/job.rs crates/mapreduce/src/spill.rs crates/mapreduce/src/trace.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/codec.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/spill.rs:
+crates/mapreduce/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bdb_mlkit-883e5e9abb012e01.d: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+/root/repo/target/release/deps/libbdb_mlkit-883e5e9abb012e01.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+/root/repo/target/release/deps/libbdb_mlkit-883e5e9abb012e01.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/bayes.rs crates/mlkit/src/cf.rs crates/mlkit/src/kmeans.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/bayes.rs:
+crates/mlkit/src/cf.rs:
+crates/mlkit/src/kmeans.rs:

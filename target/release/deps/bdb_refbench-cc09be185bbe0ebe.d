@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bdb_refbench-cc09be185bbe0ebe.d: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+/root/repo/target/release/deps/libbdb_refbench-cc09be185bbe0ebe.rlib: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+/root/repo/target/release/deps/libbdb_refbench-cc09be185bbe0ebe.rmeta: crates/refbench/src/lib.rs crates/refbench/src/hpcc.rs crates/refbench/src/parsec.rs crates/refbench/src/spec.rs
+
+crates/refbench/src/lib.rs:
+crates/refbench/src/hpcc.rs:
+crates/refbench/src/parsec.rs:
+crates/refbench/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bdb_serving-be83e39933c43934.d: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_serving-be83e39933c43934.rlib: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs
+
+/root/repo/target/release/deps/libbdb_serving-be83e39933c43934.rmeta: crates/serving/src/lib.rs crates/serving/src/auction.rs crates/serving/src/latency.rs crates/serving/src/loadgen.rs crates/serving/src/queue.rs crates/serving/src/search.rs crates/serving/src/server.rs crates/serving/src/social.rs crates/serving/src/trace.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/auction.rs:
+crates/serving/src/latency.rs:
+crates/serving/src/loadgen.rs:
+crates/serving/src/queue.rs:
+crates/serving/src/search.rs:
+crates/serving/src/server.rs:
+crates/serving/src/social.rs:
+crates/serving/src/trace.rs:

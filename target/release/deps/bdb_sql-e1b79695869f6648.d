@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bdb_sql-e1b79695869f6648.d: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+/root/repo/target/release/deps/libbdb_sql-e1b79695869f6648.rlib: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+/root/repo/target/release/deps/libbdb_sql-e1b79695869f6648.rmeta: crates/sql/src/lib.rs crates/sql/src/exec.rs crates/sql/src/expr.rs crates/sql/src/parser.rs crates/sql/src/schema.rs crates/sql/src/table.rs crates/sql/src/trace.rs crates/sql/src/value.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/expr.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/schema.rs:
+crates/sql/src/table.rs:
+crates/sql/src/trace.rs:
+crates/sql/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bdb_telemetry-9d596fbe53a3c4bf.d: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libbdb_telemetry-9d596fbe53a3c4bf.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libbdb_telemetry-9d596fbe53a3c4bf.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/chrome_trace.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/chrome_trace.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-f2e1c48f1e747514.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f2e1c48f1e747514.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f2e1c48f1e747514.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

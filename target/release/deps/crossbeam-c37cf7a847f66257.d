@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c37cf7a847f66257.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c37cf7a847f66257.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c37cf7a847f66257.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-18e8096a3cb8520b.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-18e8096a3cb8520b.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-18e8096a3cb8520b.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

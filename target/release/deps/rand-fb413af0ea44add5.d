@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fb413af0ea44add5.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fb413af0ea44add5.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fb413af0ea44add5.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

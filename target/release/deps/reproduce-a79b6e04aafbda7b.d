@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-a79b6e04aafbda7b.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-a79b6e04aafbda7b: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

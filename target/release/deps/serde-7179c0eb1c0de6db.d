@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7179c0eb1c0de6db.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7179c0eb1c0de6db.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7179c0eb1c0de6db.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

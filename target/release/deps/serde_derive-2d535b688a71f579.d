@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2d535b688a71f579.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2d535b688a71f579.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7fdf0b1fb3444e1c.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7fdf0b1fb3444e1c.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7fdf0b1fb3444e1c.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
