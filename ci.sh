@@ -29,6 +29,12 @@ if [ "$fast" -eq 0 ]; then
 fi
 run cargo test --workspace -q
 
+if [ "$fast" -eq 0 ]; then
+    # Fault-injection smoke: WordCount with an injected spill error,
+    # map-task panic and straggler must match the fault-free run.
+    run cargo run --release -q -p bdb-bench --bin reproduce -- --faults 42
+fi
+
 if [ "$bench_check" -eq 1 ]; then
     # Regenerate the simulated perf numbers at the committed baseline's
     # fraction and fail on drift beyond tolerance. Only deterministic

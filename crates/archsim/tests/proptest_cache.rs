@@ -99,7 +99,7 @@ proptest! {
         let l3 = r.l3.expect("E5645 has L3");
         prop_assert!(l3.stats.accesses <= r.l2.stats.misses);
         prop_assert!(r.cycles > 0);
-        prop_assert!(r.dram_bytes % 64 == 0, "DRAM traffic is line-granular");
+        prop_assert!(r.dram_bytes.is_multiple_of(64), "DRAM traffic is line-granular");
     }
 
     /// reset_stats zeroes counters but preserves cache warmth.

@@ -41,6 +41,7 @@ struct Args {
     bench_json: Option<std::path::PathBuf>,
     bench_baseline: Option<std::path::PathBuf>,
     bench_tolerance: f64,
+    faults_seed: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -64,10 +65,14 @@ options:
   --bench-baseline PATH  compare this run against a committed
                          BENCH_RESULTS.json; exit 1 on regression
   --bench-tolerance PCT  allowed drift per gated metric (default 2.0)
+  --faults SEED          fault-injection smoke: run WordCount with an
+                         injected spill-write error, map-task panic and
+                         straggler; exit 1 unless the output is
+                         byte-identical to the fault-free run
   -h, --help             this text
 
-`--trace`/`--bench-json`/`--bench-baseline` without a selection run
-only that pass.";
+`--trace`/`--bench-json`/`--bench-baseline`/`--faults` without a
+selection run only that pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
@@ -108,6 +113,7 @@ fn parse_args() -> Args {
                 "--bench-json" => state = Expecting::Value("--bench-json"),
                 "--bench-baseline" => state = Expecting::Value("--bench-baseline"),
                 "--bench-tolerance" => state = Expecting::Value("--bench-tolerance"),
+                "--faults" => state = Expecting::Value("--faults"),
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -119,8 +125,10 @@ fn parse_args() -> Args {
     if let Expecting::Value(flag) = state {
         usage_error(&format!("{flag} needs a value"));
     }
-    let side_pass =
-        args.trace_dir.is_some() || args.bench_json.is_some() || args.bench_baseline.is_some();
+    let side_pass = args.trace_dir.is_some()
+        || args.bench_json.is_some()
+        || args.bench_baseline.is_some()
+        || args.faults_seed.is_some();
     if !selected && !side_pass {
         select_everything(&mut args);
     }
@@ -146,6 +154,11 @@ fn apply_value(args: &mut Args, flag: &str, value: &str) {
                 .ok()
                 .filter(|t| *t >= 0.0)
                 .unwrap_or_else(|| usage_error("--bench-tolerance needs a percentage >= 0"));
+        }
+        "--faults" => {
+            args.faults_seed = Some(
+                value.parse().unwrap_or_else(|_| usage_error("--faults needs an integer seed")),
+            );
         }
         _ => unreachable!("values are only owed to known flags"),
     }
@@ -682,6 +695,86 @@ fn main() {
     if args.bench_json.is_some() || args.bench_baseline.is_some() {
         bench_results(&args);
     }
+
+    if let Some(seed) = args.faults_seed {
+        faults_smoke(seed);
+    }
+}
+
+/// Fault-injection smoke pass: the Hadoop recovery story end to end.
+/// WordCount with an injected spill-write error, a map-task panic and
+/// an artificial straggler must finish with output byte-identical to
+/// the fault-free run, recovering via retries and speculation. Exits 1
+/// if any recovery mechanism failed to engage.
+fn faults_smoke(seed: u64) {
+    use bdb_faults::FaultPlan;
+    use bdb_mapreduce::{sites, Engine};
+    use bdb_telemetry::MetricsRegistry;
+    use std::time::Duration;
+
+    section(&format!("Fault-injection smoke — seed {seed}"));
+    let mut text = bdb_datagen::text::TextGenerator::wikipedia(seed);
+    let input: Vec<String> = text.corpus(96 << 10).lines().map(str::to_owned).collect();
+
+    // Spill-heavy engine shape: four map tasks so the straggler can be
+    // speculated, a tiny sort buffer so the spill path runs.
+    let build = |faults: FaultPlan| {
+        Engine::builder().threads(4).reducers(3).map_buffer_bytes(1024).faults(faults).build()
+    };
+    let (clean, clean_stats) = build(FaultPlan::disabled()).run(&TraceWordCount, &input);
+    if clean_stats.spills == 0 {
+        die("faults smoke: fault-free run never spilled; the spill site would not fire");
+    }
+
+    let metrics = MetricsRegistry::new();
+    let plan = FaultPlan::builder(seed)
+        .io_error_nth(sites::SPILL_WRITE, 0)
+        .panic_nth(sites::MAP_TASK, 1)
+        .straggle_nth(sites::MAP_STRAGGLER, 3, Duration::from_millis(400))
+        .metrics(metrics.clone())
+        .build();
+    let (faulty, stats) = build(plan.clone()).run(&TraceWordCount, &input);
+
+    let mut t = TextTable::new(&["check", "expectation", "measured", "verdict"]);
+    let mut failed = false;
+    let mut check = |name: &str, want: &str, got: String, pass: bool| {
+        failed |= !pass;
+        t.row(&[name, want, &got, if pass { "PASS" } else { "FAIL" }]);
+    };
+    check(
+        "output",
+        "byte-identical to fault-free run",
+        format!("{} keys", faulty.len()),
+        faulty == clean,
+    );
+    check("injected", ">= 3 (spill error, panic, straggler)", plan.injected().to_string(), {
+        plan.injected() >= 3
+    });
+    check("recovered", ">= 2", plan.recovered().to_string(), plan.recovered() >= 2);
+    check("map retries", ">= 2", stats.map_retries.to_string(), stats.map_retries >= 2);
+    check(
+        "speculative wins",
+        ">= 1",
+        format!("{} of {} launched", stats.speculative_wins, stats.speculative_tasks),
+        stats.speculative_wins >= 1,
+    );
+    check(
+        "retry backoff",
+        "> 0 (virtual time)",
+        format!("{:?}", stats.retry_backoff),
+        stats.retry_backoff > Duration::ZERO,
+    );
+    println!("{}", t.render());
+    for site in [sites::SPILL_WRITE, sites::MAP_TASK, sites::MAP_STRAGGLER] {
+        println!(
+            "  fault.injected.{site} = {}",
+            metrics.counter(&format!("fault.injected.{site}")).get()
+        );
+    }
+    if failed {
+        die("faults smoke: a recovery mechanism failed to engage (see FAIL rows above)");
+    }
+    println!("\nfaults smoke PASS: all injected faults recovered, output unchanged");
 }
 
 /// Collects the BENCH_RESULTS.json artifact and, when a baseline is

@@ -112,7 +112,8 @@ mod tests {
         // All lines padded to same prefix width for column 2.
         let col2_positions: Vec<usize> =
             lines.iter().filter_map(|l| l.find("1").or(l.find("22")).or(l.find("long"))).collect();
-        assert!(col2_positions.windows(2).all(|w| w[0] == w[1] || true));
+        assert_eq!(col2_positions.len(), 3, "header and both rows carry column 2");
+        assert!(col2_positions.windows(2).all(|w| w[0] == w[1]), "column 2 aligned");
         assert!(lines[1].starts_with('-'));
     }
 

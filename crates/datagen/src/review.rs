@@ -168,10 +168,8 @@ mod tests {
         let reviews = ReviewGenerator::new(2).generate(2000);
         let pos_hits = |r: &Review| POSITIVE.iter().filter(|w| r.text.contains(*w)).count();
         let neg_hits = |r: &Review| NEGATIVE.iter().filter(|w| r.text.contains(*w)).count();
-        let pos_in_pos: usize =
-            reviews.iter().filter(|r| r.is_positive()).map(|r| pos_hits(r)).sum();
-        let neg_in_pos: usize =
-            reviews.iter().filter(|r| r.is_positive()).map(|r| neg_hits(r)).sum();
+        let pos_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(pos_hits).sum();
+        let neg_in_pos: usize = reviews.iter().filter(|r| r.is_positive()).map(neg_hits).sum();
         assert!(pos_in_pos > neg_in_pos * 2, "positive reviews carry positive words");
     }
 

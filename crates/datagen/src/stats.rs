@@ -128,7 +128,7 @@ mod tests {
         let mut degrees = Vec::new();
         for d in 1u32..=100 {
             let copies = (10_000.0 / (d as f64).powf(2.0)) as usize;
-            degrees.extend(std::iter::repeat(d).take(copies.max(0)));
+            degrees.extend(std::iter::repeat_n(d, copies));
         }
         let alpha = estimate_power_law_alpha(&degrees).unwrap();
         assert!(alpha > 1.5 && alpha < 3.0, "alpha = {alpha}");

@@ -153,7 +153,7 @@ mod tests {
     fn item_ratio_matches_seed() {
         let (orders, items) = EcommerceGenerator::new(1).generate(2000);
         let ratio = items.len() as f64 / orders.len() as f64;
-        assert!((ratio - 6.28).abs() < 0.8, "items/order {ratio} should be near 6.3");
+        assert!((ratio - 6.3).abs() < 0.8, "items/order {ratio} should be near 6.3");
     }
 
     #[test]

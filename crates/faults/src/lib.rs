@@ -1,0 +1,508 @@
+//! Deterministic fault injection for BigDataBench-RS.
+//!
+//! The paper's workloads inherit their real-world character from
+//! fault-tolerant substrates: Hadoop re-executes failed and straggling
+//! map tasks, and HBase replays its write-ahead log after a crash. To
+//! exercise the matching recovery paths in our from-scratch engines,
+//! this crate provides a seeded, deterministic [`FaultPlan`] that
+//! injects failures at *named sites* — strings like
+//! `"mapreduce.spill.write"` or `"kvstore.wal.append"` that the engines
+//! consult at their crash points.
+//!
+//! Four fault kinds are supported ([`FaultKind`]):
+//!
+//! * **I/O errors** — a site returns an injected [`std::io::Error`];
+//! * **torn writes** — an [`std::io::Write`] wrapper ([`FaultyWrite`])
+//!   persists only a prefix of the buffer, then fails *sticky* (every
+//!   later write also fails), modeling a process crash mid-write;
+//! * **panics** — the site panics, modeling a task crash;
+//! * **stragglers** — the site reports an artificial delay, modeling
+//!   the slow tasks Hadoop's speculative execution exists for.
+//!
+//! A plan decides deterministically: each site keeps an occurrence
+//! counter, and a rule fires either on an exact occurrence
+//! ([`Trigger::Nth`]) or pseudo-randomly from a hash of
+//! `(seed, site, occurrence)` ([`Trigger::Probability`]) — never from
+//! global RNG state, so two runs with the same plan and the same
+//! per-site call sequence inject identically.
+//!
+//! Every injection is counted in an optional
+//! [`bdb_telemetry::MetricsRegistry`] under `fault.injected.<site>`,
+//! and engines report successful recoveries under
+//! `fault.recovered.<site>` via [`FaultPlan::note_recovered`].
+//!
+//! # Example
+//!
+//! ```
+//! use bdb_faults::{FaultPlan, FaultKind};
+//!
+//! let plan = FaultPlan::builder(42)
+//!     .io_error_nth("demo.write", 1) // second call fails
+//!     .build();
+//! assert!(plan.fail_io("demo.write").is_ok());
+//! assert!(plan.fail_io("demo.write").is_err());
+//! assert!(plan.fail_io("demo.write").is_ok());
+//! assert_eq!(plan.injected(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bdb_telemetry::MetricsRegistry;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site fails with an injected [`std::io::Error`].
+    IoError,
+    /// A write persists only a prefix of its buffer, then fails; the
+    /// wrapper stays broken afterwards (crash semantics).
+    TornWrite,
+    /// The site panics.
+    Panic,
+    /// The site is delayed by the given duration (an artificial
+    /// straggler).
+    Straggle(Duration),
+}
+
+/// When a rule fires, relative to the per-site occurrence counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on exactly the `n`-th occurrence of the site (0-based).
+    Nth(u64),
+    /// Fire whenever `hash(seed, site, occurrence)` falls below this
+    /// probability (deterministic given the plan's seed).
+    Probability(f64),
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    site: &'static str,
+    trigger: Trigger,
+    kind: FaultKind,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    rules: Vec<Rule>,
+    /// Per-site occurrence counters; sites are engine-provided static
+    /// strings, so the map stays tiny and lock contention negligible
+    /// (one lock per *injection check*, never on byte-level I/O).
+    occurrences: Mutex<HashMap<&'static str, u64>>,
+    injected: AtomicU64,
+    recovered: AtomicU64,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// A seeded, deterministic fault plan shared by every engine in a run.
+///
+/// Cloning is cheap (an `Arc`); the disabled plan
+/// ([`FaultPlan::disabled`]) costs one branch per site check.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Builder for [`FaultPlan`]. Obtain via [`FaultPlan::builder`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<Rule>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl FaultPlanBuilder {
+    /// Adds an arbitrary rule.
+    pub fn rule(mut self, site: &'static str, trigger: Trigger, kind: FaultKind) -> Self {
+        self.rules.push(Rule { site, trigger, kind });
+        self
+    }
+
+    /// The `n`-th occurrence of `site` fails with an I/O error.
+    pub fn io_error_nth(self, site: &'static str, n: u64) -> Self {
+        self.rule(site, Trigger::Nth(n), FaultKind::IoError)
+    }
+
+    /// The `n`-th occurrence of `site` suffers a torn write.
+    pub fn torn_write_nth(self, site: &'static str, n: u64) -> Self {
+        self.rule(site, Trigger::Nth(n), FaultKind::TornWrite)
+    }
+
+    /// The `n`-th occurrence of `site` panics.
+    pub fn panic_nth(self, site: &'static str, n: u64) -> Self {
+        self.rule(site, Trigger::Nth(n), FaultKind::Panic)
+    }
+
+    /// The `n`-th occurrence of `site` straggles for `delay`.
+    pub fn straggle_nth(self, site: &'static str, n: u64, delay: Duration) -> Self {
+        self.rule(site, Trigger::Nth(n), FaultKind::Straggle(delay))
+    }
+
+    /// Every occurrence of `site` fails with probability `p`
+    /// (deterministic given the seed).
+    pub fn io_error_p(self, site: &'static str, p: f64) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::IoError)
+    }
+
+    /// Every occurrence of `site` panics with probability `p`.
+    pub fn panic_p(self, site: &'static str, p: f64) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::Panic)
+    }
+
+    /// Attaches a metrics registry; injections and recoveries are
+    /// counted under `fault.injected.<site>` / `fault.recovered.<site>`.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            inner: Some(Arc::new(Inner {
+                seed: self.seed,
+                rules: self.rules,
+                occurrences: Mutex::new(HashMap::new()),
+                injected: AtomicU64::new(0),
+                recovered: AtomicU64::new(0),
+                metrics: self.metrics,
+            })),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the engine default).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Starts building a seeded plan.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder { seed, rules: Vec::new(), metrics: None }
+    }
+
+    /// Whether any rules are armed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| !i.rules.is_empty())
+    }
+
+    /// Total faults injected so far across all sites.
+    pub fn injected(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.injected.load(Ordering::Relaxed))
+    }
+
+    /// Total recoveries reported so far across all sites.
+    pub fn recovered(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.recovered.load(Ordering::Relaxed))
+    }
+
+    /// Consults the plan at `site`: advances the site's occurrence
+    /// counter and returns the fault to inject, if any. Engines usually
+    /// call the typed helpers ([`FaultPlan::fail_io`],
+    /// [`FaultPlan::maybe_panic`], [`FaultPlan::straggle`]) instead.
+    pub fn check(&self, site: &'static str) -> Option<FaultKind> {
+        let inner = self.inner.as_ref()?;
+        let n = {
+            let mut occ = inner.occurrences.lock().expect("fault plan lock");
+            let slot = occ.entry(site).or_insert(0);
+            let n = *slot;
+            *slot += 1;
+            n
+        };
+        for rule in &inner.rules {
+            if rule.site != site {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Nth(want) => n == want,
+                Trigger::Probability(p) => unit_hash(inner.seed, site, n) < p,
+            };
+            if fires {
+                inner.injected.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &inner.metrics {
+                    m.counter(&format!("fault.injected.{site}")).inc();
+                }
+                return Some(rule.kind.clone());
+            }
+        }
+        None
+    }
+
+    /// Site check for plain I/O crash points: returns the injected
+    /// error when an [`FaultKind::IoError`] or [`FaultKind::TornWrite`]
+    /// rule fires (a torn write degenerates to an error when there is
+    /// no byte stream to tear).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when a rule fires.
+    pub fn fail_io(&self, site: &'static str) -> std::io::Result<()> {
+        match self.check(site) {
+            Some(FaultKind::IoError | FaultKind::TornWrite) => Err(injected_error(site)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Site check for task bodies: panics when a [`FaultKind::Panic`]
+    /// rule fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deliberately) when a panic rule fires at this site.
+    pub fn maybe_panic(&self, site: &'static str) {
+        if let Some(FaultKind::Panic) = self.check(site) {
+            panic!("injected fault: panic at {site}");
+        }
+    }
+
+    /// Site check for stragglers: the delay to apply, if a
+    /// [`FaultKind::Straggle`] rule fires.
+    pub fn straggle(&self, site: &'static str) -> Option<Duration> {
+        match self.check(site) {
+            Some(FaultKind::Straggle(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Records that an engine recovered from an injected fault (retry
+    /// succeeded, WAL replayed, ...). Counted under
+    /// `fault.recovered.<site>`.
+    pub fn note_recovered(&self, site: &'static str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.recovered.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &inner.metrics {
+            m.counter(&format!("fault.recovered.{site}")).inc();
+        }
+    }
+
+    /// Wraps a writer so that each `write` call is one occurrence of
+    /// `site`, subject to injected I/O errors and torn writes.
+    pub fn wrap_write<W: Write>(&self, site: &'static str, inner: W) -> FaultyWrite<W> {
+        FaultyWrite { inner, plan: self.clone(), site, broken: false }
+    }
+
+    /// Wraps a reader so that each `read` call is one occurrence of
+    /// `site`, subject to injected I/O errors.
+    pub fn wrap_read<R: Read>(&self, site: &'static str, inner: R) -> FaultyRead<R> {
+        FaultyRead { inner, plan: self.clone(), site }
+    }
+}
+
+/// The error every injected I/O fault carries; detectable by message
+/// prefix `"injected fault"`.
+fn injected_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: I/O error at {site}"))
+}
+
+/// Whether an I/O error was produced by this crate (useful in tests and
+/// smoke checks to distinguish injected failures from real ones).
+pub fn is_injected(e: &std::io::Error) -> bool {
+    e.to_string().starts_with("injected fault")
+}
+
+/// Deterministic hash of `(seed, site, occurrence)` mapped to `[0, 1)`.
+fn unit_hash(seed: u64, site: &str, n: u64) -> f64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in site.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= n;
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An [`std::io::Write`] wrapper that injects faults from a plan.
+///
+/// Each `write` call is one occurrence of the wrapper's site. An
+/// injected `IoError` fails the call without writing; an injected
+/// `TornWrite` persists only the first half of the buffer to the inner
+/// writer, then fails. After either, the wrapper is *broken*: all later
+/// writes fail too, exactly as if the owning process had crashed — a
+/// `BufWriter` flushing on drop cannot quietly complete a torn record.
+#[derive(Debug)]
+pub struct FaultyWrite<W: Write> {
+    inner: W,
+    plan: FaultPlan,
+    site: &'static str,
+    broken: bool,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Whether a fault has fired on this wrapper (crashed state).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.broken {
+            return Err(injected_error(self.site));
+        }
+        match self.plan.check(self.site) {
+            Some(FaultKind::IoError) => {
+                self.broken = true;
+                Err(injected_error(self.site))
+            }
+            Some(FaultKind::TornWrite) => {
+                self.broken = true;
+                let keep = buf.len() / 2;
+                self.inner.write_all(&buf[..keep])?;
+                let _ = self.inner.flush();
+                Err(injected_error(self.site))
+            }
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.broken {
+            return Err(injected_error(self.site));
+        }
+        self.inner.flush()
+    }
+}
+
+/// An [`std::io::Read`] wrapper that injects I/O errors from a plan.
+/// Each `read` call is one occurrence of the wrapper's site.
+#[derive(Debug)]
+pub struct FaultyRead<R: Read> {
+    inner: R,
+    plan: FaultPlan,
+    site: &'static str,
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(FaultKind::IoError | FaultKind::TornWrite) = self.plan.check(self.site) {
+            return Err(injected_error(self.site));
+        }
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for _ in 0..100 {
+            assert!(plan.check("any.site").is_none());
+            assert!(plan.fail_io("any.site").is_ok());
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn nth_rule_fires_exactly_once() {
+        let plan = FaultPlan::builder(1).io_error_nth("s", 2).build();
+        let hits: Vec<bool> = (0..6).map(|_| plan.fail_io("s").is_err()).collect();
+        assert_eq!(hits, [false, false, true, false, false, false]);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let plan = FaultPlan::builder(1).io_error_nth("a", 0).build();
+        assert!(plan.fail_io("b").is_ok());
+        assert!(plan.fail_io("a").is_err(), "b's calls must not advance a's counter");
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        let count = |seed: u64| {
+            let plan = FaultPlan::builder(seed).io_error_p("p", 0.25).build();
+            (0..1000).filter(|_| plan.fail_io("p").is_err()).count()
+        };
+        let a = count(7);
+        assert_eq!(a, count(7), "same seed, same injections");
+        assert!((150..350).contains(&a), "~25% of 1000, got {a}");
+        assert_ne!(a, count(8), "different seed, different pattern");
+    }
+
+    #[test]
+    fn panic_rule_panics() {
+        let plan = FaultPlan::builder(3).panic_nth("boom", 0).build();
+        let r = std::panic::catch_unwind(|| plan.maybe_panic("boom"));
+        assert!(r.is_err());
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn straggle_reports_delay_once() {
+        let d = Duration::from_millis(50);
+        let plan = FaultPlan::builder(3).straggle_nth("slow", 0, d).build();
+        assert_eq!(plan.straggle("slow"), Some(d));
+        assert_eq!(plan.straggle("slow"), None);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_breaks() {
+        let plan = FaultPlan::builder(1).torn_write_nth("w", 1).build();
+        let mut sink = Vec::new();
+        let mut w = plan.wrap_write("w", &mut sink);
+        w.write_all(b"first").unwrap();
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert!(is_injected(&err));
+        assert!(w.is_broken());
+        assert!(w.write_all(b"later").is_err(), "sticky after the crash point");
+        assert!(w.flush().is_err());
+        drop(w);
+        assert_eq!(sink, b"first01234", "only the prefix of the torn write landed");
+    }
+
+    #[test]
+    fn faulty_read_injects() {
+        let plan = FaultPlan::builder(1).io_error_nth("r", 1).build();
+        let data = b"abcdef".to_vec();
+        let mut r = plan.wrap_read("r", data.as_slice());
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert!(r.read_exact(&mut buf).is_err());
+    }
+
+    #[test]
+    fn metrics_count_injections_and_recoveries() {
+        let metrics = MetricsRegistry::new();
+        let plan = FaultPlan::builder(1).io_error_nth("m.site", 0).metrics(metrics.clone()).build();
+        assert!(plan.fail_io("m.site").is_err());
+        plan.note_recovered("m.site");
+        assert_eq!(metrics.counter("fault.injected.m.site").get(), 1);
+        assert_eq!(metrics.counter("fault.recovered.m.site").get(), 1);
+        assert_eq!(plan.recovered(), 1);
+    }
+
+    #[test]
+    fn plan_is_shareable_across_threads() {
+        let plan = FaultPlan::builder(1).io_error_p("t", 0.5).build();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = plan.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _ = p.fail_io("t");
+                    }
+                });
+            }
+        });
+        assert!(plan.injected() > 100, "roughly half of 400 checks fire");
+    }
+}

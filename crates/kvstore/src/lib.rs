@@ -51,3 +51,20 @@ pub use sstable::SsTable;
 pub use store::{Store, StoreConfig, StoreStats};
 pub use trace::StoreTraceModel;
 pub use wal::WriteAheadLog;
+
+/// Fault-injection site names consulted by the store's write paths.
+/// Pass these to a [`bdb_faults::FaultPlan`] (via
+/// [`Store::open_with_faults`]) to target the matching crash point.
+pub mod sites {
+    /// I/O site covering every WAL record write; a torn write here
+    /// models a crash mid-append, recovered by prefix replay on reopen.
+    pub const WAL_APPEND: &str = "kvstore.wal.append";
+    /// I/O site covering SSTable writes during a memtable flush; a
+    /// failure here models a crash mid-flush, recovered by keeping the
+    /// memtable and WAL intact and never publishing the partial table.
+    pub const FLUSH_WRITE: &str = "kvstore.flush.write";
+    /// I/O site covering SSTable writes during compaction; a failure
+    /// here models a crash mid-compaction, recovered by keeping every
+    /// input table live.
+    pub const COMPACTION_WRITE: &str = "kvstore.compaction.write";
+}

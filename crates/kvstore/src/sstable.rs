@@ -12,6 +12,7 @@
 
 use crate::bloom::BloomFilter;
 use crate::memtable::Entry;
+use bdb_faults::FaultPlan;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -50,83 +51,51 @@ impl SsTable {
     ///
     /// Panics (debug assertion) if `entries` is not sorted by key.
     pub fn build(path: &Path, entries: &[(Vec<u8>, Entry)]) -> std::io::Result<Self> {
+        Self::build_with(path, entries, &FaultPlan::disabled(), "kvstore.sstable.build")
+    }
+
+    /// [`SsTable::build`] writing through the fault plan's `site`, with
+    /// crash-safe publication: the table is written to `<path>.tmp` and
+    /// atomically renamed into place only once every byte (including
+    /// the footer) is on disk — HBase's tmp-then-move commit for store
+    /// files. A failed build removes the partial tmp file, so a reader
+    /// never observes a half-written table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real and injected I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `entries` is not sorted by key.
+    pub fn build_with(
+        path: &Path,
+        entries: &[(Vec<u8>, Entry)],
+        faults: &FaultPlan,
+        site: &'static str,
+    ) -> std::io::Result<Self> {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted");
-        let mut bloom = BloomFilter::for_items(entries.len().max(1), 0.01);
-        let mut file = File::create(path)?;
-        let mut index = Vec::new();
-        let mut block = Vec::with_capacity(BLOCK_TARGET * 2);
-        let mut block_first: Option<Vec<u8>> = None;
-        let mut offset = 0u64;
-
-        let flush_block = |file: &mut File,
-                           block: &mut Vec<u8>,
-                           first: &mut Option<Vec<u8>>,
-                           offset: &mut u64,
-                           index: &mut Vec<IndexEntry>|
-         -> std::io::Result<()> {
-            if let Some(first_key) = first.take() {
-                file.write_all(block)?;
-                index.push(IndexEntry { first_key, offset: *offset, len: block.len() as u32 });
-                *offset += block.len() as u64;
-                block.clear();
-            }
-            Ok(())
-        };
-
-        for (key, entry) in entries {
-            bloom.insert(key);
-            if block_first.is_none() {
-                block_first = Some(key.clone());
-            }
-            block.extend_from_slice(&(key.len() as u32).to_le_bytes());
-            block.extend_from_slice(key);
-            match entry {
-                Entry::Tombstone => {
-                    block.push(1);
-                    block.extend_from_slice(&0u32.to_le_bytes());
-                }
-                Entry::Value(v) => {
-                    block.push(0);
-                    block.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                    block.extend_from_slice(v);
-                }
-            }
-            if block.len() >= BLOCK_TARGET {
-                flush_block(&mut file, &mut block, &mut block_first, &mut offset, &mut index)?;
+        let tmp = tmp_path(path);
+        let written = (|| {
+            let mut w = faults.wrap_write(site, File::create(&tmp)?);
+            let sections = write_table(&mut w, entries)?;
+            w.flush()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(sections)
+        })();
+        match written {
+            Ok((index, bloom, file_bytes)) => Ok(Self {
+                path: path.to_owned(),
+                index,
+                bloom,
+                entries: entries.len() as u64,
+                file_bytes,
+            }),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
             }
         }
-        flush_block(&mut file, &mut block, &mut block_first, &mut offset, &mut index)?;
-
-        // Index section.
-        let index_off = offset;
-        let mut index_bytes = Vec::new();
-        index_bytes.extend_from_slice(&(index.len() as u32).to_le_bytes());
-        for e in &index {
-            index_bytes.extend_from_slice(&(e.first_key.len() as u32).to_le_bytes());
-            index_bytes.extend_from_slice(&e.first_key);
-            index_bytes.extend_from_slice(&e.offset.to_le_bytes());
-            index_bytes.extend_from_slice(&e.len.to_le_bytes());
-        }
-        file.write_all(&index_bytes)?;
-
-        // Bloom section.
-        let bloom_off = index_off + index_bytes.len() as u64;
-        let bloom_bytes = bloom.to_bytes();
-        file.write_all(&bloom_bytes)?;
-
-        // Footer.
-        let mut footer = Vec::with_capacity(48);
-        footer.extend_from_slice(&index_off.to_le_bytes());
-        footer.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
-        footer.extend_from_slice(&bloom_off.to_le_bytes());
-        footer.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
-        footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        footer.extend_from_slice(&MAGIC.to_le_bytes());
-        file.write_all(&footer)?;
-        file.flush()?;
-        let file_bytes = bloom_off + bloom_bytes.len() as u64 + 48;
-
-        Ok(Self { path: path.to_owned(), index, bloom, entries: entries.len() as u64, file_bytes })
     }
 
     /// Opens an existing SSTable, reading its index, bloom and footer.
@@ -295,6 +264,95 @@ fn invalid(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
 }
 
+/// The staging path a table is written to before its atomic rename.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Streams data blocks, index, bloom and footer to `file`, returning
+/// the in-memory index, the bloom filter and the total byte count.
+fn write_table<W: Write>(
+    file: &mut W,
+    entries: &[(Vec<u8>, Entry)],
+) -> std::io::Result<(Vec<IndexEntry>, BloomFilter, u64)> {
+    let mut bloom = BloomFilter::for_items(entries.len().max(1), 0.01);
+    let mut index = Vec::new();
+    let mut block = Vec::with_capacity(BLOCK_TARGET * 2);
+    let mut block_first: Option<Vec<u8>> = None;
+    let mut offset = 0u64;
+
+    let flush_block = |file: &mut W,
+                       block: &mut Vec<u8>,
+                       first: &mut Option<Vec<u8>>,
+                       offset: &mut u64,
+                       index: &mut Vec<IndexEntry>|
+     -> std::io::Result<()> {
+        if let Some(first_key) = first.take() {
+            file.write_all(block)?;
+            index.push(IndexEntry { first_key, offset: *offset, len: block.len() as u32 });
+            *offset += block.len() as u64;
+            block.clear();
+        }
+        Ok(())
+    };
+
+    for (key, entry) in entries {
+        bloom.insert(key);
+        if block_first.is_none() {
+            block_first = Some(key.clone());
+        }
+        block.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        block.extend_from_slice(key);
+        match entry {
+            Entry::Tombstone => {
+                block.push(1);
+                block.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Entry::Value(v) => {
+                block.push(0);
+                block.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                block.extend_from_slice(v);
+            }
+        }
+        if block.len() >= BLOCK_TARGET {
+            flush_block(file, &mut block, &mut block_first, &mut offset, &mut index)?;
+        }
+    }
+    flush_block(file, &mut block, &mut block_first, &mut offset, &mut index)?;
+
+    // Index section.
+    let index_off = offset;
+    let mut index_bytes = Vec::new();
+    index_bytes.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    for e in &index {
+        index_bytes.extend_from_slice(&(e.first_key.len() as u32).to_le_bytes());
+        index_bytes.extend_from_slice(&e.first_key);
+        index_bytes.extend_from_slice(&e.offset.to_le_bytes());
+        index_bytes.extend_from_slice(&e.len.to_le_bytes());
+    }
+    file.write_all(&index_bytes)?;
+
+    // Bloom section.
+    let bloom_off = index_off + index_bytes.len() as u64;
+    let bloom_bytes = bloom.to_bytes();
+    file.write_all(&bloom_bytes)?;
+
+    // Footer.
+    let mut footer = Vec::with_capacity(48);
+    footer.extend_from_slice(&index_off.to_le_bytes());
+    footer.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&bloom_off.to_le_bytes());
+    footer.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&MAGIC.to_le_bytes());
+    file.write_all(&footer)?;
+    file.flush()?;
+    let file_bytes = bloom_off + bloom_bytes.len() as u64 + 48;
+    Ok((index, bloom, file_bytes))
+}
+
 fn parse_index(bytes: &[u8]) -> Option<Vec<IndexEntry>> {
     let mut s = bytes;
     let count = read_u32(&mut s)? as usize;
@@ -460,6 +518,22 @@ mod tests {
         let table = SsTable::build(&path, &entries).unwrap();
         assert_eq!(table.block_for(b"aaa"), None);
         assert_eq!(table.get(b"aaa").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_build_publishes_nothing() {
+        let path = tmp("atomic");
+        let _ = std::fs::remove_file(&path);
+        let plan = bdb_faults::FaultPlan::builder(11).torn_write_nth("sst.test.write", 0).build();
+        let err = SsTable::build_with(&path, &sample_entries(1000), &plan, "sst.test.write")
+            .expect_err("torn write must fail the build");
+        assert!(bdb_faults::is_injected(&err));
+        assert!(!path.exists(), "no partial table at the final path");
+        assert!(!tmp_path(&path).exists(), "partial tmp file removed");
+        // A later, fault-free attempt at the same path succeeds cleanly.
+        let table = SsTable::build(&path, &sample_entries(1000)).unwrap();
+        assert_eq!(table.len(), 1000);
         std::fs::remove_file(&path).ok();
     }
 

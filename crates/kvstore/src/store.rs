@@ -6,6 +6,7 @@ use crate::trace::StoreTraceModel;
 use crate::wal::{WalOp, WriteAheadLog};
 use bdb_archsim::layout::splitmix64;
 use bdb_archsim::{NullProbe, Probe};
+use bdb_faults::FaultPlan;
 use bdb_telemetry::{span, Counter, MetricsRegistry, SpanRecorder};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -75,6 +76,7 @@ pub struct Store {
     trace: Option<StoreTraceModel>,
     telemetry: SpanRecorder,
     counters: Option<StoreCounters>,
+    faults: FaultPlan,
 }
 
 impl Store {
@@ -94,6 +96,22 @@ impl Store {
     ///
     /// Propagates file-system errors from recovery.
     pub fn open_with(dir: &Path, config: StoreConfig) -> std::io::Result<Self> {
+        Self::open_with_faults(dir, config, FaultPlan::disabled())
+    }
+
+    /// [`Store::open_with`] with fault injection on the write paths:
+    /// WAL appends pass through [`crate::sites::WAL_APPEND`], flush and
+    /// compaction SSTable builds through [`crate::sites::FLUSH_WRITE`]
+    /// and [`crate::sites::COMPACTION_WRITE`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from recovery.
+    pub fn open_with_faults(
+        dir: &Path,
+        config: StoreConfig,
+        faults: FaultPlan,
+    ) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let wal_path = dir.join("wal.log");
         let mut memtable = Memtable::new();
@@ -107,12 +125,17 @@ impl Store {
                 }
             }
         }
-        let wal = WriteAheadLog::open(&wal_path)?;
+        let wal = WriteAheadLog::open_with(&wal_path, faults.clone())?;
         let mut ids: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // A table a crashed flush/compaction never published.
+                std::fs::remove_file(entry.path())?;
+                continue;
+            }
             if let Some(id) = name.strip_prefix("table-").and_then(|s| s.strip_suffix(".sst")) {
                 if let Ok(id) = id.parse::<u64>() {
                     ids.push(id);
@@ -136,6 +159,7 @@ impl Store {
             trace: None,
             telemetry: SpanRecorder::disabled(),
             counters: None,
+            faults,
         })
     }
 
@@ -393,8 +417,31 @@ impl Store {
             t.block_read(probe, self.next_table_id, 0, entries.len() * 64);
         }
         let id = self.next_table_id;
-        self.next_table_id += 1;
-        let table = SsTable::build(&table_path(&self.dir, id), &entries)?;
+        let table = match SsTable::build_with(
+            &table_path(&self.dir, id),
+            &entries,
+            &self.faults,
+            crate::sites::FLUSH_WRITE,
+        ) {
+            Ok(table) => table,
+            Err(e) => {
+                // The build published nothing; put the drained entries
+                // back so every acknowledged write stays readable, and
+                // leave the WAL untruncated so they also survive a
+                // restart. The flush can simply be retried.
+                for (k, entry) in entries {
+                    match entry {
+                        Entry::Value(v) => self.memtable.put(k, v),
+                        Entry::Tombstone => self.memtable.delete(k),
+                    };
+                }
+                if bdb_faults::is_injected(&e) {
+                    self.faults.note_recovered(crate::sites::FLUSH_WRITE);
+                }
+                return Err(e);
+            }
+        };
+        self.next_table_id = id + 1;
         self.tables.insert(0, table);
         self.wal.truncate()?;
         self.stats.flushes += 1;
@@ -429,8 +476,24 @@ impl Store {
         let entries: Vec<(Vec<u8>, Entry)> =
             merged.into_iter().filter(|(_, e)| matches!(e, Entry::Value(_))).collect();
         let id = self.next_table_id;
-        self.next_table_id += 1;
-        let new_table = SsTable::build(&table_path(&self.dir, id), &entries)?;
+        let new_table = match SsTable::build_with(
+            &table_path(&self.dir, id),
+            &entries,
+            &self.faults,
+            crate::sites::COMPACTION_WRITE,
+        ) {
+            Ok(table) => table,
+            Err(e) => {
+                // Nothing was published and no input table was touched:
+                // the store keeps serving from the old tables and the
+                // compaction can be retried.
+                if bdb_faults::is_injected(&e) {
+                    self.faults.note_recovered(crate::sites::COMPACTION_WRITE);
+                }
+                return Err(e);
+            }
+        };
+        self.next_table_id = id + 1;
         for old in self.tables.drain(..) {
             old.remove_file()?;
         }

@@ -5,6 +5,7 @@
 //! is `op(1) keylen(4) key vallen(4) val` with a per-record XOR checksum
 //! byte so torn tails are detected and dropped, as a real WAL does.
 
+use bdb_faults::{FaultPlan, FaultyWrite};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -22,7 +23,8 @@ pub enum WalOp {
 #[derive(Debug)]
 pub struct WriteAheadLog {
     path: PathBuf,
-    writer: BufWriter<File>,
+    writer: BufWriter<FaultyWrite<File>>,
+    faults: FaultPlan,
     records: u64,
 }
 
@@ -33,8 +35,21 @@ impl WriteAheadLog {
     ///
     /// Propagates file-system errors.
     pub fn open(path: &Path) -> std::io::Result<Self> {
+        Self::open_with(path, FaultPlan::disabled())
+    }
+
+    /// [`WriteAheadLog::open`] with record writes passing through the
+    /// fault plan's [`crate::sites::WAL_APPEND`] site, so a torn write
+    /// there leaves exactly the half-written tail a crash mid-append
+    /// would — which [`WriteAheadLog::replay`] then drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn open_with(path: &Path, faults: FaultPlan) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Self { path: path.to_owned(), writer: BufWriter::new(file), records: 0 })
+        let writer = BufWriter::new(faults.wrap_write(crate::sites::WAL_APPEND, file));
+        Ok(Self { path: path.to_owned(), writer, faults, records: 0 })
     }
 
     /// Appends a put record.
@@ -107,7 +122,7 @@ impl WriteAheadLog {
     pub fn truncate(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
         let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
+        self.writer = BufWriter::new(self.faults.wrap_write(crate::sites::WAL_APPEND, file));
         self.records = 0;
         Ok(())
     }

@@ -22,7 +22,7 @@
 /// assert_eq!(String::decode(&mut slice), Some("hi".to_owned()));
 /// assert!(slice.is_empty());
 /// ```
-pub trait Datum: Sized + Clone + Send {
+pub trait Datum: Sized + Clone + Send + Sync {
     /// Appends the wire representation of `self` to `buf`.
     fn encode(&self, buf: &mut Vec<u8>);
 

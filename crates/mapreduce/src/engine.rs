@@ -1,12 +1,25 @@
 //! The execution engine: parallel native runs and traced runs.
+//!
+//! The parallel path executes tasks through a small Hadoop-style
+//! scheduler: failed attempts (panics, spill I/O errors) are retried up
+//! to a bounded attempt budget with exponential backoff accounted in
+//! *virtual* time, and straggling map tasks get a speculative second
+//! attempt — the first copy to finish wins, exactly as in Hadoop's
+//! speculative execution. Fault-injection sites (see [`crate::sites`])
+//! are consulted only on this path; traced runs stay fault-free.
 
 use crate::codec::Datum;
+use crate::error::JobError;
 use crate::job::{Emitter, Job};
-use crate::spill::{merge_runs, SpillFile};
+use crate::spill::{merge_run_slices, SpillFile};
 use crate::trace::FrameworkModel;
 use bdb_archsim::{CounterSnapshot, NullProbe, Probe};
+use bdb_faults::FaultPlan;
 use bdb_telemetry::{span, MetricsRegistry, SpanGuard, SpanRecorder};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Counters and timings for one executed job.
@@ -44,6 +57,17 @@ pub struct JobStats {
     pub max_reduce_groups: u64,
     /// Smallest per-reducer key-group count (skew indicator).
     pub min_reduce_groups: u64,
+    /// Map-task attempts relaunched after a failure (panic or I/O).
+    pub map_retries: u64,
+    /// Reduce-task attempts relaunched after a failure.
+    pub reduce_retries: u64,
+    /// Map tasks that received a speculative second attempt.
+    pub speculative_tasks: u64,
+    /// Speculative attempts that finished before the original copy.
+    pub speculative_wins: u64,
+    /// Exponential retry backoff accrued across all relaunches, in
+    /// virtual time (recorded, never slept, so fault runs stay fast).
+    pub retry_backoff: Duration,
 }
 
 impl JobStats {
@@ -118,6 +142,120 @@ struct ReduceOutcome<O> {
     merge_time: Duration,
 }
 
+/// Base delay for the first retry; doubled per subsequent failure of
+/// the same task and accrued in [`JobStats::retry_backoff`] as virtual
+/// time.
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// A running task is never speculated before this much wall-clock.
+const SPECULATION_FLOOR: Duration = Duration::from_millis(25);
+/// ... nor before it is this many times slower than the median
+/// completed task.
+const SPECULATION_FACTOR: u32 = 4;
+/// Speculation needs a population to judge stragglers against.
+const SPECULATION_MIN_TASKS: usize = 4;
+
+/// Which phase the scheduler is executing; controls speculation and the
+/// recovery-metric site.
+#[derive(Debug, Clone, Copy)]
+enum TaskPhase {
+    Map,
+    Reduce,
+}
+
+impl TaskPhase {
+    /// Only map tasks are speculated (Hadoop speculates reduces too,
+    /// but our reduce inputs live in the map tasks' spill files — one
+    /// partition per reducer keeps the model simple).
+    fn speculates(self) -> bool {
+        matches!(self, Self::Map)
+    }
+
+    fn site(self) -> &'static str {
+        match self {
+            Self::Map => crate::sites::MAP_TASK,
+            Self::Reduce => crate::sites::REDUCE_TASK,
+        }
+    }
+}
+
+/// Per-task scheduler state.
+#[derive(Debug, Default)]
+struct TaskState {
+    /// Attempts started (first attempt, retries, speculation).
+    attempts: u32,
+    /// Failed attempts so far.
+    failures: u32,
+    /// Attempts currently executing.
+    running: u32,
+    /// When the first attempt started (straggler clock).
+    first_start: Option<Instant>,
+    /// The attempt number launched speculatively, if any.
+    speculative_attempt: Option<u32>,
+    /// Whether a winning result has been recorded.
+    done: bool,
+}
+
+/// Retry/speculation counters reported back into [`JobStats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct SchedStats {
+    retries: u64,
+    speculative_tasks: u64,
+    speculative_wins: u64,
+    backoff: Duration,
+}
+
+/// Shared scheduler state: one lock per task transition, never on the
+/// data path.
+struct Board<T> {
+    pending: VecDeque<usize>,
+    tasks: Vec<TaskState>,
+    results: Vec<Option<T>>,
+    /// Wall-clock of completed tasks, for the straggler median.
+    durations: Vec<Duration>,
+    completed: usize,
+    fatal: Option<JobError>,
+    stats: SchedStats,
+}
+
+/// How one attempt failed.
+enum AttemptError {
+    Panicked(String),
+    Io(std::io::Error),
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_owned()
+    }
+}
+
+/// Picks a straggling task worth a speculative attempt: running, never
+/// speculated, never failed (a retried task's straggler clock is
+/// stale), and slow relative to both an absolute floor and the median
+/// completed-task duration — Hadoop's heuristic in miniature.
+fn speculation_candidate<T>(board: &Board<T>, ntasks: usize) -> Option<usize> {
+    if ntasks < SPECULATION_MIN_TASKS || board.completed < ntasks / 2 {
+        return None;
+    }
+    let mut durs = board.durations.clone();
+    durs.sort_unstable();
+    let median = durs.get(durs.len() / 2).copied().unwrap_or(Duration::ZERO);
+    let threshold = SPECULATION_FLOOR.max(median * SPECULATION_FACTOR);
+    board.tasks.iter().enumerate().find_map(|(tid, t)| {
+        let straggling = !t.done
+            && t.running > 0
+            && t.speculative_attempt.is_none()
+            && t.failures == 0
+            && t.first_start.is_some_and(|s| s.elapsed() > threshold);
+        straggling.then_some(tid)
+    })
+}
+
 /// The MapReduce engine. Configure with [`Engine::builder`].
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -127,6 +265,8 @@ pub struct Engine {
     spill_dir: PathBuf,
     telemetry: SpanRecorder,
     metrics: Option<MetricsRegistry>,
+    faults: FaultPlan,
+    max_task_attempts: u32,
 }
 
 /// Builder for [`Engine`].
@@ -138,6 +278,8 @@ pub struct EngineBuilder {
     spill_dir: PathBuf,
     telemetry: SpanRecorder,
     metrics: Option<MetricsRegistry>,
+    faults: FaultPlan,
+    max_task_attempts: u32,
 }
 
 impl EngineBuilder {
@@ -182,6 +324,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Fault plan consulted at the parallel path's injection sites
+    /// (default: disabled — one branch per site check).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Attempt budget per task, counting the first attempt (default: 4,
+    /// Hadoop's `mapred.map.max.attempts`). A task failing this many
+    /// times fails the job with a [`JobError`].
+    pub fn max_task_attempts(mut self, n: u32) -> Self {
+        self.max_task_attempts = n.max(1);
+        self
+    }
+
     /// Finishes the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -191,6 +348,8 @@ impl EngineBuilder {
             spill_dir: self.spill_dir,
             telemetry: self.telemetry,
             metrics: self.metrics,
+            faults: self.faults,
+            max_task_attempts: self.max_task_attempts,
         }
     }
 }
@@ -212,6 +371,8 @@ impl Engine {
             spill_dir: std::env::temp_dir(),
             telemetry: SpanRecorder::disabled(),
             metrics: None,
+            faults: FaultPlan::disabled(),
+            max_task_attempts: 4,
         }
     }
 
@@ -228,37 +389,65 @@ impl Engine {
     /// Runs `job` over `inputs` in parallel at native speed (no
     /// instrumentation). Returns outputs (ordered by partition, then by
     /// key) and statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured [`JobError`] message when a task
+    /// exhausts its retry budget; use [`Engine::try_run`] to handle that
+    /// as a value instead.
     pub fn run<J: Job>(&self, job: &J, inputs: &[J::Input]) -> (Vec<J::Output>, JobStats) {
+        self.try_run(job, inputs).unwrap_or_else(|e| panic!("mapreduce job failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Engine::run`]: task panics and spill I/O errors
+    /// are retried up to the attempt budget, straggling map tasks are
+    /// speculatively re-executed, and only a task with no attempts left
+    /// fails the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] identifying the task and final attempt
+    /// when retries are exhausted.
+    pub fn try_run<J: Job>(
+        &self,
+        job: &J,
+        inputs: &[J::Input],
+    ) -> Result<(Vec<J::Output>, JobStats), JobError> {
         let mut stats = JobStats::default();
         let _job_span = span!(self.telemetry, "mapreduce", "job", inputs = inputs.len());
         let map_start = Instant::now();
         let chunk = inputs.len().div_ceil(self.threads).max(1);
-        let task_results: Vec<MapTaskResult<J::Key, J::Value>> = {
+        let chunks: Vec<&[J::Input]> = inputs.chunks(chunk).collect();
+        let (task_results, map_sched) = {
             let _map_span = span!(self.telemetry, "mapreduce", "map-phase");
-            std::thread::scope(|s| {
-                let handles: Vec<_> = inputs
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(task_id, records)| {
-                        let engine = &*self;
-                        s.spawn(move || {
-                            let mut task_span = span!(
-                                engine.telemetry,
-                                "mapreduce",
-                                "map-task",
-                                task = task_id,
-                                records = records.len()
-                            );
-                            let mut probe = NullProbe;
-                            let r = engine.map_task(job, records, task_id, &mut probe, &mut None);
-                            task_span.arg("output_pairs", r.output_pairs);
-                            task_span.arg("spills", r.spills);
-                            r
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("map task panicked")).collect()
-            })
+            self.run_tasks(chunks.len(), TaskPhase::Map, |task_id, attempt| {
+                let records = chunks[task_id];
+                let mut task_span = span!(
+                    self.telemetry,
+                    "mapreduce",
+                    "map-task",
+                    task = task_id,
+                    attempt = attempt,
+                    records = records.len()
+                );
+                if let Some(delay) = self.faults.straggle(crate::sites::MAP_STRAGGLER) {
+                    std::thread::sleep(delay);
+                }
+                self.faults.maybe_panic(crate::sites::MAP_TASK);
+                let mut probe = NullProbe;
+                let r = self.map_task(
+                    job,
+                    records,
+                    task_id,
+                    attempt,
+                    &self.faults,
+                    &mut probe,
+                    &mut None,
+                )?;
+                task_span.arg("output_pairs", r.output_pairs);
+                task_span.arg("spills", r.spills);
+                Ok(r)
+            })?
         };
         for r in &task_results {
             stats.map_records += r.records;
@@ -269,6 +458,10 @@ impl Engine {
             stats.sort_time += r.sort_time;
             stats.spill_time += r.spill_time;
         }
+        stats.map_retries = map_sched.retries;
+        stats.speculative_tasks = map_sched.speculative_tasks;
+        stats.speculative_wins = map_sched.speculative_wins;
+        stats.retry_backoff = map_sched.backoff;
         stats.map_time = map_start.elapsed();
 
         let reduce_start = Instant::now();
@@ -286,25 +479,26 @@ impl Engine {
                 partitions[p].1.extend(spills);
             }
         }
-        let reduced: Vec<ReduceOutcome<J::Output>> = std::thread::scope(|s| {
-            let handles: Vec<_> = partitions
-                .into_iter()
-                .enumerate()
-                .map(|(p, (runs, spills))| {
-                    let engine = &*self;
-                    s.spawn(move || {
-                        let mut part_span =
-                            span!(engine.telemetry, "mapreduce", "reduce-partition", partition = p);
-                        let mut probe = NullProbe;
-                        let r = engine.reduce_partition(job, runs, spills, &mut probe, &mut None);
-                        part_span.arg("groups", r.groups);
-                        part_span.arg("shuffle_bytes", r.shuffle_bytes);
-                        r
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("reduce task panicked")).collect()
-        });
+        let (reduced, reduce_sched) =
+            self.run_tasks(partitions.len(), TaskPhase::Reduce, |p, attempt| {
+                let (runs, spills) = &partitions[p];
+                let mut part_span = span!(
+                    self.telemetry,
+                    "mapreduce",
+                    "reduce-partition",
+                    partition = p,
+                    attempt = attempt
+                );
+                self.faults.maybe_panic(crate::sites::REDUCE_TASK);
+                let mut probe = NullProbe;
+                let r =
+                    self.reduce_partition(job, runs, spills, &self.faults, &mut probe, &mut None)?;
+                part_span.arg("groups", r.groups);
+                part_span.arg("shuffle_bytes", r.shuffle_bytes);
+                Ok(r)
+            })?;
+        stats.reduce_retries = reduce_sched.retries;
+        stats.retry_backoff += reduce_sched.backoff;
         let mut outputs = Vec::new();
         stats.min_reduce_groups = u64::MAX;
         for r in reduced {
@@ -321,7 +515,146 @@ impl Engine {
         }
         stats.reduce_time = reduce_start.elapsed();
         self.record_metrics(&stats);
-        (outputs, stats)
+        Ok((outputs, stats))
+    }
+
+    /// Executes `ntasks` independent tasks on the worker pool with
+    /// bounded retries and (for map phases) speculative execution.
+    /// Results come back indexed by task id, so output order never
+    /// depends on scheduling.
+    fn run_tasks<T, F>(
+        &self,
+        ntasks: usize,
+        phase: TaskPhase,
+        run_attempt: F,
+    ) -> Result<(Vec<T>, SchedStats), JobError>
+    where
+        T: Send,
+        F: Fn(usize, u32) -> std::io::Result<T> + Sync,
+    {
+        if ntasks == 0 {
+            return Ok((Vec::new(), SchedStats::default()));
+        }
+        let board = Mutex::new(Board {
+            pending: (0..ntasks).collect(),
+            tasks: (0..ntasks).map(|_| TaskState::default()).collect(),
+            results: (0..ntasks).map(|_| None).collect(),
+            durations: Vec::new(),
+            completed: 0,
+            fatal: None,
+            stats: SchedStats::default(),
+        });
+        let idle = Condvar::new();
+        let workers = self.threads.clamp(1, ntasks);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| self.worker_loop(&board, &idle, ntasks, phase, &run_attempt));
+            }
+        });
+        let board = board.into_inner().expect("board lock");
+        if let Some(err) = board.fatal {
+            return Err(err);
+        }
+        let results =
+            board.results.into_iter().map(|r| r.expect("completed task has a result")).collect();
+        Ok((results, board.stats))
+    }
+
+    /// One scheduler worker: claim pending (or speculation-eligible)
+    /// tasks, execute attempts under `catch_unwind`, and settle the
+    /// outcome on the shared board.
+    fn worker_loop<T, F>(
+        &self,
+        board: &Mutex<Board<T>>,
+        idle: &Condvar,
+        ntasks: usize,
+        phase: TaskPhase,
+        run_attempt: &F,
+    ) where
+        T: Send,
+        F: Fn(usize, u32) -> std::io::Result<T> + Sync,
+    {
+        let mut guard = board.lock().expect("board lock");
+        loop {
+            if guard.fatal.is_some() || guard.completed == ntasks {
+                return;
+            }
+            let claim = match guard.pending.pop_front() {
+                Some(tid) => Some((tid, false)),
+                None if phase.speculates() => {
+                    speculation_candidate(&guard, ntasks).map(|tid| (tid, true))
+                }
+                None => None,
+            };
+            let Some((tid, speculative)) = claim else {
+                // Idle: wake on completions/failures, or after a short
+                // timeout to re-check straggler speculation eligibility.
+                guard = idle.wait_timeout(guard, Duration::from_millis(2)).expect("board lock").0;
+                continue;
+            };
+            let attempt = guard.tasks[tid].attempts;
+            guard.tasks[tid].attempts += 1;
+            guard.tasks[tid].running += 1;
+            if guard.tasks[tid].first_start.is_none() {
+                guard.tasks[tid].first_start = Some(Instant::now());
+            }
+            if speculative {
+                guard.tasks[tid].speculative_attempt = Some(attempt);
+                guard.stats.speculative_tasks += 1;
+            }
+            drop(guard);
+
+            let outcome = match catch_unwind(AssertUnwindSafe(|| run_attempt(tid, attempt))) {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(e)) => Err(AttemptError::Io(e)),
+                Err(payload) => Err(AttemptError::Panicked(panic_message(payload.as_ref()))),
+            };
+
+            guard = board.lock().expect("board lock");
+            guard.tasks[tid].running -= 1;
+            if guard.tasks[tid].done {
+                // A lost speculative twin (or a failure after the task
+                // already completed) is moot.
+                continue;
+            }
+            match outcome {
+                Ok(value) => {
+                    let won_speculatively = guard.tasks[tid].speculative_attempt == Some(attempt);
+                    let recovered = guard.tasks[tid].failures > 0 || won_speculatively;
+                    guard.tasks[tid].done = true;
+                    let dur = guard.tasks[tid].first_start.map_or(Duration::ZERO, |s| s.elapsed());
+                    guard.results[tid] = Some(value);
+                    guard.durations.push(dur);
+                    guard.completed += 1;
+                    if won_speculatively {
+                        guard.stats.speculative_wins += 1;
+                    }
+                    if recovered {
+                        self.faults.note_recovered(phase.site());
+                    }
+                }
+                Err(e) => {
+                    guard.tasks[tid].failures += 1;
+                    let failures = guard.tasks[tid].failures;
+                    if failures >= self.max_task_attempts {
+                        guard.fatal.get_or_insert(match e {
+                            AttemptError::Panicked(message) => {
+                                JobError::TaskPanicked { task_id: tid, attempt, message }
+                            }
+                            AttemptError::Io(source) => {
+                                JobError::TaskIo { task_id: tid, attempt, source }
+                            }
+                        });
+                    } else {
+                        guard.stats.retries += 1;
+                        guard.stats.backoff +=
+                            RETRY_BACKOFF_BASE * 2u32.saturating_pow((failures - 1).min(16));
+                        guard.pending.push_back(tid);
+                    }
+                }
+            }
+            idle.notify_all();
+        }
     }
 
     /// Publishes one run's counters into the attached metrics registry
@@ -336,6 +669,10 @@ impl Engine {
         metrics.counter("mapreduce.spill_bytes").add(stats.spill_bytes);
         metrics.counter("mapreduce.reduce_groups").add(stats.reduce_groups);
         metrics.counter("mapreduce.output_records").add(stats.output_records);
+        metrics.counter("mapreduce.map_retries").add(stats.map_retries);
+        metrics.counter("mapreduce.reduce_retries").add(stats.reduce_retries);
+        metrics.counter("mapreduce.speculative_tasks").add(stats.speculative_tasks);
+        metrics.counter("mapreduce.speculative_wins").add(stats.speculative_wins);
         metrics.histogram("mapreduce.map_phase_us").record(stats.map_time);
         metrics.histogram("mapreduce.reduce_phase_us").record(stats.reduce_time);
     }
@@ -366,12 +703,17 @@ impl Engine {
         let mut stats = JobStats::default();
         let caller_fw = fw;
         let mut fw = Some(std::mem::take(caller_fw));
+        // Traced runs are single-threaded and fault-free: injection and
+        // recovery belong to the parallel path only.
+        let no_faults = FaultPlan::disabled();
         let map_start = Instant::now();
         probe.phase("map");
         let task = {
             let before = probe.counters();
             let mut map_span = span!(self.telemetry, "mapreduce", "map-phase");
-            let task = self.map_task(job, inputs, 0, probe, &mut fw);
+            let task = self
+                .map_task(job, inputs, 0, 0, &no_faults, probe, &mut fw)
+                .expect("spill write failed (traced runs are fault-free)");
             attach_counter_delta(&mut map_span, before.as_ref(), probe);
             task
         };
@@ -394,13 +736,16 @@ impl Engine {
             let before = probe.counters();
             let mut part_span =
                 span!(self.telemetry, "mapreduce", "reduce-partition", partition = p);
-            let r = self.reduce_partition(
-                job,
-                runs,
-                Vec::new(), // spills already merged below
-                probe,
-                &mut fw,
-            );
+            let r = self
+                .reduce_partition(
+                    job,
+                    &runs,
+                    &[], // spills already merged below
+                    &no_faults,
+                    probe,
+                    &mut fw,
+                )
+                .expect("spill read failed (traced runs are fault-free)");
             attach_counter_delta(&mut part_span, before.as_ref(), probe);
             drop(part_span);
             stats.reduce_groups += r.groups;
@@ -416,7 +761,9 @@ impl Engine {
             if spills.is_empty() {
                 continue;
             }
-            let r = self.reduce_partition(job, Vec::new(), spills, probe, &mut fw);
+            let r = self
+                .reduce_partition(job, &[], &spills, &no_faults, probe, &mut fw)
+                .expect("spill read failed (traced runs are fault-free)");
             stats.reduce_groups += r.groups;
             stats.shuffle_bytes += r.shuffle_bytes;
             stats.merge_time += r.merge_time;
@@ -432,15 +779,21 @@ impl Engine {
         (outputs, stats)
     }
 
-    /// One map task over a slice of records.
+    /// One map task attempt over a slice of records. Spill I/O errors
+    /// (real or injected) propagate so the scheduler can retry the
+    /// attempt; partially written spill files are cleaned up on the way
+    /// out (the result's `SpillFile`s delete themselves on drop).
+    #[allow(clippy::too_many_arguments)]
     fn map_task<J: Job, P: Probe + ?Sized>(
         &self,
         job: &J,
         records: &[J::Input],
         task_id: usize,
+        attempt: u32,
+        faults: &FaultPlan,
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
-    ) -> MapTaskResult<J::Key, J::Value> {
+    ) -> std::io::Result<MapTaskResult<J::Key, J::Value>> {
         let mut result = MapTaskResult {
             memory_runs: (0..self.reducers).map(|_| Vec::new()).collect(),
             spill_runs: (0..self.reducers).map(|_| Vec::new()).collect(),
@@ -474,7 +827,17 @@ impl Engine {
                 buffers[p].push((k, v));
             }
             if buffered_bytes > self.map_buffer_bytes {
-                self.spill(job, &mut buffers, &mut result, task_id, &mut spill_seq, probe, fw);
+                self.spill(
+                    job,
+                    &mut buffers,
+                    &mut result,
+                    task_id,
+                    attempt,
+                    faults,
+                    &mut spill_seq,
+                    probe,
+                    fw,
+                )?;
                 buffered_bytes = 0;
             }
         }
@@ -486,7 +849,7 @@ impl Engine {
             result.memory_runs[p] = run;
         }
         result.sort_time += sort_start.elapsed();
-        result
+        Ok(result)
     }
 
     /// Sorts, combines and spills all current buffers to disk.
@@ -497,10 +860,12 @@ impl Engine {
         buffers: &mut [Vec<(J::Key, J::Value)>],
         result: &mut MapTaskResult<J::Key, J::Value>,
         task_id: usize,
+        attempt: u32,
+        faults: &FaultPlan,
         spill_seq: &mut usize,
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
-    ) {
+    ) -> std::io::Result<()> {
         probe.phase("spill");
         let before = probe.counters();
         let mut spill_span = span!(self.telemetry, "mapreduce", "spill", task = task_id);
@@ -520,8 +885,8 @@ impl Engine {
                 fw.on_spill(probe, n, bytes);
             }
             let write_start = Instant::now();
-            let file = SpillFile::write(&self.spill_dir, task_id, *spill_seq, &run)
-                .expect("spill write failed");
+            let file =
+                SpillFile::write_with(&self.spill_dir, task_id, attempt, *spill_seq, &run, faults)?;
             result.spill_time += write_start.elapsed();
             *spill_seq += 1;
             result.spills += 1;
@@ -535,17 +900,21 @@ impl Engine {
         // Spills interrupt the map loop; attribution returns to "map"
         // for the records that follow.
         probe.phase("map");
+        Ok(())
     }
 
-    /// Shuffle-merge and reduce one partition.
+    /// Shuffle-merge and reduce one partition. Inputs are borrowed so a
+    /// retried attempt can re-merge the same runs; the merge clones per
+    /// element either way.
     fn reduce_partition<J: Job, P: Probe + ?Sized>(
         &self,
         job: &J,
-        mut runs: Vec<Vec<(J::Key, J::Value)>>,
-        spills: Vec<SpillFile>,
+        runs: &[Vec<(J::Key, J::Value)>],
+        spills: &[SpillFile],
+        faults: &FaultPlan,
         probe: &mut P,
         fw: &mut Option<FrameworkModel>,
-    ) -> ReduceOutcome<J::Output> {
+    ) -> std::io::Result<ReduceOutcome<J::Output>> {
         let mut shuffle_bytes = 0u64;
         let merge_start = Instant::now();
         probe.phase("shuffle");
@@ -554,15 +923,18 @@ impl Engine {
             let mut merge_span =
                 span!(self.telemetry, "mapreduce", "shuffle-merge", runs = runs.len());
             merge_span.arg("spills", spills.len());
-            for spill in &spills {
+            let mut spilled: Vec<Vec<(J::Key, J::Value)>> = Vec::with_capacity(spills.len());
+            for spill in spills {
                 shuffle_bytes += spill.bytes;
-                runs.push(spill.read().expect("spill read failed"));
+                spilled.push(spill.read_with(faults)?);
             }
-            for run in &runs {
+            let slices: Vec<&[(J::Key, J::Value)]> =
+                runs.iter().chain(spilled.iter()).map(Vec::as_slice).collect();
+            for run in &slices {
                 shuffle_bytes +=
                     run.iter().map(|(k, v)| (k.size_hint() + v.size_hint()) as u64).sum::<u64>();
             }
-            let merged = merge_runs(runs);
+            let merged = merge_run_slices(&slices);
             attach_counter_delta(&mut merge_span, before.as_ref(), probe);
             merged
         };
@@ -582,7 +954,7 @@ impl Engine {
             }
             job.reduce(key, values, &mut out, probe);
         }
-        ReduceOutcome { outputs: out, groups, shuffle_bytes, merge_time }
+        Ok(ReduceOutcome { outputs: out, groups, shuffle_bytes, merge_time })
     }
 }
 

@@ -1,0 +1,73 @@
+//! Structured job failure.
+//!
+//! Hadoop surfaces a task that fails more than `mapred.map.max.attempts`
+//! times as a job failure with the task and attempt identified; this is
+//! the analogue. The engine's scheduler converts task panics and I/O
+//! errors into [`JobError`] only after the retry budget is exhausted —
+//! transient failures are retried and reported in
+//! [`crate::JobStats::map_retries`] / [`crate::JobStats::reduce_retries`]
+//! instead.
+
+use std::fmt;
+
+/// Why a job could not complete: some task exhausted its retry budget.
+#[derive(Debug)]
+pub enum JobError {
+    /// A task attempt panicked (injected fault or user map/reduce code)
+    /// and the task had no attempts left.
+    TaskPanicked {
+        /// Map task or reduce partition index within its phase.
+        task_id: usize,
+        /// 0-based attempt number of the final, failing attempt.
+        attempt: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A task attempt failed on I/O (spill write or read) and the task
+    /// had no attempts left.
+    TaskIo {
+        /// Map task or reduce partition index within its phase.
+        task_id: usize,
+        /// 0-based attempt number of the final, failing attempt.
+        attempt: u32,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TaskPanicked { task_id, attempt, message } => {
+                write!(f, "task {task_id} panicked on attempt {attempt}: {message}")
+            }
+            Self::TaskIo { task_id, attempt, source } => {
+                write!(f, "task {task_id} failed on attempt {attempt}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::TaskPanicked { .. } => None,
+            Self::TaskIo { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_task_and_attempt() {
+        let e = JobError::TaskPanicked { task_id: 3, attempt: 2, message: "boom".into() };
+        assert_eq!(e.to_string(), "task 3 panicked on attempt 2: boom");
+        let e =
+            JobError::TaskIo { task_id: 1, attempt: 0, source: std::io::Error::other("disk gone") };
+        assert!(e.to_string().contains("disk gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

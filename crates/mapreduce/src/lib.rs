@@ -65,11 +65,30 @@
 
 pub mod codec;
 pub mod engine;
+pub mod error;
 pub mod job;
 pub mod spill;
 pub mod trace;
 
 pub use codec::Datum;
 pub use engine::{Engine, EngineBuilder, JobStats};
+pub use error::JobError;
 pub use job::{Emitter, Job};
 pub use trace::FrameworkModel;
+
+/// Fault-injection site names consulted by the engine's parallel path
+/// (traced runs are always fault-free). Pass these to a
+/// [`bdb_faults::FaultPlan`] to target the matching crash point.
+pub mod sites {
+    /// Panic site checked at the start of every map-task attempt.
+    pub const MAP_TASK: &str = "mapreduce.map.task";
+    /// Straggle site checked at the start of every map-task attempt;
+    /// a firing rule delays the attempt, inviting speculation.
+    pub const MAP_STRAGGLER: &str = "mapreduce.map.straggler";
+    /// Panic site checked at the start of every reduce-task attempt.
+    pub const REDUCE_TASK: &str = "mapreduce.reduce.task";
+    /// I/O site covering every spill-file write.
+    pub const SPILL_WRITE: &str = "mapreduce.spill.write";
+    /// I/O site covering every spill-file read during the shuffle.
+    pub const SPILL_READ: &str = "mapreduce.spill.read";
+}

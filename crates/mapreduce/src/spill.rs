@@ -7,8 +7,9 @@
 //! down past the memory threshold (Figure 3-2).
 
 use crate::codec::Datum;
+use bdb_faults::FaultPlan;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// A sorted run of `(key, value)` pairs persisted to a temporary file.
@@ -36,15 +37,41 @@ impl SpillFile {
         seq: usize,
         pairs: &[(K, V)],
     ) -> std::io::Result<Self> {
-        let path = dir.join(format!("bdb-spill-{}-{task}-{seq}.run", std::process::id()));
+        Self::write_with(dir, task, 0, seq, pairs, &FaultPlan::disabled())
+    }
+
+    /// [`SpillFile::write`] for a specific task attempt, writing through
+    /// the fault plan's [`crate::sites::SPILL_WRITE`] site. Attempts get
+    /// distinct file names so a speculative re-execution never collides
+    /// with the attempt it races. A failed write removes the partial
+    /// file before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real and injected I/O errors from creation or writing.
+    pub fn write_with<K: Datum, V: Datum>(
+        dir: &Path,
+        task: usize,
+        attempt: u32,
+        seq: usize,
+        pairs: &[(K, V)],
+        faults: &FaultPlan,
+    ) -> std::io::Result<Self> {
+        let path = dir.join(format!("bdb-spill-{}-{task}a{attempt}-{seq}.run", std::process::id()));
         let mut buf = Vec::new();
         for (k, v) in pairs {
             k.encode(&mut buf);
             v.encode(&mut buf);
         }
-        let mut w = BufWriter::new(File::create(&path)?);
-        w.write_all(&buf)?;
-        w.flush()?;
+        let written = (|| {
+            let mut w = faults.wrap_write(crate::sites::SPILL_WRITE, File::create(&path)?);
+            w.write_all(&buf)?;
+            w.flush()
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&path);
+            return Err(e);
+        }
         Ok(Self { path, pairs: pairs.len(), bytes: buf.len() as u64 })
     }
 
@@ -55,8 +82,24 @@ impl SpillFile {
     /// Returns an I/O error on read failure, or `InvalidData` if the file
     /// does not decode to exactly `pairs` entries.
     pub fn read<K: Datum, V: Datum>(&self) -> std::io::Result<Vec<(K, V)>> {
+        self.read_with(&FaultPlan::disabled())
+    }
+
+    /// [`SpillFile::read`] through the fault plan's
+    /// [`crate::sites::SPILL_READ`] site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real and injected I/O errors; `InvalidData` if the
+    /// file does not decode to exactly `pairs` entries.
+    pub fn read_with<K: Datum, V: Datum>(
+        &self,
+        faults: &FaultPlan,
+    ) -> std::io::Result<Vec<(K, V)>> {
         let mut bytes = Vec::with_capacity(self.bytes as usize);
-        BufReader::new(File::open(&self.path)?).read_to_end(&mut bytes)?;
+        faults
+            .wrap_read(crate::sites::SPILL_READ, BufReader::new(File::open(&self.path)?))
+            .read_to_end(&mut bytes)?;
         let mut slice = bytes.as_slice();
         let mut out = Vec::with_capacity(self.pairs);
         for _ in 0..self.pairs {
@@ -85,7 +128,15 @@ impl Drop for SpillFile {
 ///
 /// Each input run must be sorted by key; ties across runs keep run order
 /// (stable for deterministic output).
-pub fn merge_runs<K: Datum + Ord, V: Datum>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+pub fn merge_runs<K: Datum + Ord, V: Datum>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    let slices: Vec<&[(K, V)]> = runs.iter().map(Vec::as_slice).collect();
+    merge_run_slices(&slices)
+}
+
+/// [`merge_runs`] over borrowed runs, so a retried reduce attempt can
+/// re-merge the same inputs without the engine cloning them up front
+/// (the merge already clones per element).
+pub fn merge_run_slices<K: Datum + Ord, V: Datum>(runs: &[&[(K, V)]]) -> Vec<(K, V)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -113,7 +164,7 @@ pub fn merge_runs<K: Datum + Ord, V: Datum>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(
         }
     }
 
-    let total: usize = runs.iter().map(Vec::len).sum();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut heap = BinaryHeap::with_capacity(runs.len());
     for (i, run) in runs.iter().enumerate() {
         if let Some((k, _)) = run.first() {
@@ -122,7 +173,7 @@ pub fn merge_runs<K: Datum + Ord, V: Datum>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(
     }
     let mut out = Vec::with_capacity(total);
     while let Some(Reverse(e)) = heap.pop() {
-        let run = &mut runs[e.run];
+        let run = runs[e.run];
         let v = run[e.pos].1.clone();
         out.push((e.key, v));
         let next = e.pos + 1;

@@ -43,7 +43,7 @@ impl Job for SortJob {
         emit.emit(*x, ());
     }
     fn reduce<P: Probe + ?Sized>(&self, k: u64, vs: Vec<()>, out: &mut Vec<u64>, _p: &mut P) {
-        out.extend(std::iter::repeat(k).take(vs.len()));
+        out.extend(std::iter::repeat_n(k, vs.len()));
     }
 }
 

@@ -52,8 +52,8 @@ pub mod trace;
 pub use latency::LatencyHistogram;
 pub use loadgen::{
     run_closed_loop, run_closed_loop_instrumented, run_closed_loop_sampled, run_offered_load,
-    run_offered_load_instrumented, PrometheusSampler, ServiceReport,
+    run_offered_load_instrumented, run_offered_load_shaped, PrometheusSampler, ServiceReport,
 };
-pub use queue::QueueSim;
+pub use queue::{QueuePolicy, QueueSim};
 pub use server::Server;
 pub use trace::ServingTraceModel;

@@ -2,7 +2,7 @@
 //! simulation.
 
 use crate::latency::LatencyHistogram;
-use crate::queue::QueueSim;
+use crate::queue::{QueuePolicy, QueueSim};
 use crate::server::Server;
 use bdb_archsim::NullProbe;
 use bdb_telemetry::{span, MetricsRegistry, SpanRecorder};
@@ -25,6 +25,12 @@ pub struct ServiceReport {
     pub latency: LatencyHistogram,
     /// Sum of handler result sizes (sanity signal that work happened).
     pub result_units: u64,
+    /// Requests shed at admission by a bounded queue (offered-load runs
+    /// with a [`QueuePolicy`]; always zero for closed-loop runs).
+    pub shed: u64,
+    /// Requests abandoned after waiting past the policy deadline
+    /// (always zero for closed-loop runs).
+    pub timed_out: u64,
 }
 
 impl ServiceReport {
@@ -159,6 +165,8 @@ fn closed_loop_impl<S: Server>(
         achieved_rps: if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 },
         latency,
         result_units,
+        shed: 0,
+        timed_out: 0,
     }
 }
 
@@ -204,6 +212,35 @@ pub fn run_offered_load_instrumented<S: Server>(
     telemetry: &SpanRecorder,
     metrics: &MetricsRegistry,
 ) -> ServiceReport {
+    run_offered_load_shaped(
+        server,
+        offered_rps,
+        horizon,
+        workers,
+        samples,
+        seed,
+        QueuePolicy::default(),
+        telemetry,
+        metrics,
+    )
+}
+
+/// [`run_offered_load_instrumented`] with overload protection: the
+/// queueing simulation runs under `policy` (bounded queue, deadline),
+/// and drops are surfaced in the report and as the `serving.shed` /
+/// `serving.timed_out` counters in `metrics`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_offered_load_shaped<S: Server>(
+    server: &mut S,
+    offered_rps: f64,
+    horizon: Duration,
+    workers: u32,
+    samples: usize,
+    seed: u64,
+    policy: QueuePolicy,
+    telemetry: &SpanRecorder,
+    metrics: &MetricsRegistry,
+) -> ServiceReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut service_times = Vec::with_capacity(samples.max(1));
     let mut result_units = 0u64;
@@ -226,8 +263,10 @@ pub fn run_offered_load_instrumented<S: Server>(
         }
     }
     let _queueing = span!(telemetry, "serving", "queue-simulation", offered_rps = offered_rps);
-    let sim = QueueSim::new(workers);
+    let sim = QueueSim::new(workers).with_policy(policy);
     let qr = sim.run(offered_rps, horizon, &service_times, seed ^ 0x51AB);
+    metrics.counter("serving.shed").add(qr.shed);
+    metrics.counter("serving.timed_out").add(qr.timed_out);
     ServiceReport {
         name: server.name().to_owned(),
         offered_rps: Some(offered_rps),
@@ -235,6 +274,8 @@ pub fn run_offered_load_instrumented<S: Server>(
         achieved_rps: qr.achieved_rps,
         latency: qr.latency,
         result_units,
+        shed: qr.shed,
+        timed_out: qr.timed_out,
     }
 }
 
@@ -289,6 +330,36 @@ mod tests {
         let heavy = run_offered_load(&mut s, capacity * 4.0, Duration::from_secs(5), 1, 200, 3);
         assert!(heavy.saturated(), "4x capacity must saturate");
         assert!(heavy.achieved_rps < capacity * 1.6);
+    }
+
+    #[test]
+    fn shaped_load_reports_and_counts_drops() {
+        let mut s = Spin;
+        let capacity = run_closed_loop(&mut s, 500, 2).achieved_rps;
+        let policy =
+            QueuePolicy { queue_capacity: Some(4), deadline: Some(Duration::from_millis(10)) };
+        let metrics = MetricsRegistry::new();
+        let r = run_offered_load_shaped(
+            &mut s,
+            capacity * 4.0,
+            Duration::from_secs(5),
+            1,
+            200,
+            3,
+            policy,
+            &SpanRecorder::disabled(),
+            &metrics,
+        );
+        assert!(r.shed > 0, "4x overload against a 4-deep queue must shed");
+        assert_eq!(metrics.counter("serving.shed").get(), r.shed);
+        assert_eq!(metrics.counter("serving.timed_out").get(), r.timed_out);
+        // Whatever is admitted completes within the bounded wait.
+        assert!(r.completed > 0);
+
+        // The permissive default drops nothing and the instrumented
+        // entry point still behaves exactly as before.
+        let clean = run_offered_load(&mut s, capacity * 0.05, Duration::from_secs(2), 1, 100, 3);
+        assert_eq!((clean.shed, clean.timed_out), (0, 0));
     }
 
     #[test]

@@ -13,8 +13,22 @@
 use crate::latency::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::Duration;
+
+/// Overload-protection policy for a [`QueueSim`]: how much backlog the
+/// service accepts and how long a request may wait before it is
+/// abandoned. The default is a fully permissive policy (unbounded
+/// queue, no deadline), matching a service with no admission control.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueuePolicy {
+    /// Shed arrivals once this many accepted requests are waiting
+    /// (`None` = unbounded queue, nothing is ever shed).
+    pub queue_capacity: Option<usize>,
+    /// Drop a request whose queueing delay exceeds this before service
+    /// begins (`None` = requests wait forever).
+    pub deadline: Option<Duration>,
+}
 
 /// Result of one queueing simulation.
 #[derive(Debug, Clone)]
@@ -23,6 +37,11 @@ pub struct QueueResult {
     pub completed: u64,
     /// Requests still queued/in service when the horizon ended.
     pub unfinished: u64,
+    /// Arrivals rejected at admission because the queue was full.
+    pub shed: u64,
+    /// Accepted requests abandoned because their queueing delay
+    /// exceeded the policy deadline.
+    pub timed_out: u64,
     /// Achieved throughput (completions / horizon).
     pub achieved_rps: f64,
     /// Sojourn-time (queueing + service) distribution.
@@ -35,17 +54,26 @@ pub struct QueueResult {
 #[derive(Debug, Clone)]
 pub struct QueueSim {
     workers: u32,
+    policy: QueuePolicy,
 }
 
 impl QueueSim {
-    /// A simulator with `workers` parallel servers.
+    /// A simulator with `workers` parallel servers and the default
+    /// (fully permissive) [`QueuePolicy`].
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: u32) -> Self {
         assert!(workers > 0, "need at least one worker");
-        Self { workers }
+        Self { workers, policy: QueuePolicy::default() }
+    }
+
+    /// Replaces the overload policy (bounded queue / deadline).
+    #[must_use]
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Simulates Poisson arrivals at `offered_rps` over `horizon`,
@@ -84,15 +112,39 @@ impl QueueSim {
         let mut free_at: BinaryHeap<std::cmp::Reverse<u64>> =
             (0..self.workers).map(|_| std::cmp::Reverse(0u64)).collect();
         let to_ns = |s: f64| (s * 1e9) as u64;
+        let deadline_ns = self.policy.deadline.map(|d| d.as_nanos() as u64);
+        // Start times of accepted requests still waiting for a worker
+        // (start times are non-decreasing in FIFO order, so this stays
+        // sorted and the front is always the next to leave the queue).
+        let mut waiting: VecDeque<u64> = VecDeque::new();
         let mut latency = LatencyHistogram::new();
         let mut completed = 0u64;
         let mut unfinished = 0u64;
+        let mut shed = 0u64;
+        let mut timed_out = 0u64;
         let mut busy_ns = 0u128;
         let mut service_idx = rng.gen_range(0..service_times.len());
         for &arrival_s in &arrivals {
             let arrival = to_ns(arrival_s);
+            while waiting.front().is_some_and(|&s| s <= arrival) {
+                waiting.pop_front();
+            }
+            if self.policy.queue_capacity.is_some_and(|cap| waiting.len() >= cap) {
+                shed += 1;
+                continue;
+            }
             let std::cmp::Reverse(earliest_free) = free_at.pop().expect("non-empty");
             let start = earliest_free.max(arrival);
+            if start > arrival {
+                waiting.push_back(start);
+            }
+            if deadline_ns.is_some_and(|d| start - arrival > d) {
+                // Abandoned at the moment a worker would have picked it
+                // up; the worker serves the next request instead.
+                timed_out += 1;
+                free_at.push(std::cmp::Reverse(earliest_free));
+                continue;
+            }
             let service = service_times[service_idx].as_nanos() as u64;
             service_idx = (service_idx + 1) % service_times.len();
             let finish = start + service;
@@ -108,6 +160,8 @@ impl QueueSim {
         QueueResult {
             completed,
             unfinished,
+            shed,
+            timed_out,
             achieved_rps: completed as f64 / horizon_s,
             latency,
             utilization: busy_ns as f64 / (horizon_s * 1e9 * self.workers as f64),
@@ -159,6 +213,67 @@ mod tests {
         let b = sim.run(100.0, Duration::from_secs(5), &[ms(5), ms(15)], 9);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+        assert_eq!((a.shed, a.timed_out), (0, 0), "permissive policy never drops");
+
+        // The same holds when the policy actively sheds and times out.
+        let policy =
+            QueuePolicy { queue_capacity: Some(3), deadline: Some(Duration::from_millis(25)) };
+        let sim = QueueSim::new(2).with_policy(policy);
+        let a = sim.run(800.0, Duration::from_secs(5), &[ms(5), ms(15)], 9);
+        let b = sim.run(800.0, Duration::from_secs(5), &[ms(5), ms(15)], 9);
+        assert!(a.shed > 0, "overload against a bounded queue must shed");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.timed_out, b.timed_out);
+        assert_eq!(a.latency.percentile(0.99), b.latency.percentile(0.99));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overload_and_caps_waiting() {
+        let policy = QueuePolicy { queue_capacity: Some(4), deadline: None };
+        let unbounded = QueueSim::new(2).run(2000.0, Duration::from_secs(5), &[ms(10)], 7);
+        let bounded =
+            QueueSim::new(2).with_policy(policy).run(2000.0, Duration::from_secs(5), &[ms(10)], 7);
+        assert_eq!(unbounded.shed, 0);
+        assert!(bounded.shed > 0, "4-deep queue against 10x overload must shed");
+        // At most 4 waiting ahead on 2 workers: wait ≤ ~3 service times,
+        // so sojourn stays bounded instead of growing with the backlog.
+        assert!(
+            bounded.latency.percentile(0.99) < ms(80),
+            "{:?}",
+            bounded.latency.percentile(0.99)
+        );
+        assert!(
+            unbounded.latency.percentile(0.99) > bounded.latency.percentile(0.99) * 5,
+            "unbounded queue latency grows with backlog"
+        );
+        // Shedding does not reduce useful throughput at saturation.
+        assert!(bounded.achieved_rps > unbounded.achieved_rps * 0.8);
+    }
+
+    #[test]
+    fn deadline_abandons_stale_requests() {
+        let policy = QueuePolicy { queue_capacity: None, deadline: Some(ms(20)) };
+        let r =
+            QueueSim::new(2).with_policy(policy).run(1000.0, Duration::from_secs(5), &[ms(10)], 8);
+        assert!(r.timed_out > 0, "overload must push waits past 20ms");
+        assert_eq!(r.shed, 0, "no admission control configured");
+        // Completed requests waited ≤ 20ms then served for 10ms.
+        assert!(r.latency.percentile(1.0) <= ms(31), "{:?}", r.latency.percentile(1.0));
+    }
+
+    #[test]
+    fn permissive_policy_matches_default_behavior() {
+        let base = QueueSim::new(3).run(300.0, Duration::from_secs(5), &[ms(5), ms(9)], 12);
+        let explicit = QueueSim::new(3).with_policy(QueuePolicy::default()).run(
+            300.0,
+            Duration::from_secs(5),
+            &[ms(5), ms(9)],
+            12,
+        );
+        assert_eq!(base.completed, explicit.completed);
+        assert_eq!(base.unfinished, explicit.unfinished);
+        assert_eq!((explicit.shed, explicit.timed_out), (0, 0));
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn artifact_has_every_required_metric_per_workload() {
         let mix = w.get("mix").expect("mix object");
         let mix_sum: f64 = ["load", "store", "branch", "int", "fp"]
             .iter()
-            .map(|c| mix.get(*c).and_then(serde_json::Value::as_f64).expect("mix fraction"))
+            .map(|c| mix.get(c).and_then(serde_json::Value::as_f64).expect("mix fraction"))
             .sum();
         assert!((mix_sum - 1.0).abs() < 1e-6, "{name}: mix fractions sum to 1, got {mix_sum}");
         assert!(w.get("int_per_dram_byte").and_then(serde_json::Value::as_f64).is_some());

@@ -85,10 +85,8 @@ fn emitted_json_is_a_valid_chrome_trace_event_array() {
                 assert!(ts >= *last, "ts monotonic per tid {tid}: {ts} < {last}");
                 *last = ts;
             }
-            "M" => {
-                if e.get("name").and_then(|v| v.as_str()) == Some("process_name") {
-                    saw_process_name = true;
-                }
+            "M" if e.get("name").and_then(|v| v.as_str()) == Some("process_name") => {
+                saw_process_name = true;
             }
             _ => {}
         }

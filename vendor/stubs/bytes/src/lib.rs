@@ -1,0 +1,2 @@
+//! Offline stand-in for the `bytes` crate: declared by workspace members
+//! but not referenced by any code path in this repository.

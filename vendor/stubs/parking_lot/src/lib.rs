@@ -1,0 +1,2 @@
+//! Offline stand-in for the `parking_lot` crate: declared by workspace members
+//! but not referenced by any code path in this repository.

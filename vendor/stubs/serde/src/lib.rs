@@ -1,0 +1,425 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides `Serialize`/`Deserialize` traits over a single self-describing
+//! in-memory tree, [`Content`], instead of serde's visitor machinery. The
+//! companion `serde_derive` stub generates impls of these traits, and the
+//! `serde_json` stub renders/parses `Content` as JSON text. The surface is
+//! exactly what this workspace needs: derived structs, unit enums,
+//! struct-variant enums, and JSON round-trips.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error raised by deserialization (and re-used by `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Self-describing serialized value; also re-exported as `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// View as `u64` if the value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if the value is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// View any numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// View as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// View as an object (key/value entry list).
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Conversion into [`Content`].
+pub trait Serialize {
+    /// Serialize `self` into the content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Reconstruction from [`Content`].
+pub trait Deserialize: Sized {
+    /// Deserialize a value from the content tree.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+fn mismatch<T>(expected: &str, got: &Content) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, got {}", got.type_name())))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let v = content.as_u64().ok_or_else(|| {
+                    Error(format!("expected unsigned integer, got {}", content.type_name()))
+                })?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let v = content.as_i64().ok_or_else(|| {
+                    Error(format!("expected integer, got {}", content.type_name()))
+                })?;
+                <$t>::try_from(v).map_err(|_| Error(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                match content.as_f64() {
+                    Some(v) => Ok(v as $t),
+                    None => mismatch("number", content),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content.as_bool() {
+            Some(b) => Ok(b),
+            None => mismatch("bool", content),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content.as_str() {
+            Some(s) => Ok(s.to_string()),
+            None => mismatch("string", content),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content.as_array() {
+            Some(items) => items.iter().map(T::deserialize_content).collect(),
+            None => mismatch("array", content),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let items = content
+                    .as_array()
+                    .ok_or_else(|| Error("expected tuple array".to_string()))?;
+                let mut it = items.iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        $name::deserialize_content(
+                            it.next().ok_or_else(|| Error("tuple too short".to_string()))?,
+                        )?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content.as_object() {
+            Some(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            None => mismatch("object", content),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // Sort for deterministic output.
+        let mut entries: Vec<_> =
+            self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content.as_object() {
+            Some(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            None => mismatch("object", content),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        let secs = content
+            .get("secs")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| Error("Duration missing `secs`".to_string()))?;
+        let nanos = content
+            .get("nanos")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| Error("Duration missing `nanos`".to_string()))?;
+        let nanos =
+            u32::try_from(nanos).map_err(|_| Error("Duration nanos out of range".to_string()))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+/// Helpers used by `serde_derive`-generated code; not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, Error};
+
+    /// Fetch a required struct field from an object.
+    pub fn field<'c>(content: &'c Content, name: &str) -> Result<&'c Content, Error> {
+        content.get(name).ok_or_else(|| Error(format!("missing field `{name}`")))
+    }
+}

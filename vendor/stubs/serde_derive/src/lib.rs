@@ -1,0 +1,296 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros for the stub `serde` data model: structs with
+//! named fields, unit-variant enums, and struct-variant enums — the three
+//! shapes this workspace serializes. The input item is parsed directly from
+//! the raw `proc_macro::TokenStream` (no `syn`/`quote`, which are not
+//! available offline) and the generated impls are emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item: only names matter, never types —
+/// generated code lets inference pick the right `Serialize`/`Deserialize`
+/// impl per field.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute or doc comment: skip `#[...]`.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip visibility, including `pub(crate)` style.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens, "struct name");
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item::Struct { name, fields: parse_field_names(g.stream()) };
+                    }
+                    other => panic!(
+                        "serde stub derive supports only structs with named fields; \
+                         `{name}` is followed by {other:?}"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens, "enum name");
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item::Enum { name, variants: parse_variants(g.stream()) };
+                    }
+                    other => panic!("malformed enum `{name}`: expected body, got {other:?}"),
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde stub derive: no struct or enum found in input"),
+        }
+    }
+}
+
+fn expect_ident(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected {what}, got {other:?}"),
+    }
+}
+
+/// Extract field names from the token stream of a braced field list,
+/// skipping types (tracking `<...>` nesting so commas inside generic
+/// arguments don't split fields).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde stub derive: expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extract variants: name plus `Some(field names)` for struct variants,
+/// `None` for unit variants.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde stub derive: expected variant name, got {tree:?}");
+        };
+        let name = variant.to_string();
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_field_names(g.stream());
+                tokens.next();
+                variants.push((name, Some(fields)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stub derive: tuple variant `{name}` is not supported");
+            }
+            _ => variants.push((name, None)),
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+/// Derive the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(<[_]>::into_vec(Box::new([{}])))\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),"
+                    ),
+                    Some(fields) => {
+                        let pats = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::serialize_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {pats} }} => ::serde::Content::Map(\
+                                 <[_]>::into_vec(Box::new([(\"{v}\".to_string(), \
+                                 ::serde::Content::Map(<[_]>::into_vec(Box::new([{}]))))])))\
+                             ,",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("serde stub derive: generated Serialize impl must parse")
+}
+
+/// Derive the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_content(\
+                         ::serde::__private::field(content, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut body = String::new();
+            let unit_checks: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| {
+                    format!(
+                        "if tag == \"{v}\" {{ \
+                             return ::core::result::Result::Ok({name}::{v}); \
+                         }}"
+                    )
+                })
+                .collect();
+            if !unit_checks.is_empty() {
+                body.push_str(&format!(
+                    "if let ::core::option::Option::Some(tag) = content.as_str() {{ {} }}\n",
+                    unit_checks.join(" ")
+                ));
+            }
+            for (v, fields) in variants.iter().filter(|(_, f)| f.is_some()) {
+                let fields = fields.as_ref().expect("filtered to struct variants");
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize_content(\
+                             ::serde::__private::field(inner, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "if let ::core::option::Option::Some(inner) = content.get(\"{v}\") {{ \
+                         return ::core::result::Result::Ok({name}::{v} {{ {} }}); \
+                     }}\n",
+                    inits.join(", ")
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\
+                         ::core::result::Result::Err(::serde::Error(\
+                             \"unrecognized variant of {name}\".to_string()))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde stub derive: generated Deserialize impl must parse")
+}
