@@ -33,6 +33,25 @@ if [ "$fast" -eq 0 ]; then
     # Fault-injection smoke: WordCount with an injected spill error,
     # map-task panic and straggler must match the fault-free run.
     run cargo run --release -q -p bdb-bench --bin reproduce -- --faults 42
+
+    # Profiling smoke: every traced workload must emit its flamegraph,
+    # critical-path and utilization artifacts (the binary itself
+    # additionally enforces WordCount critical-path coverage >= 90%).
+    profdir="$(mktemp -d)"
+    trap 'rm -rf "$profdir"' EXIT
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --fraction 0.1 --profile "$profdir"
+    for stem in wordcount sort pagerank connectedcomponents kmeans \
+                nutchserver cloudoltp joinquery; do
+        for suffix in folded critpath.txt util.txt; do
+            f="$profdir/$stem.$suffix"
+            if [ ! -s "$f" ]; then
+                echo "ci: missing or empty profile artifact: $f" >&2
+                exit 1
+            fi
+        done
+    done
+    echo "ci: profile artifacts present for all traced workloads"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

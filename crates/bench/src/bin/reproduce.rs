@@ -4,7 +4,7 @@
 //! ```text
 //! reproduce [--all] [--table2] [--table3] [--table4] [--table5] [--table6]
 //!           [--fig2] [--fig3] [--fig4] [--fig5] [--fig6] [--checks]
-//!           [--fraction F] [--json DIR] [--trace DIR]
+//!           [--fraction F] [--json DIR] [--trace DIR] [--profile DIR]
 //! ```
 //!
 //! `--fraction` shrinks the library-scale inputs (default 0.25 — a full
@@ -13,6 +13,10 @@
 //! `--trace DIR` runs an instrumented pass of representative workloads
 //! and writes one Chrome trace-event JSON (loadable in the Perfetto UI
 //! / `chrome://tracing`) plus a plain-text metrics summary per workload.
+//! `--profile DIR` analyzes that same pass post hoc, writing per
+//! workload a collapsed-stack flamegraph (`.folded`), a critical-path
+//! report with per-phase blame (`.critpath.txt`) and a worker
+//! utilization timeline (`.util.txt`).
 
 use bdb_archsim::Probe;
 use bdb_bench::paper;
@@ -38,6 +42,7 @@ struct Args {
     fraction: f64,
     json_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
+    profile_dir: Option<std::path::PathBuf>,
     bench_json: Option<std::path::PathBuf>,
     bench_baseline: Option<std::path::PathBuf>,
     bench_tolerance: f64,
@@ -60,6 +65,13 @@ options:
   --json DIR             dump each artifact as JSON into DIR
   --trace DIR            instrumented pass: Chrome trace + metrics +
                          Prometheus text exposition per workload
+  --profile DIR          profile the instrumented pass: per workload,
+                         write <w>.folded (collapsed stacks for
+                         inferno/flamegraph.pl/speedscope),
+                         <w>.critpath.txt (critical path + phase blame)
+                         and <w>.util.txt (worker utilization), and add
+                         a busy-workers counter track to the trace;
+                         traces land in --trace DIR when given, else DIR
   --bench-json PATH      write the versioned BENCH_RESULTS.json
                          performance artifact to PATH
   --bench-baseline PATH  compare this run against a committed
@@ -71,8 +83,8 @@ options:
                          byte-identical to the fault-free run
   -h, --help             this text
 
-`--trace`/`--bench-json`/`--bench-baseline`/`--faults` without a
-selection run only that pass.";
+`--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--faults`
+without a selection run only that pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
@@ -110,6 +122,7 @@ fn parse_args() -> Args {
                 "--fraction" => state = Expecting::Value("--fraction"),
                 "--json" => state = Expecting::Value("--json"),
                 "--trace" => state = Expecting::Value("--trace"),
+                "--profile" => state = Expecting::Value("--profile"),
                 "--bench-json" => state = Expecting::Value("--bench-json"),
                 "--bench-baseline" => state = Expecting::Value("--bench-baseline"),
                 "--bench-tolerance" => state = Expecting::Value("--bench-tolerance"),
@@ -126,6 +139,7 @@ fn parse_args() -> Args {
         usage_error(&format!("{flag} needs a value"));
     }
     let side_pass = args.trace_dir.is_some()
+        || args.profile_dir.is_some()
         || args.bench_json.is_some()
         || args.bench_baseline.is_some()
         || args.faults_seed.is_some();
@@ -146,6 +160,7 @@ fn apply_value(args: &mut Args, flag: &str, value: &str) {
         }
         "--json" => args.json_dir = Some(value.into()),
         "--trace" => args.trace_dir = Some(value.into()),
+        "--profile" => args.profile_dir = Some(value.into()),
         "--bench-json" => args.bench_json = Some(value.into()),
         "--bench-baseline" => args.bench_baseline = Some(value.into()),
         "--bench-tolerance" => {
@@ -390,10 +405,34 @@ impl Job for TraceSort {
     }
 }
 
+/// Writes one workload's profiling artifacts — `<stem>.folded`,
+/// `<stem>.critpath.txt`, `<stem>.util.txt` — next to its trace.
+fn write_profile(
+    session: &TraceSession,
+    dir: &std::path::Path,
+) -> std::io::Result<bdb_profile::Profile> {
+    std::fs::create_dir_all(dir)?;
+    let profile = bdb_profile::Profile::from_events(&session.recorder.events());
+    let stem = bdb_telemetry::file_stem(&session.name);
+    std::fs::write(dir.join(format!("{stem}.folded")), profile.folded())?;
+    std::fs::write(dir.join(format!("{stem}.critpath.txt")), profile.critpath_text())?;
+    std::fs::write(dir.join(format!("{stem}.util.txt")), profile.util_text())?;
+    Ok(profile)
+}
+
 /// Runs an instrumented pass of representative workloads, writing a
 /// Chrome trace-event JSON + plain-text metrics summary per workload
-/// into `dir` (loadable at <https://ui.perfetto.dev>).
-fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
+/// into `trace_dir` (loadable at <https://ui.perfetto.dev>). With
+/// `profile_dir`, each workload additionally gets profiling artifacts
+/// (see [`write_profile`]) and a busy-workers counter track in its
+/// trace; traces fall back to `profile_dir` when `--trace` was not
+/// given.
+fn trace_exports(
+    suite: &Suite,
+    fraction: f64,
+    trace_dir: Option<&std::path::Path>,
+    profile_dir: Option<&std::path::Path>,
+) {
     use bdb_archsim::SimProbe;
     use bdb_graph::{label_propagation_instrumented, pagerank_instrumented, PageRankConfig};
     use bdb_kvstore::{Store, StoreConfig};
@@ -405,13 +444,29 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
     use bdb_sql::expr::{col, lit};
 
     section("Telemetry traces — Chrome trace JSON + metrics per workload");
+    let dir = trace_dir.or(profile_dir).expect("trace_exports needs a destination");
     let f = fraction.max(0.05);
-    let export = |session: &TraceSession, detail: &str| match session.write(dir) {
-        Ok((trace, _metrics)) => {
-            println!("  {:<20} {detail}", session.name);
-            println!("  {:<20} -> {}", "", trace.display());
+    // Exports one workload's trace (and, when profiling, its artifacts
+    // + busy-workers counter track); returns the profile for callers
+    // that gate on it.
+    let export = |session: &TraceSession, detail: &str| -> Option<bdb_profile::Profile> {
+        let profile = profile_dir.map(|pdir| {
+            write_profile(session, pdir)
+                .unwrap_or_else(|e| die(&format!("{}: profile export failed: {e}", session.name)))
+        });
+        let tracks: Vec<bdb_telemetry::CounterTrack> =
+            profile.iter().map(bdb_profile::Profile::concurrency_track).collect();
+        match session.write_with_tracks(dir, &tracks) {
+            Ok((trace, _metrics)) => {
+                println!("  {:<20} {detail}", session.name);
+                println!("  {:<20} -> {}", "", trace.display());
+            }
+            Err(e) => eprintln!("  {}: trace export failed: {e}", session.name),
         }
-        Err(e) => eprintln!("  {}: trace export failed: {e}", session.name),
+        if let Some(p) = &profile {
+            println!("  {:<20} {}", "", p.critical_summary().render());
+        }
+        profile
     };
 
     // MapReduce micro benchmarks: WordCount and Sort.
@@ -429,7 +484,30 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
         .build();
     let mut probe = SimProbe::new(machine.clone());
     let (_, stats) = engine.run_traced(&TraceWordCount, &lines, &mut probe);
-    export(&session, &stats.phase_breakdown());
+    if let Some(cp) = &stats.critical_path {
+        println!("  {:<20} job: {}", "", cp.render());
+    }
+    if let Some(profile) = export(&session, &stats.phase_breakdown()) {
+        // Profiling contract, enforced in-binary so CI catches span
+        // coverage regressions: the WordCount critical path must cover
+        // ≥90% of wall-clock, and the blame table must partition it.
+        let s = profile.critical_summary();
+        if s.coverage < 0.90 {
+            die(&format!(
+                "WordCount critical path covers only {:.1}% of wall (need >= 90%): \
+                 span coverage regressed",
+                s.coverage * 100.0
+            ));
+        }
+        let blamed: u64 = profile.critical.blame.iter().map(|(_, us)| *us).sum();
+        let drift = blamed.abs_diff(profile.critical.path_us);
+        if drift * 100 > profile.critical.path_us {
+            die(&format!(
+                "WordCount blame table sums to {blamed} us but the critical path is {} us",
+                profile.critical.path_us
+            ));
+        }
+    }
 
     let session = TraceSession::enabled("Sort");
     let engine = Engine::builder()
@@ -439,6 +517,9 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
         .build();
     let mut probe = SimProbe::new(machine);
     let (_, stats) = engine.run_traced(&TraceSort, &lines, &mut probe);
+    if let Some(cp) = &stats.critical_path {
+        println!("  {:<20} job: {}", "", cp.render());
+    }
     export(&session, &stats.phase_breakdown());
 
     // Graph analytics: PageRank and Connected Components.
@@ -506,19 +587,27 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
             store.set_metrics(&session.metrics);
             let ops = ((20_000.0 * f) as u32).max(2_000);
             let mut failed = false;
-            for i in 0..ops {
-                let key = format!("row{i:08}").into_bytes();
-                if store.put(key, vec![b'v'; 100]).is_err() {
-                    failed = true;
-                    break;
+            {
+                // Top-level phase spans so the profiler attributes the
+                // run to load vs read instead of leaving idle gaps.
+                let _load = session.recorder.span("kvstore", "oltp-load");
+                for i in 0..ops {
+                    let key = format!("row{i:08}").into_bytes();
+                    if store.put(key, vec![b'v'; 100]).is_err() {
+                        failed = true;
+                        break;
+                    }
                 }
             }
-            for i in 0..ops {
-                // Half present, half absent — exercises the bloom filters.
-                let probe_key = format!("row{:08}", u64::from(i) * 2).into_bytes();
-                if store.get(&probe_key).is_err() {
-                    failed = true;
-                    break;
+            {
+                let _read = session.recorder.span("kvstore", "oltp-read");
+                for i in 0..ops {
+                    // Half present, half absent — exercises the bloom filters.
+                    let probe_key = format!("row{:08}", u64::from(i) * 2).into_bytes();
+                    if store.get(&probe_key).is_err() {
+                        failed = true;
+                        break;
+                    }
                 }
             }
             if failed {
@@ -541,9 +630,11 @@ fn trace_exports(suite: &Suite, fraction: f64, dir: &std::path::Path) {
     let session = TraceSession::enabled("JoinQuery");
     let orders_n = ((8_000.0 * f) as u64).max(500);
     let (orders, items) = bigdatabench::workloads::query::build_tables(&suite.scale(1), orders_n);
+    let query_span = session.recorder.span("sql", "query-session");
     let sel =
         select_instrumented(&orders, &col("BUYER_ID").gt(lit(0)), &["ORDER_ID"], &session.recorder);
     let joined = hash_join_instrumented(&orders, "ORDER_ID", &items, "ORDER_ID", &session.recorder);
+    drop(query_span);
     match (sel, joined) {
         (Ok(sel), Ok(joined)) => {
             session.metrics.counter("sql.select_rows").add(sel.len() as u64);
@@ -688,8 +779,13 @@ fn main() {
         println!("{pass}/{} shape checks passed", checks.len());
     }
 
-    if let Some(dir) = &args.trace_dir {
-        trace_exports(&suite, args.fraction, dir);
+    if args.trace_dir.is_some() || args.profile_dir.is_some() {
+        trace_exports(
+            &suite,
+            args.fraction,
+            args.trace_dir.as_deref(),
+            args.profile_dir.as_deref(),
+        );
     }
 
     if args.bench_json.is_some() || args.bench_baseline.is_some() {

@@ -26,7 +26,8 @@ fn stray_positional_is_rejected() {
 
 #[test]
 fn flag_missing_its_value_is_a_usage_error() {
-    for flag in ["--fraction", "--json", "--trace", "--bench-json", "--bench-baseline"] {
+    for flag in ["--fraction", "--json", "--trace", "--profile", "--bench-json", "--bench-baseline"]
+    {
         let out = reproduce().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag} without value");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -47,7 +48,18 @@ fn help_documents_the_bench_flags() {
     let out = reproduce().arg("--help").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for flag in ["--bench-json", "--bench-baseline", "--bench-tolerance", "--trace", "--fraction"] {
+    for flag in [
+        "--bench-json",
+        "--bench-baseline",
+        "--bench-tolerance",
+        "--trace",
+        "--profile",
+        "--fraction",
+    ] {
         assert!(stdout.contains(flag), "help mentions {flag}: {stdout}");
+    }
+    // The profiling artifacts are part of the documented contract.
+    for artifact in [".folded", ".critpath.txt", ".util.txt"] {
+        assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
     }
 }

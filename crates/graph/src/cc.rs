@@ -77,6 +77,7 @@ fn label_propagation_impl<P: Probe + ?Sized>(
     trace: &mut Option<GraphTraceModel>,
     telemetry: &SpanRecorder,
 ) -> (Vec<u32>, u32) {
+    let _run_span = span!(telemetry, "graph", "connected-components", nodes = graph.nodes());
     let mut labels: Vec<u32> = (0..graph.nodes()).collect();
     let mut iterations = 0;
     loop {

@@ -62,6 +62,7 @@ fn pagerank_impl<P: Probe + ?Sized>(
     if n == 0 {
         return (Vec::new(), 0);
     }
+    let _run_span = span!(telemetry, "graph", "pagerank", nodes = graph.nodes());
     let init = 1.0 / n as f64;
     let mut ranks = vec![init; n];
     let mut next = vec![0.0f64; n];

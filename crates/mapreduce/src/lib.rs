@@ -70,6 +70,7 @@ pub mod job;
 pub mod spill;
 pub mod trace;
 
+pub use bdb_profile::CriticalPathSummary;
 pub use codec::Datum;
 pub use engine::{Engine, EngineBuilder, JobStats};
 pub use error::JobError;

@@ -182,6 +182,37 @@ fn unrecoverable_spill_error_reports_task_io() {
 }
 
 #[test]
+fn panicking_tasks_leave_well_formed_spans() {
+    // A map task that panics unwinds through its SpanGuard, which must
+    // still record a closed span (with a duration) rather than leaving
+    // the stream ill-formed, and the profiler must tolerate whatever
+    // instants the stream contains without unwrapping `dur_us`.
+    let telemetry = bdb_telemetry::SpanRecorder::enabled();
+    telemetry.instant("test", "job-submitted"); // instant: dur_us = None
+    let plan = FaultPlan::builder(11).panic_nth(sites::MAP_TASK, 0).build();
+    let e =
+        Engine::builder().threads(2).reducers(2).faults(plan).telemetry(telemetry.clone()).build();
+    let input = lines(60);
+    let (out, stats) = e.run(&WordCount, &input);
+    assert!(!out.is_empty());
+    assert!(stats.map_retries >= 1, "the panic forced a retry: {stats:?}");
+
+    let events = telemetry.events();
+    let map_tasks: Vec<_> = events.iter().filter(|ev| ev.name == "map-task").collect();
+    assert!(map_tasks.len() >= 3, "retry adds an attempt: {}", map_tasks.len());
+    for ev in &map_tasks {
+        assert!(ev.dur_us.is_some(), "panicked attempts still close their span: {ev:?}");
+    }
+
+    // The analyzer skips the instant instead of unwrapping it, and the
+    // run still profiles end to end.
+    let profile = bdb_profile::Profile::from_events(&events);
+    assert_eq!(profile.forest.skipped, 1, "the instant is skipped, not fatal");
+    let cp = stats.critical_path.expect("telemetry attached");
+    assert!(cp.coverage > 0.9, "{cp:?}");
+}
+
+#[test]
 fn disabled_plan_changes_nothing() {
     let input = lines(100);
     let (a, sa) = engine(FaultPlan::disabled()).run(&WordCount, &input);

@@ -92,6 +92,7 @@ impl KMeans {
         telemetry: &SpanRecorder,
     ) -> KMeansModel {
         assert!(!points.is_empty(), "need at least one point");
+        let _run_span = span!(telemetry, "mlkit", "kmeans-fit", points = points.len());
         let dim = points[0].len();
         assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
         let k = self.k.min(points.len());

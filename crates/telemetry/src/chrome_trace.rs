@@ -74,12 +74,33 @@ fn write_counter_sample(out: &mut String, ts: u64, name: &str, value: u64) {
     o.finish();
 }
 
+/// A named series of `(ts_us, value)` counter samples to render as a
+/// `"ph":"C"` track — e.g. the busy-worker count a profiler derives
+/// post hoc. Unlike span args, track names are runtime strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterTrack {
+    /// Counter name shown in the trace viewer.
+    pub name: String,
+    /// `(timestamp µs, value)` samples, ascending by timestamp.
+    pub samples: Vec<(u64, u64)>,
+}
+
 /// Renders `events` (plus optional final counter samples from
 /// `metrics`) as a Chrome trace-event JSON array.
 pub fn chrome_trace_json(
     process_name: &str,
     events: &[SpanEvent],
     metrics: Option<&MetricsRegistry>,
+) -> String {
+    chrome_trace_json_with_tracks(process_name, events, metrics, &[])
+}
+
+/// [`chrome_trace_json`] plus derived [`CounterTrack`] sample series.
+pub fn chrome_trace_json_with_tracks(
+    process_name: &str,
+    events: &[SpanEvent],
+    metrics: Option<&MetricsRegistry>,
+    tracks: &[CounterTrack],
 ) -> String {
     let mut out = String::with_capacity(128 + events.len() * 96);
     out.push('[');
@@ -112,6 +133,12 @@ pub fn chrome_trace_json(
                 emit(&mut out);
                 write_counter_sample(&mut out, sample_ts, k, (*i).max(0) as u64);
             }
+        }
+    }
+    for track in tracks {
+        for &(ts, value) in &track.samples {
+            emit(&mut out);
+            write_counter_sample(&mut out, ts, &track.name, value);
         }
     }
     if let Some(metrics) = metrics {
@@ -149,7 +176,18 @@ impl TraceSession {
 
     /// The session's trace as Chrome trace-event JSON.
     pub fn trace_json(&self) -> String {
-        chrome_trace_json(&self.name, &self.recorder.events(), Some(&self.metrics))
+        self.trace_json_with_tracks(&[])
+    }
+
+    /// The session's trace, with extra derived counter tracks appended
+    /// (e.g. a profiler's busy-worker series).
+    pub fn trace_json_with_tracks(&self, tracks: &[CounterTrack]) -> String {
+        chrome_trace_json_with_tracks(
+            &self.name,
+            &self.recorder.events(),
+            Some(&self.metrics),
+            tracks,
+        )
     }
 
     /// The session's metrics as plain text.
@@ -164,11 +202,26 @@ impl TraceSession {
     ///
     /// Propagates filesystem errors.
     pub fn write(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.write_with_tracks(dir, &[])
+    }
+
+    /// [`TraceSession::write`] with extra counter tracks baked into the
+    /// trace JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_with_tracks(
+        &self,
+        dir: &Path,
+        tracks: &[CounterTrack],
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
         std::fs::create_dir_all(dir)?;
         let stem = file_stem(&self.name);
         let trace_path = dir.join(format!("{stem}.trace.json"));
         let metrics_path = dir.join(format!("{stem}.metrics.txt"));
-        std::fs::File::create(&trace_path)?.write_all(self.trace_json().as_bytes())?;
+        std::fs::File::create(&trace_path)?
+            .write_all(self.trace_json_with_tracks(tracks).as_bytes())?;
         std::fs::File::create(&metrics_path)?.write_all(self.metrics_summary().as_bytes())?;
         Ok((trace_path, metrics_path))
     }
@@ -176,8 +229,10 @@ impl TraceSession {
 
 /// Lowercases `name` and maps every non-alphanumeric character to `-`,
 /// collapsing runs and trimming the ends, so any workload name — e.g.
-/// `"OLTP: read/write 50%"` — yields a safe, tidy file stem.
-fn file_stem(name: &str) -> String {
+/// `"OLTP: read/write 50%"` — yields a safe, tidy file stem. Exposed so
+/// sibling artifacts (profiles, reports) can sit next to the trace
+/// under the same stem.
+pub fn file_stem(name: &str) -> String {
     let mut stem = String::with_capacity(name.len());
     for c in name.to_lowercase().chars() {
         if c.is_alphanumeric() {
@@ -274,6 +329,23 @@ mod tests {
         assert!(trace.ends_with("oltp-read-write-50.trace.json"), "{trace:?}");
         assert!(metrics.ends_with("oltp-read-write-50.metrics.txt"), "{metrics:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_samples() {
+        let track = CounterTrack {
+            name: "busy workers".to_owned(),
+            samples: vec![(0, 2), (40, 1), (100, 0)],
+        };
+        let json = chrome_trace_json_with_tracks("t", &[event("a", 0, 100, 1)], None, &[track]);
+        assert!(json.contains("\"name\":\"busy workers\",\"ph\":\"C\",\"ts\":0"));
+        assert!(json.contains("\"name\":\"busy workers\",\"ph\":\"C\",\"ts\":40"));
+        assert!(json.contains("\"name\":\"busy workers\",\"ph\":\"C\",\"ts\":100"));
+        let samples = json
+            .lines()
+            .filter(|l| l.contains("busy workers") && l.contains("\"ph\":\"C\""))
+            .count();
+        assert_eq!(samples, 3);
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 
-pub use chrome_trace::{chrome_trace_json, TraceSession};
+pub use chrome_trace::{
+    chrome_trace_json, chrome_trace_json_with_tracks, file_stem, CounterTrack, TraceSession,
+};
 pub use metrics::{Counter, Gauge, HistogramHandle, LatencyHistogram, MetricsRegistry};
 pub use span::{current_thread_id, ArgValue, SpanEvent, SpanGuard, SpanRecorder};

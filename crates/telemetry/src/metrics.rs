@@ -457,6 +457,46 @@ mod tests {
     }
 
     #[test]
+    fn merge_percentile_roundtrip_across_bucket_boundaries() {
+        // Split a sample set across two histograms with values landing
+        // exactly on, just below and just above bucket bounds; the
+        // merge must be indistinguishable from recording the union
+        // directly — same distribution, same percentiles, same
+        // exposition buckets.
+        let boundary_values: Vec<u64> = (0..BUCKETS)
+            .step_by(25)
+            .map(bucket_upper)
+            .flat_map(|b| [b.saturating_sub(1), b, b + 1])
+            .collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for (i, &us) in boundary_values.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record_micros(us);
+            union.record_micros(us);
+        }
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), union.count());
+        assert_eq!(merged.sum_micros(), union.sum_micros());
+        assert_eq!(merged.max(), union.max());
+        assert_eq!(
+            merged.cumulative_buckets(),
+            union.cumulative_buckets(),
+            "merge lands every sample in the same bucket as direct recording"
+        );
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.percentile(q), union.percentile(q), "q={q}");
+        }
+        // Merging in the other order is equivalent too.
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(flipped.cumulative_buckets(), merged.cumulative_buckets());
+        assert_eq!(flipped.percentile(0.5), merged.percentile(0.5));
+    }
+
+    #[test]
     fn registry_slots_are_shared() {
         let reg = MetricsRegistry::new();
         let c1 = reg.counter("x.ops");
@@ -540,6 +580,116 @@ mod tests {
         assert_eq!(prometheus_name("a.b-c/d e"), "a_b_c_d_e");
         assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
         assert_eq!(prometheus_name("9lives"), "_9lives");
+    }
+
+    /// Asserts `text` follows the Prometheus text exposition 0.0.4
+    /// grammar rules this exporter must honor: `# HELP`/`# TYPE`
+    /// comments, metric names in `[a-zA-Z_:][a-zA-Z0-9_:]*`, optional
+    /// `{label="value"}` pairs, and a parseable value (`+Inf` allowed).
+    fn assert_prometheus_grammar(text: &str) {
+        fn valid_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || "_:".contains(c))
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c))
+        }
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let keyword = parts.next().unwrap();
+                let name = parts.next().unwrap_or("");
+                assert!(
+                    keyword == "HELP" || keyword == "TYPE",
+                    "only HELP/TYPE comments are meaningful: {line}"
+                );
+                assert!(valid_name(name), "comment names a valid metric: {line}");
+                if keyword == "TYPE" {
+                    let ty = parts.next().unwrap_or("");
+                    assert!(
+                        ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                        "TYPE must name a known type: {line}"
+                    );
+                    assert!(!typed.contains(&name.to_owned()), "one TYPE per family: {line}");
+                    typed.push(name.to_owned());
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "value must parse: {line}");
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("label braces must close");
+                    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                        let (k, v) = pair.split_once('=').expect("label has a value");
+                        assert!(valid_name(k), "label name valid: {line}");
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                            "label value quoted: {line}"
+                        );
+                        let inner = &v[1..v.len() - 1];
+                        assert!(
+                            !inner.contains('"') && !inner.contains('\n'),
+                            "label value needs no escaping: {line}"
+                        );
+                    }
+                    name
+                }
+                None => series,
+            };
+            assert!(valid_name(name), "sample names a valid metric: {line}");
+            // Samples of a family follow its TYPE comment.
+            let family = typed.iter().any(|t| {
+                name == t
+                    || name
+                        .strip_prefix(t.as_str())
+                        .is_some_and(|suffix| ["_bucket", "_sum", "_count"].contains(&suffix))
+            });
+            assert!(family, "sample {name} preceded by its TYPE comment: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_grammatical() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serving.requests").add(7);
+        reg.gauge("queue.depth").set(-2);
+        let h = reg.histogram("serving.request_us");
+        for us in [3u64, 90, 1500] {
+            h.record_micros(us);
+        }
+        assert_prometheus_grammar(&reg.prometheus_text());
+    }
+
+    #[test]
+    fn prometheus_zero_sample_histogram_renders_complete_family() {
+        // A histogram that was registered but never recorded must still
+        // expose the mandatory +Inf bucket and _sum/_count at zero —
+        // scrapers reject a TYPE'd family with no samples.
+        let reg = MetricsRegistry::new();
+        reg.histogram("idle.latency_us");
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE idle_latency_us histogram\n"), "{text}");
+        assert!(text.contains("idle_latency_us_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(text.contains("idle_latency_us_sum 0\n"), "{text}");
+        assert!(text.contains("idle_latency_us_count 0\n"), "{text}");
+        assert_prometheus_grammar(&text);
+    }
+
+    #[test]
+    fn prometheus_hostile_names_escape_and_stay_grammatical() {
+        let reg = MetricsRegistry::new();
+        reg.counter("2-fast 2.furious").inc();
+        reg.counter("sørt/älloc bytes").add(3);
+        reg.gauge("a{b}=\"c\"").set(1);
+        reg.histogram("p99 (µs)").record_micros(5);
+        let text = reg.prometheus_text();
+        assert!(text.contains("_2_fast_2_furious 1\n"), "{text}");
+        assert!(text.contains("s_rt__lloc_bytes 3\n"), "{text}");
+        assert_prometheus_grammar(&text);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests for the profiling pipeline: span
+//! stream → `bdb-profile` → folded stacks / critical path / worker
+//! utilization, plus the `JobStats::critical_path` summary an
+//! instrumented MapReduce run carries.
+
+use bdb_profile::Profile;
+use bdb_telemetry::{ArgValue, SpanEvent};
+
+fn span(name: &'static str, tid: u64, start_us: u64, dur_us: u64) -> SpanEvent {
+    SpanEvent { name, cat: "test", start_us, dur_us: Some(dur_us), tid, args: Vec::new() }
+}
+
+/// A deterministic two-worker MapReduce timeline used by the golden
+/// tests: coordinator on thread 1, one straggling map task on thread 2.
+fn fixture_events() -> Vec<SpanEvent> {
+    vec![
+        span("job", 1, 0, 200),
+        span("map-phase", 1, 0, 120),
+        span("reduce-phase", 1, 120, 80),
+        span("reduce-partition", 1, 125, 70),
+        span("map-task", 2, 10, 100),
+        span("spill", 2, 40, 20),
+    ]
+}
+
+#[test]
+fn golden_folded_stacks_for_a_deterministic_run() {
+    let profile = Profile::from_events(&fixture_events());
+    // Weights are self time: the phases tile `job` exactly (zero self,
+    // omitted), `reduce-phase` keeps the 10 us outside its partition,
+    // `map-task` keeps 100 − 20 spill = 80. Lines sort lexically.
+    assert_eq!(
+        profile.folded(),
+        "worker-1;job;map-phase 120\n\
+         worker-1;job;reduce-phase 10\n\
+         worker-1;job;reduce-phase;reduce-partition 70\n\
+         worker-2;map-task 80\n\
+         worker-2;map-task;spill 20\n",
+    );
+}
+
+#[test]
+fn blame_table_partitions_the_critical_path_exactly() {
+    let profile = Profile::from_events(&fixture_events());
+    let cp = &profile.critical;
+    assert_eq!(cp.wall_us, 200);
+    assert_eq!(cp.path_us + cp.idle_us, cp.wall_us);
+    let blamed: u64 = cp.blame.iter().map(|(_, us)| *us).sum();
+    assert_eq!(blamed, cp.path_us, "phase blame sums exactly to the path length");
+    // The straggler's lone stretch ([60,110): map-task after the spill)
+    // is on the path under the map phase.
+    let blame: std::collections::BTreeMap<_, _> = cp.blame.iter().cloned().collect();
+    assert_eq!(blame["map"] + blame["spill"], 120, "map phase time splits map/spill");
+    assert_eq!(blame["reduce"], 80);
+}
+
+#[test]
+fn analyzer_tolerates_unclosed_spans_and_instants() {
+    // A crash can leave spans without a duration; the analyzer must
+    // skip them (never unwrap `dur_us`) and still profile the rest.
+    let mut events = fixture_events();
+    let mut unclosed = span("map-task", 3, 50, 0);
+    unclosed.dur_us = None;
+    events.push(unclosed);
+    let mut marker = span("checkpoint", 1, 100, 0);
+    marker.dur_us = None;
+    events.push(marker);
+
+    let profile = Profile::from_events(&events);
+    assert_eq!(profile.forest.skipped, 2);
+    assert_eq!(profile.forest.nodes.len(), 6, "closed spans all survive");
+    assert!(profile.critical.path_us > 0);
+    let report = profile.critpath_text();
+    assert!(report.contains("2 skipped without duration"), "{report}");
+}
+
+#[test]
+fn iteration_spans_blame_per_iteration() {
+    let mut events = Vec::new();
+    for (i, (start, dur)) in [(0u64, 30u64), (30, 50), (80, 20)].iter().enumerate() {
+        let mut e = span("pagerank-iteration", 1, *start, *dur);
+        e.args.push(("iter", ArgValue::Int(i as i64 + 1)));
+        events.push(e);
+    }
+    let profile = Profile::from_events(&events);
+    assert_eq!(profile.critical.blame[0], ("iter-2".to_owned(), 50));
+    let total: u64 = profile.critical.blame.iter().map(|(_, us)| *us).sum();
+    assert_eq!(total, 100);
+}
+
+#[test]
+fn utilization_reports_per_worker_busy_and_concurrency() {
+    let profile = Profile::from_events(&fixture_events());
+    let u = &profile.utilization;
+    assert_eq!(u.workers.len(), 2);
+    assert_eq!(u.workers[0].busy_us, 200, "worker 1 busy the whole run");
+    assert_eq!(u.workers[1].busy_us, 100, "worker 2 busy only during its task");
+    assert_eq!(u.concurrency.iter().sum::<u64>(), u.wall_us());
+    assert_eq!(u.concurrency[2], 100, "both busy while the map task runs");
+    let text = profile.util_text();
+    assert!(text.contains("workers 2"), "{text}");
+    assert!(text.contains("worker-2"), "{text}");
+    // The counter track closes at zero busy workers.
+    assert_eq!(profile.concurrency_track().samples.last(), Some(&(200, 0)));
+}
+
+#[test]
+fn instrumented_engine_run_profiles_end_to_end() {
+    use bdb_archsim::Probe;
+    use bdb_mapreduce::{Emitter, Engine, Job};
+
+    struct WordCount;
+    impl Job for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+        fn map<P: Probe + ?Sized>(
+            &self,
+            line: &String,
+            emit: &mut Emitter<String, u64>,
+            _p: &mut P,
+        ) {
+            for w in line.split_whitespace() {
+                emit.emit(w.to_owned(), 1);
+            }
+        }
+        fn reduce<P: Probe + ?Sized>(
+            &self,
+            key: String,
+            values: Vec<u64>,
+            out: &mut Vec<(String, u64)>,
+            _p: &mut P,
+        ) {
+            out.push((key, values.into_iter().sum()));
+        }
+    }
+
+    let telemetry = bdb_telemetry::SpanRecorder::enabled();
+    let engine = Engine::builder().threads(2).reducers(2).telemetry(telemetry.clone()).build();
+    let lines: Vec<String> =
+        (0..500).map(|i| format!("alpha beta gamma delta-{}", i % 17)).collect();
+    let (out, stats) = engine.run(&WordCount, &lines);
+    assert!(!out.is_empty());
+
+    // The engine's own summary and a from-scratch profile agree on the
+    // headline: the job span covers ≥90% of wall.
+    let cp = stats.critical_path.expect("telemetry attached");
+    assert!(cp.coverage >= 0.9, "{cp:?}");
+    let profile = Profile::from_events(&telemetry.events());
+    let recomputed = profile.critical_summary();
+    assert!(recomputed.coverage >= 0.9, "{recomputed:?}");
+    assert_eq!(recomputed.wall_us, cp.wall_us);
+
+    // All three artifacts render non-empty for a real run.
+    assert!(profile.folded().contains("map-task"));
+    assert!(profile.critpath_text().contains("blame"));
+    assert!(profile.util_text().contains("utilization"));
+    // And the blame table partitions the path within 1%.
+    let blamed: u64 = profile.critical.blame.iter().map(|(_, us)| *us).sum();
+    assert!(
+        blamed.abs_diff(profile.critical.path_us) * 100 <= profile.critical.path_us,
+        "blamed {blamed} vs path {}",
+        profile.critical.path_us
+    );
+}
