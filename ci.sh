@@ -3,17 +3,21 @@
 #
 #   ./ci.sh                # full gate: fmt, clippy, release build, tests
 #   ./ci.sh --fast         # skip the release build (debug build via tests)
+#   ./ci.sh --subset       # fast perf tier: gate only the representative
+#                          # workload subset from charmap.json
 #   ./ci.sh --bench-check  # also diff simulated perf vs BENCH_RESULTS.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
 bench_check=0
+subset=0
 for arg in "$@"; do
     case "$arg" in
         --fast) fast=1 ;;
         --bench-check) bench_check=1 ;;
-        *) echo "usage: $0 [--fast] [--bench-check]" >&2; exit 2 ;;
+        --subset) subset=1 ;;
+        *) echo "usage: $0 [--fast] [--subset] [--bench-check]" >&2; exit 2 ;;
     esac
 done
 
@@ -21,6 +25,19 @@ run() {
     echo "== $* =="
     "$@"
 }
+
+if [ "$subset" -eq 1 ]; then
+    # Representative-subset fast tier: run only the workloads the
+    # characterization map selected (one per cluster, committed in
+    # charmap.json) against the committed BENCH_RESULTS.json. This is
+    # the cheap per-PR perf gate; the full gate re-derives the map and
+    # enforces the subset stability rule.
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --fraction 0.02 --bench-baseline BENCH_RESULTS.json \
+        --bench-subset charmap.json
+    echo "ci: subset tier passed"
+    exit 0
+fi
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
@@ -52,6 +69,24 @@ if [ "$fast" -eq 0 ]; then
         done
     done
     echo "ci: profile artifacts present for all traced workloads"
+
+    # Characterization-map smoke: recompute the workload map at the
+    # committed fraction and validate it against the committed
+    # charmap.json under the subset stability rule (same k, exactly
+    # one committed representative per fresh cluster). The binary also
+    # gates the retained-variance target in-process.
+    charmapdir="$(mktemp -d)"
+    trap 'rm -rf "$profdir" "$charmapdir"' EXIT
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --fraction 0.02 --charmap "$charmapdir" \
+        --charmap-baseline charmap.json
+    for f in "$charmapdir/charmap.txt" "$charmapdir/charmap.json"; do
+        if [ ! -s "$f" ]; then
+            echo "ci: missing or empty charmap artifact: $f" >&2
+            exit 1
+        fi
+    done
+    echo "ci: charmap artifacts present and subset stable"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

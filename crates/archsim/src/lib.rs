@@ -50,6 +50,7 @@ pub use layout::{AddressSpace, CodeRegion, SoftwareStack, StackLayer};
 pub use machine::{MachineConfig, MachineSim};
 pub use metrics::{
     CharacterizationReport, CounterSnapshot, InstructionMix, LevelStats, PhaseCounters,
+    BASE_FEATURES,
 };
 pub use probe::{CountingProbe, NullProbe, Probe, SimProbe};
 pub use timing::TimingModel;

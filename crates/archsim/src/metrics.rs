@@ -264,6 +264,7 @@ impl CounterSnapshot {
             dtlb: self.dtlb.into(),
             dram_bytes: self.dram_bytes,
             requested_bytes: self.requested_bytes,
+            mispredicts: self.mispredicts,
             cycles: self.cycles,
             freq_mhz,
             phases: Vec::new(),
@@ -279,6 +280,28 @@ pub struct PhaseCounters {
     /// Events credited to this phase.
     pub counters: CounterSnapshot,
 }
+
+/// The names of [`CharacterizationReport::feature_vector`]'s entries,
+/// in emission order: rate metrics, the memory-hierarchy MPKI ladder,
+/// the dynamic instruction mix, and the roofline operation intensities.
+pub const BASE_FEATURES: [&str; 16] = [
+    "ipc",
+    "mips",
+    "l1i_mpki",
+    "l1d_mpki",
+    "l2_mpki",
+    "l3_mpki",
+    "itlb_mpki",
+    "dtlb_mpki",
+    "branch_mpki",
+    "load_frac",
+    "store_frac",
+    "branch_frac",
+    "int_frac",
+    "fp_frac",
+    "int_per_dram_byte",
+    "fp_per_dram_byte",
+];
 
 /// Everything the simulator learned from one characterized run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -303,6 +326,8 @@ pub struct CharacterizationReport {
     pub dram_bytes: u64,
     /// Total bytes requested by loads and stores (pre-hierarchy).
     pub requested_bytes: u64,
+    /// Branch mispredictions from the 2-bit/gshare predictor.
+    pub mispredicts: u64,
     /// Cycles estimated by the timing model.
     pub cycles: u64,
     /// Core frequency in MHz used for the MIPS estimate.
@@ -381,6 +406,46 @@ impl CharacterizationReport {
     /// DTLB misses per kilo-instruction.
     pub fn dtlb_mpki(&self) -> f64 {
         self.dtlb.mpki(self.instructions())
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        let instructions = self.instructions();
+        if instructions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// The fixed micro-architectural feature vector of this report, as
+    /// `(name, value)` pairs in [`BASE_FEATURES`] order — the raw input
+    /// to the workload-subsetting pipeline (`bdb-charmap`), after Jia et
+    /// al., "Characterizing and Subsetting Big Data Workloads". Every
+    /// report emits the same names in the same order so vectors from
+    /// different workloads are directly comparable.
+    pub fn feature_vector(&self) -> Vec<(&'static str, f64)> {
+        let v = vec![
+            ("ipc", self.ipc()),
+            ("mips", self.mips()),
+            ("l1i_mpki", self.l1i_mpki()),
+            ("l1d_mpki", self.l1d.mpki(self.instructions())),
+            ("l2_mpki", self.l2_mpki()),
+            ("l3_mpki", self.l3_mpki()),
+            ("itlb_mpki", self.itlb_mpki()),
+            ("dtlb_mpki", self.dtlb_mpki()),
+            ("branch_mpki", self.branch_mpki()),
+            ("load_frac", self.mix.fraction(InstClass::Load)),
+            ("store_frac", self.mix.fraction(InstClass::Store)),
+            ("branch_frac", self.mix.fraction(InstClass::Branch)),
+            ("int_frac", self.mix.fraction(InstClass::Int)),
+            ("fp_frac", self.mix.fraction(InstClass::Fp)),
+            ("int_per_dram_byte", self.int_intensity()),
+            ("fp_per_dram_byte", self.fp_intensity()),
+        ];
+        debug_assert_eq!(v.len(), BASE_FEATURES.len());
+        debug_assert!(v.iter().map(|(n, _)| *n).eq(BASE_FEATURES.iter().copied()));
+        v
     }
 
     /// Expands each phase into its own report (machine name and core
@@ -545,6 +610,24 @@ mod tests {
         assert_eq!(r.cycles, s.cycles);
         assert!(r.mips() > 0.0);
         assert!(r.phases.is_empty());
+    }
+
+    #[test]
+    fn feature_vector_matches_base_features_and_derived_metrics() {
+        let mut s = snap(4);
+        s.mispredicts = 3;
+        let r = s.to_report("Xeon E5645", 2400);
+        let v = r.feature_vector();
+        assert_eq!(v.len(), BASE_FEATURES.len());
+        let names: Vec<&str> = v.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, BASE_FEATURES.to_vec());
+        let get = |name: &str| v.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!((get("ipc") - r.ipc()).abs() < 1e-12);
+        assert!((get("branch_mpki") - 3.0 * 1000.0 / r.instructions() as f64).abs() < 1e-12);
+        assert!(v.iter().all(|(_, x)| x.is_finite()), "features must be finite: {v:?}");
+        // A report with no instructions emits all-zero rates, not NaN.
+        let empty = CharacterizationReport::default();
+        assert!(empty.feature_vector().iter().all(|(_, x)| *x == 0.0));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! reproduce [--all] [--table2] [--table3] [--table4] [--table5] [--table6]
 //!           [--fig2] [--fig3] [--fig4] [--fig5] [--fig6] [--checks]
 //!           [--fraction F] [--json DIR] [--trace DIR] [--profile DIR]
+//!           [--charmap DIR] [--charmap-baseline PATH]
 //! ```
 //!
 //! `--fraction` shrinks the library-scale inputs (default 0.25 — a full
@@ -46,6 +47,9 @@ struct Args {
     bench_json: Option<std::path::PathBuf>,
     bench_baseline: Option<std::path::PathBuf>,
     bench_tolerance: f64,
+    bench_subset: Option<std::path::PathBuf>,
+    charmap_dir: Option<std::path::PathBuf>,
+    charmap_baseline: Option<std::path::PathBuf>,
     faults_seed: Option<u64>,
 }
 
@@ -77,14 +81,27 @@ options:
   --bench-baseline PATH  compare this run against a committed
                          BENCH_RESULTS.json; exit 1 on regression
   --bench-tolerance PCT  allowed drift per gated metric (default 2.0)
+  --bench-subset PATH    with --bench-baseline: gate only the
+                         representative workloads listed in the
+                         committed charmap.json at PATH (the ci.sh
+                         --subset fast tier)
+  --charmap DIR          workload characterization map: metric vectors
+                         -> PCA -> clustered subset; writes DIR/
+                         charmap.txt and DIR/charmap.json, exit 1 if
+                         the retained variance misses the target
+  --charmap-baseline PATH  validate this run's map against a committed
+                         charmap.json under the subset stability rule
+                         (same k, exactly one committed representative
+                         per fresh cluster); exit 1 on drift
   --faults SEED          fault-injection smoke: run WordCount with an
                          injected spill-write error, map-task panic and
                          straggler; exit 1 unless the output is
                          byte-identical to the fault-free run
   -h, --help             this text
 
-`--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--faults`
-without a selection run only that pass.";
+`--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--charmap`/
+`--charmap-baseline`/`--faults` without a selection run only that
+pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
@@ -126,6 +143,9 @@ fn parse_args() -> Args {
                 "--bench-json" => state = Expecting::Value("--bench-json"),
                 "--bench-baseline" => state = Expecting::Value("--bench-baseline"),
                 "--bench-tolerance" => state = Expecting::Value("--bench-tolerance"),
+                "--bench-subset" => state = Expecting::Value("--bench-subset"),
+                "--charmap" => state = Expecting::Value("--charmap"),
+                "--charmap-baseline" => state = Expecting::Value("--charmap-baseline"),
                 "--faults" => state = Expecting::Value("--faults"),
                 "--help" | "-h" => {
                     println!("{USAGE}");
@@ -138,10 +158,15 @@ fn parse_args() -> Args {
     if let Expecting::Value(flag) = state {
         usage_error(&format!("{flag} needs a value"));
     }
+    if args.bench_subset.is_some() && args.bench_baseline.is_none() {
+        usage_error("--bench-subset requires --bench-baseline");
+    }
     let side_pass = args.trace_dir.is_some()
         || args.profile_dir.is_some()
         || args.bench_json.is_some()
         || args.bench_baseline.is_some()
+        || args.charmap_dir.is_some()
+        || args.charmap_baseline.is_some()
         || args.faults_seed.is_some();
     if !selected && !side_pass {
         select_everything(&mut args);
@@ -170,6 +195,9 @@ fn apply_value(args: &mut Args, flag: &str, value: &str) {
                 .filter(|t| *t >= 0.0)
                 .unwrap_or_else(|| usage_error("--bench-tolerance needs a percentage >= 0"));
         }
+        "--bench-subset" => args.bench_subset = Some(value.into()),
+        "--charmap" => args.charmap_dir = Some(value.into()),
+        "--charmap-baseline" => args.charmap_baseline = Some(value.into()),
         "--faults" => {
             args.faults_seed = Some(
                 value.parse().unwrap_or_else(|_| usage_error("--faults needs an integer seed")),
@@ -792,6 +820,10 @@ fn main() {
         bench_results(&args);
     }
 
+    if args.charmap_dir.is_some() || args.charmap_baseline.is_some() {
+        charmap_pass(&args);
+    }
+
     if let Some(seed) = args.faults_seed {
         faults_smoke(seed);
     }
@@ -873,14 +905,45 @@ fn faults_smoke(seed: u64) {
     println!("\nfaults smoke PASS: all injected faults recovered, output unchanged");
 }
 
+/// Resolves the representative subset committed in a `charmap.json`
+/// into workload ids, preserving the artifact's (sorted) order.
+fn load_subset(path: &std::path::Path) -> (Vec<String>, Vec<WorkloadId>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("reading subset {}: {e}", path.display())));
+    let baseline = bdb_charmap::report::Baseline::parse(&text)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    let ids = baseline
+        .subset
+        .iter()
+        .map(|name| {
+            WorkloadId::ALL
+                .iter()
+                .copied()
+                .find(|id| id.name() == name)
+                .unwrap_or_else(|| die(&format!("subset names unknown workload {name:?}")))
+        })
+        .collect();
+    (baseline.subset, ids)
+}
+
 /// Collects the BENCH_RESULTS.json artifact and, when a baseline is
 /// given, gates the run on it (exit 1 on drift beyond tolerance).
+/// With `--bench-subset`, only the representative workloads from the
+/// committed charmap are run and gated — the fast per-PR tier.
 fn bench_results(args: &Args) {
-    use bdb_bench::results::{collect, compare_json, DEFAULT_WORKLOADS};
+    use bdb_bench::results::{collect, compare_json, compare_json_subset, DEFAULT_WORKLOADS};
 
     section("BENCH_RESULTS — simulated performance artifact");
-    eprintln!("collecting {} workloads at fraction {}...", DEFAULT_WORKLOADS.len(), args.fraction);
-    let results = collect(args.fraction, &DEFAULT_WORKLOADS);
+    let subset = args.bench_subset.as_deref().map(load_subset);
+    let ids: Vec<WorkloadId> = match &subset {
+        Some((names, ids)) => {
+            eprintln!("representative subset: {}", names.join(", "));
+            ids.clone()
+        }
+        None => DEFAULT_WORKLOADS.to_vec(),
+    };
+    eprintln!("collecting {} workloads at fraction {}...", ids.len(), args.fraction);
+    let results = collect(args.fraction, &ids);
     let current = results.to_json();
     let mut t = TextTable::new(&["workload", "metric", "MIPS", "L1I", "L2", "L3 MPKI", "phases"]);
     for w in &results.workloads {
@@ -905,12 +968,19 @@ fn bench_results(args: &Args) {
     if let Some(path) = &args.bench_baseline {
         let baseline = std::fs::read_to_string(path)
             .unwrap_or_else(|e| die(&format!("reading baseline {}: {e}", path.display())));
-        match compare_json(&baseline, &current, args.bench_tolerance) {
+        let compared = match &subset {
+            Some((names, _)) => {
+                compare_json_subset(&baseline, &current, args.bench_tolerance, names)
+            }
+            None => compare_json(&baseline, &current, args.bench_tolerance),
+        };
+        match compared {
             Ok(drifts) if drifts.is_empty() => {
                 println!(
-                    "bench-check PASS: all gated metrics within {}% of {}",
+                    "bench-check PASS: all gated metrics within {}% of {}{}",
                     args.bench_tolerance,
-                    path.display()
+                    path.display(),
+                    if subset.is_some() { " (representative subset)" } else { "" }
                 );
             }
             Ok(drifts) => {
@@ -926,6 +996,96 @@ fn bench_results(args: &Args) {
                 std::process::exit(1);
             }
             Err(e) => die(&format!("bench-check: {e}")),
+        }
+    }
+}
+
+/// Workload characterization pass: metric vectors over the default
+/// workload set -> PCA -> clustering -> representative subset, written
+/// as `charmap.txt` + `charmap.json` into `--charmap DIR`. Gated
+/// in-binary (mirroring the `--profile` contract checks) so CI catches
+/// regressions without parsing the artifacts:
+///
+/// * the retained components must cover the variance target;
+/// * the subset must be non-empty and smaller than the full set;
+/// * with `--charmap-baseline`, the fresh map must satisfy the subset
+///   stability rule against the committed artifact (exit 1 otherwise).
+fn charmap_pass(args: &Args) {
+    use bdb_bench::results::DEFAULT_WORKLOADS;
+    use bdb_charmap::{analyze, validate_baseline, DEFAULT_SEED, VARIANCE_TARGET};
+
+    section("Workload characterization map — PCA + clustering + subset");
+    // Read the committed baseline up front so an unreadable path fails
+    // before the expensive characterization pass, not after.
+    let committed = args.charmap_baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("reading charmap baseline {}: {e}", path.display())));
+        (path, text)
+    });
+    eprintln!(
+        "characterizing {} workloads at fraction {} (seed {DEFAULT_SEED})...",
+        DEFAULT_WORKLOADS.len(),
+        args.fraction
+    );
+    let input = bdb_bench::charmap::analysis_input(args.fraction, &DEFAULT_WORKLOADS);
+    let map = analyze(&input, DEFAULT_SEED).unwrap_or_else(|e| die(&format!("charmap: {e}")));
+
+    let mut t = TextTable::new(&["cluster", "members", "representative"]);
+    for (i, c) in map.clusters.iter().enumerate() {
+        t.row(&[i.to_string(), c.members.join(", "), c.representative.clone()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "PCA: {} of {} components retain {:.1}% of variance | k = {} \
+         (silhouette {:.3}, hierarchical agreement {:.3})",
+        map.retained,
+        map.eigenvalues.len(),
+        map.variance_retained * 100.0,
+        map.k,
+        map.silhouette,
+        map.hier_agreement
+    );
+
+    if map.variance_retained < VARIANCE_TARGET {
+        die(&format!(
+            "charmap retains only {:.2}% variance (target {:.0}%)",
+            map.variance_retained * 100.0,
+            VARIANCE_TARGET * 100.0
+        ));
+    }
+    if map.subset.is_empty() || map.subset.len() >= map.workloads.len() {
+        die(&format!(
+            "charmap subset degenerate: {} representatives for {} workloads",
+            map.subset.len(),
+            map.workloads.len()
+        ));
+    }
+
+    if let Some(dir) = &args.charmap_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("creating {}: {e}", dir.display()));
+        }
+        for (name, body) in [("charmap.txt", map.to_text()), ("charmap.json", map.to_json())] {
+            let path = dir.join(name);
+            match std::fs::write(&path, body) {
+                Ok(()) => eprintln!("  wrote {}", path.display()),
+                Err(e) => die(&format!("writing {}: {e}", path.display())),
+            }
+        }
+    }
+
+    if let Some((path, committed)) = &committed {
+        match validate_baseline(&map, committed) {
+            Ok(()) => println!(
+                "charmap-check PASS: subset stable against {} (k = {}, subset: {})",
+                path.display(),
+                map.k,
+                map.subset.join(", ")
+            ),
+            Err(e) => {
+                eprintln!("charmap-check FAIL: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -19,16 +19,21 @@ use std::time::Instant;
 
 /// Bumped whenever the JSON layout changes incompatibly; the
 /// comparator refuses to diff documents of different versions.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `mpki` gained `branch` (mispredicts per kilo-instruction) and
+/// the workload set grew from 5 to all 8 traced workloads.
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// Workloads captured in the artifact: one per paper scenario family
-/// (micro MapReduce ×2, graph analytics, machine learning, relational
-/// query).
-pub const DEFAULT_WORKLOADS: [WorkloadId; 5] = [
+/// Workloads captured in the artifact: every traced workload, covering
+/// each paper scenario family (micro MapReduce ×2, graph analytics ×2,
+/// machine learning, relational query, search serving, Cloud OLTP).
+pub const DEFAULT_WORKLOADS: [WorkloadId; 8] = [
     WorkloadId::WordCount,
     WorkloadId::Sort,
     WorkloadId::PageRank,
+    WorkloadId::ConnectedComponents,
     WorkloadId::KMeans,
+    WorkloadId::NutchServer,
+    WorkloadId::Read,
     WorkloadId::JoinQuery,
 ];
 
@@ -69,8 +74,9 @@ pub struct WorkloadResult {
     pub instructions: u64,
     /// Total modeled cycles.
     pub cycles: u64,
-    /// Misses per kilo-instruction: L1I, L1D, L2, L3, ITLB, DTLB.
-    pub mpki: [f64; 6],
+    /// Misses per kilo-instruction: L1I, L1D, L2, L3, ITLB, DTLB, plus
+    /// branch mispredicts per kilo-instruction.
+    pub mpki: [f64; 7],
     /// Instruction-mix fractions: load, store, branch, int, fp.
     pub mix: [f64; 5],
     /// Integer operations per DRAM byte.
@@ -133,6 +139,7 @@ pub fn collect(fraction: f64, ids: &[WorkloadId]) -> BenchResults {
                     report.l3_mpki(),
                     report.itlb_mpki(),
                     report.dtlb_mpki(),
+                    report.branch_mpki(),
                 ],
                 mix: [
                     report.mix.fraction(InstClass::Load),
@@ -150,7 +157,7 @@ pub fn collect(fraction: f64, ids: &[WorkloadId]) -> BenchResults {
     BenchResults { machine: machine.name, fraction, workloads }
 }
 
-const MPKI_KEYS: [&str; 6] = ["l1i", "l1d", "l2", "l3", "itlb", "dtlb"];
+const MPKI_KEYS: [&str; 7] = ["l1i", "l1d", "l2", "l3", "itlb", "dtlb", "branch"];
 const MIX_KEYS: [&str; 5] = ["load", "store", "branch", "int", "fp"];
 
 impl BenchResults {
@@ -527,6 +534,34 @@ pub fn compare_json(
     current: &str,
     tolerance_pct: f64,
 ) -> Result<Vec<Drift>, String> {
+    compare_json_filtered(baseline, current, tolerance_pct, None)
+}
+
+/// Like [`compare_json`], but gating only the workloads named in
+/// `subset` — the representative-subset fast tier (`ci.sh --subset`).
+/// The current run may legitimately contain only the subset workloads;
+/// baseline workloads outside the subset are skipped, not required.
+///
+/// # Errors
+///
+/// Everything [`compare_json`] rejects, plus a subset workload missing
+/// from the *baseline* (a stale subset names a workload the artifact
+/// no longer tracks).
+pub fn compare_json_subset(
+    baseline: &str,
+    current: &str,
+    tolerance_pct: f64,
+    subset: &[String],
+) -> Result<Vec<Drift>, String> {
+    compare_json_filtered(baseline, current, tolerance_pct, Some(subset))
+}
+
+fn compare_json_filtered(
+    baseline: &str,
+    current: &str,
+    tolerance_pct: f64,
+    subset: Option<&[String]>,
+) -> Result<Vec<Drift>, String> {
     let base = reader::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cur = reader::parse(current).map_err(|e| format!("current: {e}"))?;
     for (doc, label) in [(&base, "baseline"), (&cur, "current")] {
@@ -549,10 +584,29 @@ pub fn compare_json(
         ));
     }
     let empty: [reader::Json; 0] = [];
+    let base_workloads = base.get("workloads").and_then(reader::Json::as_array).unwrap_or(&empty);
     let cur_workloads = cur.get("workloads").and_then(reader::Json::as_array).unwrap_or(&empty);
+    if let Some(subset) = subset {
+        for name in subset {
+            if !base_workloads
+                .iter()
+                .any(|w| w.get("name").and_then(reader::Json::as_str) == Some(name))
+            {
+                return Err(format!(
+                    "subset workload {name} missing from the baseline; \
+                     regenerate BENCH_RESULTS.json or charmap.json"
+                ));
+            }
+        }
+    }
     let mut drifts = Vec::new();
-    for bw in base.get("workloads").and_then(reader::Json::as_array).unwrap_or(&empty) {
+    for bw in base_workloads {
         let name = bw.get("name").and_then(reader::Json::as_str).unwrap_or("?").to_owned();
+        if let Some(subset) = subset {
+            if !subset.contains(&name) {
+                continue;
+            }
+        }
         let Some(cw) = cur_workloads
             .iter()
             .find(|w| w.get("name").and_then(reader::Json::as_str) == Some(&name))
@@ -639,13 +693,49 @@ mod tests {
     #[test]
     fn incompatible_documents_are_refused() {
         let json = tiny().to_json();
-        let other_version = json.replacen("\"schema_version\":1", "\"schema_version\":2", 1);
+        let other_version = json.replacen("\"schema_version\":2", "\"schema_version\":3", 1);
         assert!(compare_json(&other_version, &json, 5.0).is_err());
         let other_fraction = json.replacen("\"fraction\":", "\"fraction\":0.5, \"x\":", 1);
         assert!(compare_json(&json, &other_fraction, 5.0).is_err());
         let renamed = json.replacen("\"name\":\"WordCount\"", "\"name\":\"Sort\"", 1);
         assert!(compare_json(&renamed, &json, 5.0).is_err(), "missing workload is an error");
         assert!(compare_json("not json", &json, 5.0).is_err());
+    }
+
+    #[test]
+    fn subset_compare_gates_only_named_workloads() {
+        let both = collect(1.0 / 64.0, &[WorkloadId::WordCount, WorkloadId::Sort]);
+        let mut moved = both.clone();
+        // Sort drifts wildly, WordCount stays put.
+        let sort = moved.workloads.iter_mut().find(|w| w.name == "Sort").unwrap();
+        sort.mips *= 2.0;
+        let subset = vec!["WordCount".to_owned()];
+        let drifts =
+            compare_json_subset(&both.to_json(), &moved.to_json(), 1.0, &subset).expect("compares");
+        assert!(drifts.is_empty(), "Sort is outside the subset: {drifts:?}");
+        // The full comparator still sees the drift.
+        let full = compare_json(&both.to_json(), &moved.to_json(), 1.0).expect("compares");
+        assert!(full.iter().any(|d| d.workload == "Sort" && d.metric == "mips"), "{full:?}");
+
+        // A current run holding only the subset workloads is fine...
+        let only_subset = collect(1.0 / 64.0, &[WorkloadId::WordCount]);
+        compare_json_subset(&both.to_json(), &only_subset.to_json(), 1.0, &subset)
+            .expect("subset-only current run is comparable");
+        // ...but a subset naming an untracked workload is an error.
+        let stale = vec!["PageRank".to_owned()];
+        let err =
+            compare_json_subset(&both.to_json(), &only_subset.to_json(), 1.0, &stale).unwrap_err();
+        assert!(err.contains("missing from the baseline"), "{err}");
+    }
+
+    #[test]
+    fn artifact_reports_branch_mpki() {
+        let json = tiny().to_json();
+        let v = reader::parse(&json).expect("parses");
+        let w = &v.get("workloads").and_then(reader::Json::as_array).unwrap()[0];
+        let branch = w.get("mpki").and_then(|m| m.get("branch")).and_then(reader::Json::as_f64);
+        assert!(branch.is_some(), "mpki.branch present");
+        assert!(branch.unwrap() >= 0.0);
     }
 
     #[test]

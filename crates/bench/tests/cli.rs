@@ -26,8 +26,17 @@ fn stray_positional_is_rejected() {
 
 #[test]
 fn flag_missing_its_value_is_a_usage_error() {
-    for flag in ["--fraction", "--json", "--trace", "--profile", "--bench-json", "--bench-baseline"]
-    {
+    for flag in [
+        "--fraction",
+        "--json",
+        "--trace",
+        "--profile",
+        "--bench-json",
+        "--bench-baseline",
+        "--bench-subset",
+        "--charmap",
+        "--charmap-baseline",
+    ] {
         let out = reproduce().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag} without value");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -44,6 +53,25 @@ fn bad_numeric_values_are_usage_errors() {
 }
 
 #[test]
+fn bench_subset_requires_a_bench_baseline() {
+    let out = reproduce().args(["--bench-subset", "charmap.json"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bench-subset requires --bench-baseline"), "{stderr}");
+}
+
+#[test]
+fn missing_charmap_baseline_file_is_an_error() {
+    let out = reproduce()
+        .args(["--charmap-baseline", "/no/such/charmap.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "die() on unreadable baseline");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("/no/such/charmap.json"), "{stderr}");
+}
+
+#[test]
 fn help_documents_the_bench_flags() {
     let out = reproduce().arg("--help").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(0));
@@ -52,6 +80,9 @@ fn help_documents_the_bench_flags() {
         "--bench-json",
         "--bench-baseline",
         "--bench-tolerance",
+        "--bench-subset",
+        "--charmap",
+        "--charmap-baseline",
         "--trace",
         "--profile",
         "--fraction",

@@ -1,0 +1,364 @@
+//! Seeded k-means (k swept by mean silhouette) plus single-linkage
+//! hierarchical clustering as a cross-check.
+//!
+//! Everything here is deterministic *and* permutation-invariant: the
+//! same point set in any input order yields the same partition (up to
+//! cluster relabeling) for the same seed. That property is what makes
+//! the representative subset reproducible enough to commit to the
+//! repository and gate CI on. It is earned in three places:
+//!
+//! * initial centers are chosen farthest-first, with a seed-keyed
+//!   value hash — not the input index — breaking exact ties;
+//! * centroid updates sum member coordinates in sorted order, so
+//!   floating-point addition order cannot depend on input order;
+//! * silhouette and linkage sums sort their operands the same way.
+
+/// Maximum Lloyd iterations; small point sets converge in a handful.
+const MAX_ITERS: usize = 200;
+
+/// Seed-keyed value hash of a point (FNV-1a over coordinate bits,
+/// folded with xorshift). Used for permutation-invariant tie-breaks.
+fn point_hash(seed: u64, point: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for x in point {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // xorshift64* finalizer spreads low-entropy inputs.
+    h ^= h >> 12;
+    h ^= h << 25;
+    h ^= h >> 27;
+    h.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Squared Euclidean distance.
+fn d2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    d2(a, b).sqrt()
+}
+
+/// Sums `values` in sorted order so the result is independent of the
+/// order the values were produced in.
+fn stable_sum(mut values: Vec<f64>) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values.iter().sum()
+}
+
+/// Mean of the member points, summing each coordinate over members in
+/// a canonical (sorted) order.
+fn stable_mean(members: &[&Vec<f64>]) -> Vec<f64> {
+    let dim = members.first().map_or(0, |m| m.len());
+    (0..dim)
+        .map(|c| stable_sum(members.iter().map(|m| m[c]).collect()) / members.len() as f64)
+        .collect()
+}
+
+/// One converged k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, one per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations until the assignment fixed point.
+    pub iterations: usize,
+}
+
+/// Runs seeded k-means over `points` (each a PCA-space score row).
+///
+/// Initialization is farthest-first traversal: the seed picks the
+/// starting point (by maximal seed-keyed value hash), then each next
+/// center is the point farthest from its nearest chosen center, exact
+/// ties broken by the hash. This keeps the partition identical under
+/// input permutation, unlike sampling-based k-means++.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> KMeansResult {
+    assert!(k >= 1 && k <= points.len(), "k = {k} for {} points", points.len());
+    let hashes: Vec<u64> = points.iter().map(|p| point_hash(seed, p)).collect();
+
+    // Farthest-first initial centers.
+    let first = (0..points.len()).max_by_key(|&i| hashes[i]).expect("nonempty");
+    let mut centers: Vec<Vec<f64>> = vec![points[first].clone()];
+    while centers.len() < k {
+        let next = (0..points.len())
+            .max_by(|&x, &y| {
+                let dx = centers.iter().map(|c| d2(&points[x], c)).fold(f64::INFINITY, f64::min);
+                let dy = centers.iter().map(|c| d2(&points[y], c)).fold(f64::INFINITY, f64::min);
+                dx.total_cmp(&dy).then_with(|| hashes[x].cmp(&hashes[y]))
+            })
+            .expect("nonempty");
+        centers.push(points[next].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 1..=MAX_ITERS {
+        iterations = iter;
+        // Assign to the nearest center; exact ties go to the lower
+        // cluster index (center order is canonical, so this is stable).
+        let next: Vec<usize> = points
+            .iter()
+            .map(|p| {
+                (0..centers.len())
+                    .min_by(|&x, &y| d2(p, &centers[x]).total_cmp(&d2(p, &centers[y])))
+                    .expect("k >= 1")
+            })
+            .collect();
+        // Recompute centroids; an emptied cluster is re-seeded with the
+        // point farthest from its assigned center (hash-tie-broken).
+        let mut members: Vec<Vec<&Vec<f64>>> = vec![Vec::new(); centers.len()];
+        for (p, &c) in points.iter().zip(&next) {
+            members[c].push(p);
+        }
+        for (c, group) in members.iter().enumerate() {
+            if group.is_empty() {
+                let far = (0..points.len())
+                    .max_by(|&x, &y| {
+                        let dx = d2(&points[x], &centers[next[x]]);
+                        let dy = d2(&points[y], &centers[next[y]]);
+                        dx.total_cmp(&dy).then_with(|| hashes[x].cmp(&hashes[y]))
+                    })
+                    .expect("nonempty");
+                centers[c] = points[far].clone();
+            } else {
+                centers[c] = stable_mean(group);
+            }
+        }
+        if next == assignments && iter > 1 {
+            break;
+        }
+        assignments = next;
+    }
+    let inertia =
+        stable_sum(points.iter().zip(&assignments).map(|(p, &c)| d2(p, &centers[c])).collect());
+    KMeansResult { k, assignments, centroids: centers, inertia, iterations }
+}
+
+/// Mean silhouette coefficient of a partition; 0 for degenerate
+/// clusterings (k = 1, or every cluster a singleton). Singleton
+/// clusters contribute 0 per the standard convention.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    if k < 2 || points.len() < 2 {
+        return 0.0;
+    }
+    let sizes = {
+        let mut s = vec![0usize; k];
+        for &a in assignments {
+            s[a] += 1;
+        }
+        s
+    };
+    let scores: Vec<f64> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if sizes[assignments[i]] <= 1 {
+                return 0.0;
+            }
+            let mut per_cluster: Vec<Vec<f64>> = vec![Vec::new(); k];
+            for (j, q) in points.iter().enumerate() {
+                if i != j {
+                    per_cluster[assignments[j]].push(distance(p, q));
+                }
+            }
+            let own = assignments[i];
+            let a = stable_sum(per_cluster[own].clone()) / (sizes[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && sizes[c] > 0)
+                .map(|c| stable_sum(per_cluster[c].clone()) / sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if b.is_finite() && a.max(b) > 0.0 {
+                (b - a) / a.max(b)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    stable_sum(scores) / points.len() as f64
+}
+
+/// Sweeps `k` over `candidates`, returning the best run by mean
+/// silhouette (ties prefer fewer clusters) plus the full score table.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or any candidate is out of range.
+pub fn sweep_k(
+    points: &[Vec<f64>],
+    candidates: &[usize],
+    seed: u64,
+) -> (KMeansResult, Vec<(usize, f64)>) {
+    assert!(!candidates.is_empty(), "no candidate cluster counts");
+    let runs: Vec<(KMeansResult, f64)> = candidates
+        .iter()
+        .map(|&k| {
+            let run = kmeans(points, k, seed);
+            let score = silhouette(points, &run.assignments, k);
+            (run, score)
+        })
+        .collect();
+    let scores: Vec<(usize, f64)> = runs.iter().map(|(r, s)| (r.k, *s)).collect();
+    let best = runs
+        .into_iter()
+        .max_by(|(ra, sa), (rb, sb)| sa.total_cmp(sb).then_with(|| rb.k.cmp(&ra.k)))
+        .expect("at least one candidate");
+    (best.0, scores)
+}
+
+/// Single-linkage agglomerative clustering cut at `k` clusters.
+/// Returns cluster indices per point, labeled in order of each
+/// cluster's first appearance over the canonical (hash-sorted) point
+/// order so labels are permutation-invariant too.
+pub fn single_linkage(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    let n = points.len();
+    assert!(k >= 1 && k <= n, "k = {k} for {n} points");
+    let hashes: Vec<u64> = points.iter().map(|p| point_hash(seed, p)).collect();
+    // Disjoint clusters as sorted member lists; cluster identity for
+    // tie-breaks is the minimal member hash.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        let mut best: Option<(f64, u64, u64, usize, usize)> = None;
+        for x in 0..clusters.len() {
+            for y in x + 1..clusters.len() {
+                let link = clusters[x]
+                    .iter()
+                    .flat_map(|&i| clusters[y].iter().map(move |&j| (i, j)))
+                    .map(|(i, j)| distance(&points[i], &points[j]))
+                    .fold(f64::INFINITY, f64::min);
+                let idx = clusters[x].iter().map(|&i| hashes[i]).min().expect("nonempty");
+                let idy = clusters[y].iter().map(|&i| hashes[i]).min().expect("nonempty");
+                let key = (link, idx.min(idy), idx.max(idy), x, y);
+                let better = match &best {
+                    None => true,
+                    Some((d, a, b, ..)) => {
+                        key.0.total_cmp(d).then(key.1.cmp(a)).then(key.2.cmp(b)).is_lt()
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+        }
+        let (.., x, y) = best.expect("more clusters than k");
+        let merged = clusters.swap_remove(y);
+        clusters[x].extend(merged);
+    }
+    // Canonical labels: clusters ordered by minimal member hash.
+    clusters.sort_by_key(|c| c.iter().map(|&i| hashes[i]).min());
+    let mut labels = vec![0usize; n];
+    for (label, cluster) in clusters.iter().enumerate() {
+        for &i in cluster {
+            labels[i] = label;
+        }
+    }
+    labels
+}
+
+/// Rand index between two partitions of the same points: the fraction
+/// of point pairs on which the partitions agree (together in both, or
+/// separate in both). 1.0 means identical partitions.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions over different point sets");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs of three points each.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)] {
+            for i in 0..3 {
+                points.push(vec![cx + i as f64 * 0.1, cy - i as f64 * 0.1]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let points = blobs();
+        let run = kmeans(&points, 3, 42);
+        assert_eq!(run.assignments[0], run.assignments[1]);
+        assert_eq!(run.assignments[0], run.assignments[2]);
+        assert_eq!(run.assignments[3], run.assignments[5]);
+        assert_eq!(run.assignments[6], run.assignments[8]);
+        assert_ne!(run.assignments[0], run.assignments[3]);
+        assert_ne!(run.assignments[3], run.assignments[6]);
+        assert!(run.inertia < 1.0, "tight blobs: inertia {}", run.inertia);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_cluster_count() {
+        let points = blobs();
+        let (best, scores) = sweep_k(&points, &[2, 3, 4], 42);
+        assert_eq!(best.k, 3, "silhouette sweep: {scores:?}");
+        let s3 = scores.iter().find(|(k, _)| *k == 3).unwrap().1;
+        assert!(s3 > 0.8, "separated blobs score high: {s3}");
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_and_permutation_invariant() {
+        let points = blobs();
+        let a = kmeans(&points, 3, 7);
+        let b = kmeans(&points, 3, 7);
+        assert_eq!(a.assignments, b.assignments);
+        // Reverse the input order: the partition must be the same up to
+        // relabeling — checked exactly via the Rand index.
+        let reversed: Vec<Vec<f64>> = points.iter().rev().cloned().collect();
+        let c = kmeans(&reversed, 3, 7);
+        let c_unreversed: Vec<usize> = c.assignments.iter().rev().copied().collect();
+        assert_eq!(rand_index(&a.assignments, &c_unreversed), 1.0);
+    }
+
+    #[test]
+    fn single_linkage_agrees_on_separated_blobs() {
+        let points = blobs();
+        let km = kmeans(&points, 3, 42);
+        let hier = single_linkage(&points, 3, 42);
+        assert_eq!(rand_index(&km.assignments, &hier), 1.0, "both find the blobs");
+    }
+
+    #[test]
+    fn empty_cluster_is_reseeded() {
+        // Duplicated points force potential empty clusters at high k.
+        let points = vec![vec![0.0, 0.0], vec![0.0, 0.0], vec![5.0, 5.0]];
+        let run = kmeans(&points, 2, 1);
+        let distinct: std::collections::HashSet<_> = run.assignments.iter().collect();
+        assert_eq!(distinct.len(), 2, "both clusters survive: {:?}", run.assignments);
+    }
+
+    #[test]
+    fn rand_index_bounds() {
+        assert_eq!(rand_index(&[0, 0, 1], &[1, 1, 0]), 1.0, "relabeling is identity");
+        let complete_disagreement = rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!(complete_disagreement < 0.5);
+    }
+}

@@ -1,0 +1,320 @@
+//! Z-score normalization and principal component analysis via cyclic
+//! Jacobi eigendecomposition of the covariance matrix.
+//!
+//! The paper's pipeline standardizes each metric to zero mean and unit
+//! variance before PCA so that high-magnitude counters (MIPS) do not
+//! drown out fractions (instruction mix). On standardized data the
+//! covariance matrix is the correlation matrix; its eigenvectors are
+//! the principal components and the eigenvalue shares are the variance
+//! each component explains.
+
+/// Convergence threshold for the off-diagonal Frobenius norm.
+const JACOBI_EPS: f64 = 1e-12;
+/// Upper bound on Jacobi sweeps; symmetric matrices of the sizes used
+/// here (tens of features) converge in well under ten.
+const MAX_SWEEPS: usize = 64;
+
+/// Per-column standardization parameters, kept so loadings can be
+/// mapped back to raw metric units.
+#[derive(Debug, Clone)]
+pub struct ZScore {
+    /// Column means.
+    pub mean: Vec<f64>,
+    /// Column population standard deviations (0 for constant columns).
+    pub std: Vec<f64>,
+}
+
+/// Standardizes `rows` (n samples × p features) column-wise to zero
+/// mean and unit variance. Constant columns map to all-zero columns
+/// (they carry no information to distribute over components).
+///
+/// # Panics
+///
+/// Panics if rows are ragged.
+pub fn zscore(rows: &[Vec<f64>]) -> (Vec<Vec<f64>>, ZScore) {
+    let n = rows.len();
+    let p = rows.first().map_or(0, Vec::len);
+    assert!(rows.iter().all(|r| r.len() == p), "ragged feature matrix");
+    let mut mean = vec![0.0; p];
+    for row in rows {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n.max(1) as f64;
+    }
+    let mut var = vec![0.0; p];
+    for row in rows {
+        for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    let std: Vec<f64> = var.iter().map(|s| (s / n.max(1) as f64).sqrt()).collect();
+    let z = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&mean)
+                .zip(&std)
+                .map(|((v, m), s)| if *s > 0.0 { (v - m) / s } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    (z, ZScore { mean, std })
+}
+
+/// The covariance matrix of standardized `z` (n × p), normalized by
+/// `n - 1`. Returns a p × p symmetric matrix.
+pub fn covariance(z: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = z.len();
+    let p = z.first().map_or(0, Vec::len);
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    let mut cov = vec![vec![0.0; p]; p];
+    for row in z {
+        for i in 0..p {
+            for j in i..p {
+                cov[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..p {
+        let (upper, lower) = cov.split_at_mut(i + 1);
+        let row_i = &mut upper[i];
+        row_i[i] /= denom;
+        for (row_j, j) in lower.iter_mut().zip(i + 1..) {
+            row_i[j] /= denom;
+            row_j[i] = row_i[j];
+        }
+    }
+    cov
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method: returns `(eigenvalues, eigenvectors)` sorted by descending
+/// eigenvalue, eigenvectors as rows (each of length p, orthonormal).
+pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let p = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    // v accumulates the rotations; starts as the identity.
+    let mut v = vec![vec![0.0; p]; p];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..p)
+            .flat_map(|i| (i + 1..p).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j].powi(2))
+            .sum();
+        if off.sqrt() < JACOBI_EPS {
+            break;
+        }
+        for i in 0..p {
+            for j in i + 1..p {
+                if a[i][j].abs() < JACOBI_EPS / (p.max(1) as f64) {
+                    continue;
+                }
+                // Classic symmetric Schur decomposition of the 2x2 block.
+                let tau = (a[j][j] - a[i][i]) / (2.0 * a[i][j]);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                let (head, tail) = a.split_at_mut(j);
+                for (aik, ajk) in head[i].iter_mut().zip(tail[0].iter_mut()) {
+                    let (x, y) = (*aik, *ajk);
+                    *aik = c * x - s * y;
+                    *ajk = s * x + c * y;
+                }
+                for row in a.iter_mut() {
+                    let aki = row[i];
+                    let akj = row[j];
+                    row[i] = c * aki - s * akj;
+                    row[j] = s * aki + c * akj;
+                }
+                for row in v.iter_mut() {
+                    let vki = row[i];
+                    let vkj = row[j];
+                    row[i] = c * vki - s * vkj;
+                    row[j] = s * vki + c * vkj;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&x, &y| a[y][y].total_cmp(&a[x][x]));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    // Eigenvector for column i of v, returned as a row; the sign is
+    // canonicalized so the largest-magnitude entry is positive (Jacobi
+    // rotation order must not flip loadings between runs).
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| {
+            let mut vec: Vec<f64> = v.iter().map(|row| row[col]).collect();
+            let lead =
+                vec.iter().copied().max_by(|x, y| x.abs().total_cmp(&y.abs())).unwrap_or(1.0);
+            if lead < 0.0 {
+                for x in &mut vec {
+                    *x = -*x;
+                }
+            }
+            vec
+        })
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// The result of a PCA pass over a standardized feature matrix.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Eigenvalues, descending. Tiny negative values (Jacobi round-off)
+    /// are clamped to zero.
+    pub eigenvalues: Vec<f64>,
+    /// Principal components as rows of feature loadings; orthonormal.
+    /// `components[c][f]` is feature `f`'s loading on component `c`.
+    pub components: Vec<Vec<f64>>,
+    /// Each component's share of total variance (sums to 1).
+    pub variance_shares: Vec<f64>,
+    /// How many leading components are retained.
+    pub retained: usize,
+    /// Variance covered by the retained components (0..=1).
+    pub variance_retained: f64,
+}
+
+impl Pca {
+    /// Runs PCA over standardized rows and retains the minimal prefix
+    /// of components covering at least `target` of total variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the data carries no variance at all
+    /// (fewer than two samples, or every feature constant).
+    pub fn fit(z: &[Vec<f64>], target: f64) -> Result<Self, String> {
+        if z.len() < 2 {
+            return Err(format!("PCA needs at least 2 samples, got {}", z.len()));
+        }
+        let cov = covariance(z);
+        let (raw_eigenvalues, components) = jacobi_eigen(&cov);
+        let eigenvalues: Vec<f64> = raw_eigenvalues.iter().map(|e| e.max(0.0)).collect();
+        let total: f64 = eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return Err("PCA: all features are constant (zero total variance)".to_owned());
+        }
+        let variance_shares: Vec<f64> = eigenvalues.iter().map(|e| e / total).collect();
+        let mut cumulative = 0.0;
+        let mut retained = variance_shares.len();
+        for (i, share) in variance_shares.iter().enumerate() {
+            cumulative += share;
+            if cumulative >= target {
+                retained = i + 1;
+                break;
+            }
+        }
+        let variance_retained: f64 = variance_shares[..retained].iter().sum();
+        Ok(Self { eigenvalues, components, variance_shares, retained, variance_retained })
+    }
+
+    /// Projects standardized rows onto the retained components,
+    /// producing n × retained score rows.
+    pub fn project(&self, z: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        z.iter()
+            .map(|row| {
+                self.components[..self.retained]
+                    .iter()
+                    .map(|comp| row.iter().zip(comp).map(|(x, l)| x * l).sum())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f64>> {
+        // Two correlated features, one anti-correlated, one constant.
+        vec![
+            vec![1.0, 2.0, -1.0, 7.0],
+            vec![2.0, 4.1, -2.0, 7.0],
+            vec![3.0, 5.9, -3.1, 7.0],
+            vec![4.0, 8.2, -3.9, 7.0],
+            vec![5.0, 9.8, -5.0, 7.0],
+        ]
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let (z, params) = zscore(&sample());
+        for col in 0..4 {
+            let mean: f64 = z.iter().map(|r| r[col]).sum::<f64>() / z.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {col} centered, got {mean}");
+        }
+        // The constant column has zero std and z-scores to zeros.
+        assert_eq!(params.std[3], 0.0);
+        assert!(z.iter().all(|r| r[3] == 0.0));
+        // Non-constant columns have unit population variance.
+        let var0: f64 = z.iter().map(|r| r[0] * r[0]).sum::<f64>() / z.len() as f64;
+        assert!((var0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let (z, _) = zscore(&sample());
+        let cov = covariance(&z);
+        let (eigenvalues, vectors) = jacobi_eigen(&cov);
+        for (i, vi) in vectors.iter().enumerate() {
+            for (j, vj) in vectors.iter().enumerate() {
+                let dot: f64 = vi.iter().zip(vj).map(|(a, b)| a * b).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-9, "v{i}·v{j} = {dot}");
+            }
+        }
+        for pair in eigenvalues.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12, "descending eigenvalues: {eigenvalues:?}");
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_the_covariance_matrix() {
+        let (z, _) = zscore(&sample());
+        let cov = covariance(&z);
+        let (eigenvalues, vectors) = jacobi_eigen(&cov);
+        let p = cov.len();
+        for i in 0..p {
+            for j in 0..p {
+                let rebuilt: f64 =
+                    (0..p).map(|k| eigenvalues[k] * vectors[k][i] * vectors[k][j]).sum();
+                assert!(
+                    (rebuilt - cov[i][j]).abs() < 1e-9,
+                    "cov[{i}][{j}] = {} rebuilt {rebuilt}",
+                    cov[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pca_retains_enough_variance() {
+        let (z, _) = zscore(&sample());
+        let pca = Pca::fit(&z, 0.85).expect("fits");
+        assert!(pca.variance_retained >= 0.85);
+        assert!(pca.retained >= 1);
+        // The sample is essentially one direction: one component rules.
+        assert!(pca.variance_shares[0] > 0.9, "{:?}", pca.variance_shares);
+        let scores = pca.project(&z);
+        assert_eq!(scores.len(), z.len());
+        assert!(scores.iter().all(|s| s.len() == pca.retained));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 0.85).is_err(), "one sample");
+        let constant = vec![vec![3.0, 3.0]; 4];
+        let (z, _) = zscore(&constant);
+        assert!(Pca::fit(&z, 0.85).is_err(), "zero variance");
+    }
+}

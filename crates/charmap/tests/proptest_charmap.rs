@@ -1,0 +1,101 @@
+//! Property-based tests for the clustering pipeline: for a fixed
+//! seed, k-means must be deterministic, and its partition (plus the
+//! full analysis and both artifacts) must be invariant under any
+//! permutation of the input rows.
+
+use bdb_charmap::{analyze, kmeans, rand_index, AnalysisInput, MetricVector};
+use proptest::prelude::*;
+
+/// Deterministic Fisher–Yates permutation of `0..n` keyed by `key`.
+fn permutation(n: usize, key: u64) -> Vec<usize> {
+    let mut state = key | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// 3-D point clouds of 4..12 points.
+fn points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0), 4..12)
+        .prop_map(|tuples| tuples.into_iter().map(|(x, y, z)| vec![x, y, z]).collect())
+}
+
+proptest! {
+    /// Same points, same seed, same k: identical assignments, bit for
+    /// bit, across repeated runs.
+    #[test]
+    fn kmeans_is_deterministic(pts in points(), seed in 0u64..1_000_000, k in 2usize..4) {
+        let k = k.min(pts.len());
+        let a = kmeans(&pts, k, seed);
+        let b = kmeans(&pts, k, seed);
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert_eq!(a.inertia.to_bits(), b.inertia.to_bits(), "inertia is bit-stable");
+    }
+
+    /// Any permutation of the input rows yields the same partition (up
+    /// to relabeling — checked exactly via the Rand index) and the
+    /// same inertia bits.
+    #[test]
+    fn kmeans_is_permutation_invariant(
+        pts in points(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+        perm_key in proptest::prelude::any::<u64>(),
+    ) {
+        let k = k.min(pts.len());
+        let base = kmeans(&pts, k, seed);
+        let order = permutation(pts.len(), perm_key);
+        let shuffled: Vec<Vec<f64>> = order.iter().map(|&i| pts[i].clone()).collect();
+        let moved = kmeans(&shuffled, k, seed);
+        // Map the shuffled assignments back to original row order.
+        let mut unshuffled = vec![0usize; pts.len()];
+        for (shuffled_pos, &original_pos) in order.iter().enumerate() {
+            unshuffled[original_pos] = moved.assignments[shuffled_pos];
+        }
+        prop_assert_eq!(rand_index(&base.assignments, &unshuffled), 1.0);
+        prop_assert_eq!(base.inertia.to_bits(), moved.inertia.to_bits());
+    }
+
+    /// The full pipeline — z-score, PCA, k sweep, subset selection,
+    /// JSON emission — is one pure function of the vector *set*: both
+    /// artifacts are byte-identical under input permutation.
+    #[test]
+    fn analysis_artifacts_are_permutation_invariant(
+        pts in points(),
+        perm_key in proptest::prelude::any::<u64>(),
+    ) {
+        let build = |rows: &[Vec<f64>]| AnalysisInput {
+            machine: "prop".into(),
+            fraction: 1.0,
+            features: vec!["x".into(), "y".into(), "z".into()],
+            vectors: rows
+                .iter()
+                .enumerate()
+                .map(|(i, v)| MetricVector { name: format!("w{i:02}"), values: v.clone() })
+                .collect(),
+        };
+        let base = build(&pts);
+        let mut shuffled = base.clone();
+        let order = permutation(shuffled.vectors.len(), perm_key);
+        shuffled.vectors = order.iter().map(|&i| base.vectors[i].clone()).collect();
+        match (analyze(&base, 42), analyze(&shuffled, 42)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.to_json(), b.to_json());
+                prop_assert_eq!(a.to_text(), b.to_text());
+            }
+            // Degenerate inputs (e.g. all-identical rows after the
+            // range collapses) must fail identically for both orders.
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "order changed the outcome: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -182,6 +182,7 @@ pub fn average_report(reports: &[(WorkloadId, CharacterizationReport)]) -> Chara
         avg.dtlb.stats.misses += r.dtlb.stats.misses;
         avg.dram_bytes += r.dram_bytes;
         avg.requested_bytes += r.requested_bytes;
+        avg.mispredicts += r.mispredicts;
         avg.cycles += r.cycles;
         avg.freq_mhz = r.freq_mhz;
     }
