@@ -32,9 +32,19 @@ if [ "$subset" -eq 1 ]; then
     # charmap.json) against the committed BENCH_RESULTS.json. This is
     # the cheap per-PR perf gate; the full gate re-derives the map and
     # enforces the subset stability rule.
+    # The SLO pass rides along for the representative serving workload
+    # only (the committed subset holds no serving workload, so the pass
+    # falls back to Nutch); the binary gates the burn-rate alert and
+    # chain reconstruction in-process.
+    slodir="$(mktemp -d)"
+    trap 'rm -rf "$slodir"' EXIT
     run cargo run --release -q -p bdb-bench --bin reproduce -- \
         --fraction 0.02 --bench-baseline BENCH_RESULTS.json \
-        --bench-subset charmap.json
+        --bench-subset charmap.json --slo "$slodir"
+    if [ ! -s "$slodir/slo_report.json" ]; then
+        echo "ci: missing or empty slo_report.json in subset tier" >&2
+        exit 1
+    fi
     echo "ci: subset tier passed"
     exit 0
 fi
@@ -87,6 +97,30 @@ if [ "$fast" -eq 0 ]; then
         fi
     done
     echo "ci: charmap artifacts present and subset stable"
+
+    # Online-observability smoke: the serving tier's SLO pass must
+    # write the report plus a dashboard, Prometheus exposition and
+    # chain trace per service. The binary gates alert firing, chain
+    # completeness and tail agreement in-process; here we gate the
+    # artifacts' presence.
+    slodir="$(mktemp -d)"
+    trap 'rm -rf "$profdir" "$charmapdir" "$slodir"' EXIT
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --slo "$slodir"
+    if [ ! -s "$slodir/slo_report.json" ]; then
+        echo "ci: missing or empty slo_report.json" >&2
+        exit 1
+    fi
+    for stem in nutch-server olio-server rubis-server; do
+        for suffix in dash.txt slo.prom.txt slo.trace.json; do
+            f="$slodir/$stem.$suffix"
+            if [ ! -s "$f" ]; then
+                echo "ci: missing or empty SLO artifact: $f" >&2
+                exit 1
+            fi
+        done
+    done
+    echo "ci: SLO artifacts present for all serving workloads"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

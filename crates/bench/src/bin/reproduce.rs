@@ -17,7 +17,10 @@
 //! `--profile DIR` analyzes that same pass post hoc, writing per
 //! workload a collapsed-stack flamegraph (`.folded`), a critical-path
 //! report with per-phase blame (`.critpath.txt`) and a worker
-//! utilization timeline (`.util.txt`).
+//! utilization timeline (`.util.txt`). `--slo DIR` runs the serving
+//! workloads through the online observability pipeline (steady plus
+//! shaped overload) and writes `slo_report.json` plus per-service
+//! dashboards, Prometheus expositions and chain traces.
 
 use bdb_archsim::Probe;
 use bdb_bench::paper;
@@ -51,6 +54,7 @@ struct Args {
     charmap_dir: Option<std::path::PathBuf>,
     charmap_baseline: Option<std::path::PathBuf>,
     faults_seed: Option<u64>,
+    slo_dir: Option<std::path::PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -97,11 +101,22 @@ options:
                          injected spill-write error, map-task panic and
                          straggler; exit 1 unless the output is
                          byte-identical to the fault-free run
+  --slo DIR              online observability pass over the serving
+                         workloads: steady + shaped-overload phases
+                         through the SLO/error-budget engine; writes
+                         DIR/slo_report.json plus per service
+                         <w>.dash.txt, <w>.slo.prom.txt (Prometheus
+                         text with exemplar trace ids) and
+                         <w>.slo.trace.json (linked request chains +
+                         window counter tracks); the overload phase
+                         must fire exactly one page burn-rate alert,
+                         deterministically. With --bench-subset, only
+                         the representative serving workload runs.
   -h, --help             this text
 
 `--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--charmap`/
-`--charmap-baseline`/`--faults` without a selection run only that
-pass.";
+`--charmap-baseline`/`--faults`/`--slo` without a selection run only
+that pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
@@ -147,6 +162,7 @@ fn parse_args() -> Args {
                 "--charmap" => state = Expecting::Value("--charmap"),
                 "--charmap-baseline" => state = Expecting::Value("--charmap-baseline"),
                 "--faults" => state = Expecting::Value("--faults"),
+                "--slo" => state = Expecting::Value("--slo"),
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -167,7 +183,8 @@ fn parse_args() -> Args {
         || args.bench_baseline.is_some()
         || args.charmap_dir.is_some()
         || args.charmap_baseline.is_some()
-        || args.faults_seed.is_some();
+        || args.faults_seed.is_some()
+        || args.slo_dir.is_some();
     if !selected && !side_pass {
         select_everything(&mut args);
     }
@@ -203,6 +220,7 @@ fn apply_value(args: &mut Args, flag: &str, value: &str) {
                 value.parse().unwrap_or_else(|_| usage_error("--faults needs an integer seed")),
             );
         }
+        "--slo" => args.slo_dir = Some(value.into()),
         _ => unreachable!("values are only owed to known flags"),
     }
 }
@@ -827,6 +845,10 @@ fn main() {
     if let Some(seed) = args.faults_seed {
         faults_smoke(seed);
     }
+
+    if args.slo_dir.is_some() {
+        slo_pass(&args);
+    }
 }
 
 /// Fault-injection smoke pass: the Hadoop recovery story end to end.
@@ -903,6 +925,190 @@ fn faults_smoke(seed: u64) {
         die("faults smoke: a recovery mechanism failed to engage (see FAIL rows above)");
     }
     println!("\nfaults smoke PASS: all injected faults recovered, output unchanged");
+}
+
+/// Online observability pass over the serving tier. Every selected
+/// serving workload runs a steady phase and a shaped overload phase
+/// through the `bdb-obs` pipeline (per-request trace context,
+/// sliding-window tails, SLO/error-budget engine with burn-rate
+/// alerts), then writes per service a plain-text dashboard
+/// (`<w>.dash.txt`), a Prometheus exposition with exemplar trace ids
+/// (`<w>.slo.prom.txt`) and a Chrome trace of sampled request chains
+/// plus window counter tracks (`<w>.slo.trace.json`), and one
+/// machine-readable `slo_report.json` for the whole run.
+///
+/// The pass gates itself (exit 1 on violation): the steady phase must
+/// stay alert-free with rolling tails agreeing with the whole-run
+/// histogram within one log bucket; the shaped overload must fire
+/// exactly one page burn-rate alert, inside the overload phase; every
+/// sampled request must reconstruct to a complete linked chain
+/// (loadgen → queue → handler → store); and the exposition must parse
+/// under the strict Prometheus grammar. Everything runs in virtual
+/// time off a fixed seed, so the report is byte-identical across runs
+/// and hosts. With `--bench-subset`, only the serving workloads in the
+/// committed representative subset run (falling back to Nutch when the
+/// subset holds none) — the fast per-PR tier.
+fn slo_pass(args: &Args) {
+    use bdb_obs::{dash, report, ObsConfig, ObsPipeline, Severity};
+    use bdb_serving::{QueuePolicy, QueueSim, ServiceTimeModel};
+    use std::time::Duration;
+
+    const SLO_SEED: u64 = 42;
+    const WORKERS: u32 = 4;
+    const THRESHOLD: Duration = Duration::from_millis(50);
+    // Steady horizon = rolling span (8 × 2 s windows) so the
+    // rolling-vs-whole-run gate compares the same stationary stretch.
+    const STEADY: Duration = Duration::from_secs(16);
+    const OVERLOAD: Duration = Duration::from_secs(8);
+
+    section("SLO — online observability over the serving tier");
+    let dir = args.slo_dir.as_ref().expect("slo_pass called without --slo");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+
+    let serving = [WorkloadId::NutchServer, WorkloadId::OlioServer, WorkloadId::RubisServer];
+    let selected: Vec<WorkloadId> = match args.bench_subset.as_deref().map(load_subset) {
+        Some((_, ids)) => {
+            let mut in_subset: Vec<WorkloadId> =
+                serving.iter().copied().filter(|id| ids.contains(id)).collect();
+            if in_subset.is_empty() {
+                // The committed representative subset may hold no
+                // serving workload; the fast tier still needs one.
+                in_subset.push(WorkloadId::NutchServer);
+            }
+            eprintln!(
+                "subset tier: observing {}",
+                in_subset.iter().map(|id| id.name()).collect::<Vec<_>>().join(", ")
+            );
+            in_subset
+        }
+        None => serving.to_vec(),
+    };
+
+    // The modeled service-time distributions come from the real server
+    // implementations so the observability pass tracks their shapes.
+    let model_for = |id: WorkloadId| -> ServiceTimeModel {
+        match id {
+            WorkloadId::NutchServer => {
+                bdb_serving::search::SearchServer::build(200, SLO_SEED).service_model()
+            }
+            WorkloadId::OlioServer => {
+                bdb_serving::social::SocialServer::build(200, 8, SLO_SEED).service_model()
+            }
+            WorkloadId::RubisServer => {
+                bdb_serving::auction::AuctionServer::build(200, 10, 100, SLO_SEED).service_model()
+            }
+            other => die(&format!("{} is not a serving workload", other.name())),
+        }
+    };
+
+    let mut t = TextTable::new(&[
+        "service",
+        "offered",
+        "done",
+        "shed",
+        "t/out",
+        "roll p99",
+        "budget left",
+        "alerts",
+    ]);
+    let mut observations = Vec::new();
+    for id in selected {
+        let name = id.name();
+        let model = model_for(id);
+        let svc_seed = SLO_SEED ^ bdb_obs::phase_salt(name);
+        let times = model.sample_times(2048, svc_seed);
+
+        let steady = QueueSim::new(WORKERS).run(400.0, STEADY, &times, svc_seed);
+        let policy =
+            QueuePolicy { queue_capacity: Some(64), deadline: Some(Duration::from_millis(80)) };
+        let overload = QueueSim::new(WORKERS).with_policy(policy).run(
+            3200.0,
+            OVERLOAD,
+            &times,
+            svc_seed ^ 0xBEEF,
+        );
+
+        // Gate: the steady phase alone stays quiet and its rolling
+        // tails agree with the whole-run histogram.
+        let mut quiet = ObsPipeline::new(name, ObsConfig::default_for(THRESHOLD, svc_seed));
+        quiet.ingest_phase("steady", 0, &steady.records, &model);
+        let quiet = quiet.finish();
+        if !quiet.alerts.is_empty() {
+            die(&format!("{name}: steady phase fired {} alert(s)", quiet.alerts.len()));
+        }
+        for q in [0.99, 0.999] {
+            let roll = quiet.rolling.percentile(q).as_micros() as u64;
+            let whole = quiet.whole.percentile(q).as_micros() as u64;
+            let (ri, wi) = (bdb_telemetry::bucket_index(roll), bdb_telemetry::bucket_index(whole));
+            if ri.abs_diff(wi) > 1 {
+                die(&format!(
+                    "{name}: steady-state rolling q{q} ({roll}us) disagrees with the \
+                     whole-run histogram ({whole}us) by more than one bucket"
+                ));
+            }
+        }
+
+        // The artifact run: steady then shaped overload on one timeline.
+        let mut pipe = ObsPipeline::new(name, ObsConfig::default_for(THRESHOLD, svc_seed));
+        pipe.ingest_phase("steady", 0, &steady.records, &model);
+        pipe.ingest_phase("overload", STEADY.as_nanos() as u64, &overload.records, &model);
+        let obs = pipe.finish();
+
+        // Gate: the shaped overload fires exactly one page alert, and
+        // it lands inside the overload phase.
+        let pages: Vec<_> = obs.alerts.iter().filter(|a| a.severity == Severity::Page).collect();
+        if pages.len() != 1 {
+            die(&format!("{name}: expected exactly one page alert, got {:?}", obs.alerts));
+        }
+        if obs.alerts.iter().any(|a| a.at_ns <= STEADY.as_nanos() as u64) {
+            die(&format!("{name}: an alert fired before the overload phase: {:?}", obs.alerts));
+        }
+        // Gate: every sampled request reconstructs to a complete,
+        // correctly linked chain from the flat span stream alone.
+        if obs.chains_total == 0 || obs.chains_total != obs.chains_complete {
+            die(&format!(
+                "{name}: only {}/{} sampled chains reconstruct completely",
+                obs.chains_complete, obs.chains_total
+            ));
+        }
+        // Gate: the exposition parses under the strict grammar.
+        bdb_telemetry::assert_prometheus_grammar(&obs.prometheus);
+
+        let stem = bdb_telemetry::file_stem(name);
+        let writes = [
+            (format!("{stem}.dash.txt"), dash::render(&obs)),
+            (format!("{stem}.slo.prom.txt"), obs.prometheus.clone()),
+            (
+                format!("{stem}.slo.trace.json"),
+                bdb_telemetry::chrome_trace_json_with_tracks(name, &obs.spans, None, &obs.tracks),
+            ),
+        ];
+        for (file, text) in writes {
+            let path = dir.join(&file);
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        }
+
+        t.row(&[
+            name.to_owned(),
+            obs.totals.offered.to_string(),
+            obs.totals.completed.to_string(),
+            obs.totals.shed.to_string(),
+            obs.totals.timed_out.to_string(),
+            format!("{:.1} ms", obs.rolling.p99().as_secs_f64() * 1e3),
+            format!("{:.0}%", obs.budget.remaining() * 100.0),
+            obs.alerts.len().to_string(),
+        ]);
+        observations.push(obs);
+    }
+    println!("{}", t.render());
+
+    let path = dir.join("slo_report.json");
+    std::fs::write(&path, report::render_report(SLO_SEED, &observations))
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+    println!("slo pass PASS: wrote {} ({} services observed)", path.display(), observations.len());
 }
 
 /// Resolves the representative subset committed in a `charmap.json`

@@ -36,6 +36,7 @@ fn flag_missing_its_value_is_a_usage_error() {
         "--bench-subset",
         "--charmap",
         "--charmap-baseline",
+        "--slo",
     ] {
         let out = reproduce().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag} without value");
@@ -86,6 +87,7 @@ fn help_documents_the_bench_flags() {
         "--trace",
         "--profile",
         "--fraction",
+        "--slo",
     ] {
         assert!(stdout.contains(flag), "help mentions {flag}: {stdout}");
     }
@@ -93,4 +95,41 @@ fn help_documents_the_bench_flags() {
     for artifact in [".folded", ".critpath.txt", ".util.txt"] {
         assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
     }
+    // So are the observability ones.
+    for artifact in ["slo_report.json", ".dash.txt", ".slo.prom.txt", ".slo.trace.json"] {
+        assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
+    }
+}
+
+#[test]
+fn slo_pass_is_byte_deterministic_and_writes_all_artifacts() {
+    let base = std::env::temp_dir().join(format!("bdb-slo-cli-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    for dir in [&a, &b] {
+        let out = reproduce().arg("--slo").arg(dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "slo pass gates hold: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("slo pass PASS"), "{stdout}");
+        // The overload phase must have fired the page rule for every
+        // service — the dashboards carry it.
+        for stem in ["nutch-server", "olio-server", "rubis-server"] {
+            let dash = std::fs::read_to_string(dir.join(format!("{stem}.dash.txt")))
+                .expect("dashboard written");
+            assert!(dash.contains("[page] fast-burn"), "{stem} dashboard shows the page alert");
+            for suffix in ["slo.prom.txt", "slo.trace.json"] {
+                let meta = std::fs::metadata(dir.join(format!("{stem}.{suffix}")))
+                    .expect("artifact written");
+                assert!(meta.len() > 0, "{stem}.{suffix} is non-empty");
+            }
+        }
+    }
+    let ra = std::fs::read(a.join("slo_report.json")).expect("report a");
+    let rb = std::fs::read(b.join("slo_report.json")).expect("report b");
+    assert!(!ra.is_empty());
+    assert_eq!(ra, rb, "same seed must produce a byte-identical slo_report.json");
+    let _ = std::fs::remove_dir_all(&base);
 }

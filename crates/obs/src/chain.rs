@@ -1,0 +1,339 @@
+//! Linked span chains: synthesis for sampled requests, and the
+//! independent reconstruction used to prove a slow request can be
+//! walked end-to-end from the trace file alone.
+//!
+//! A kept request becomes up to four causally linked spans on the
+//! shared Chrome-trace timeline, Dapper-style:
+//!
+//! ```text
+//! request (span 1, root)          arrival ─────────────── finish
+//!   └ queue (span 2, parent 1)    arrival ── service start
+//!       └ handle (span 3, parent 2)        start ──────── finish
+//!           └ store (span 4, parent 3)     start ── +store share
+//! ```
+//!
+//! Shed requests stop at `queue` (the admission decision *is* their
+//! whole life); timed-out requests stop at `queue` too, with the span
+//! covering the abandoned wait. Linkage is carried in span args
+//! (`trace_id`, `span_id`, `parent_span_id`), so [`reconstruct`] can
+//! rebuild every chain from a flat `Vec<SpanEvent>` with no access to
+//! the pipeline that wrote it.
+
+use crate::context::{SampleDecision, TraceId};
+use bdb_serving::queue::{RequestOutcome, RequestRecord};
+use bdb_telemetry::{ArgValue, SpanEvent};
+
+/// Everything needed to synthesize one request's chain.
+#[derive(Debug)]
+pub struct ChainInput<'a> {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// Its simulation record.
+    pub record: &'a RequestRecord,
+    /// Why the sampler kept it.
+    pub decision: SampleDecision,
+    /// Load-phase name (`"steady"`, `"overload"`, ...).
+    pub phase: &'a str,
+    /// Fraction of the service time attributed to the state store.
+    pub store_fraction: f64,
+    /// Microsecond offset of this phase on the shared trace timeline.
+    pub offset_us: u64,
+}
+
+fn arg_chain(
+    trace: TraceId,
+    span_id: u64,
+    parent: Option<u64>,
+    extra: Vec<(&'static str, ArgValue)>,
+) -> Vec<(&'static str, ArgValue)> {
+    let mut args =
+        vec![("trace_id", ArgValue::Str(trace.hex())), ("span_id", ArgValue::Int(span_id as i64))];
+    if let Some(p) = parent {
+        args.push(("parent_span_id", ArgValue::Int(p as i64)));
+    }
+    args.extend(extra);
+    args
+}
+
+/// Synthesizes the linked spans for one kept request. The `tid` row is
+/// the serving worker (+1, row 0 is reserved for un-admitted
+/// requests), so chains line up under the worker that ran them.
+pub fn synthesize_chain(input: &ChainInput<'_>) -> Vec<SpanEvent> {
+    let r = input.record;
+    let us = |ns: u64| input.offset_us + ns / 1_000;
+    let tid = r.worker.map_or(0, |w| w as u64 + 1);
+    let trace = input.trace;
+    let mut spans = Vec::with_capacity(4);
+    let latency_us = r.latency_ns() / 1_000;
+    spans.push(SpanEvent {
+        name: "request",
+        cat: "obs",
+        start_us: us(r.arrival_ns),
+        dur_us: Some(latency_us),
+        tid,
+        args: arg_chain(
+            trace,
+            1,
+            None,
+            vec![
+                ("outcome", ArgValue::Str(r.outcome.label().to_owned())),
+                ("sampled", ArgValue::Str(input.decision.label().to_owned())),
+                ("phase", ArgValue::Str(input.phase.to_owned())),
+                ("latency_us", ArgValue::Int(latency_us as i64)),
+            ],
+        ),
+    });
+    // Queue span: admission decision through service start (or the
+    // whole life for shed/timed-out requests).
+    let queue_end_ns = match r.outcome {
+        RequestOutcome::Shed => r.arrival_ns,
+        _ => r.start_ns.unwrap_or(r.arrival_ns),
+    };
+    spans.push(SpanEvent {
+        name: "queue",
+        cat: "obs",
+        start_us: us(r.arrival_ns),
+        dur_us: Some((queue_end_ns - r.arrival_ns) / 1_000),
+        tid,
+        args: arg_chain(trace, 2, Some(1), Vec::new()),
+    });
+    if matches!(r.outcome, RequestOutcome::Completed | RequestOutcome::Unfinished) {
+        let start = r.start_ns.expect("admitted requests start");
+        let service_us = r.service_ns / 1_000;
+        spans.push(SpanEvent {
+            name: "handle",
+            cat: "obs",
+            start_us: us(start),
+            dur_us: Some(service_us),
+            tid,
+            args: arg_chain(
+                trace,
+                3,
+                Some(2),
+                vec![("worker", ArgValue::Int(r.worker.unwrap_or(0) as i64))],
+            ),
+        });
+        // The store access leads the handler's work.
+        let store_us = (service_us as f64 * input.store_fraction) as u64;
+        spans.push(SpanEvent {
+            name: "store",
+            cat: "obs",
+            start_us: us(start),
+            dur_us: Some(store_us),
+            tid,
+            args: arg_chain(trace, 4, Some(3), Vec::new()),
+        });
+    }
+    spans
+}
+
+/// One chain rebuilt from a flat span list.
+#[derive(Debug, Clone)]
+pub struct ChainView {
+    /// The trace id (16 hex digits).
+    pub trace: String,
+    /// The root request's outcome label (empty if the root is
+    /// missing).
+    pub outcome: String,
+    /// Root latency in microseconds.
+    pub latency_us: u64,
+    /// Span names present, in span-id order.
+    pub names: Vec<&'static str>,
+    /// Whether the chain is complete *and correctly linked* for its
+    /// outcome: request→queue→handle→store with each parent id
+    /// matching and each child inside its parent's interval for
+    /// completed requests; request→queue for shed/timed-out ones.
+    pub complete: bool,
+}
+
+fn str_arg(e: &SpanEvent, key: &str) -> Option<String> {
+    e.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::Str(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn int_arg(e: &SpanEvent, key: &str) -> Option<i64> {
+    e.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::Int(i) => Some(*i),
+        _ => None,
+    })
+}
+
+fn encloses(parent: &SpanEvent, child: &SpanEvent) -> bool {
+    let p_end = parent.start_us + parent.dur_us.unwrap_or(0);
+    let c_end = child.start_us + child.dur_us.unwrap_or(0);
+    child.start_us >= parent.start_us && c_end <= p_end
+}
+
+/// Rebuilds every chain found in `events` (spans carrying a
+/// `trace_id` arg), sorted by trace id for deterministic output.
+pub fn reconstruct(events: &[SpanEvent]) -> Vec<ChainView> {
+    use std::collections::BTreeMap;
+    let mut by_trace: BTreeMap<String, Vec<&SpanEvent>> = BTreeMap::new();
+    for e in events {
+        if let Some(t) = str_arg(e, "trace_id") {
+            by_trace.entry(t).or_default().push(e);
+        }
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, mut spans)| {
+            spans.sort_by_key(|e| int_arg(e, "span_id").unwrap_or(i64::MAX));
+            let find = |id: i64| spans.iter().find(|e| int_arg(e, "span_id") == Some(id)).copied();
+            let root = find(1);
+            let outcome = root.and_then(|r| str_arg(r, "outcome")).unwrap_or_default();
+            let latency_us = root.and_then(|r| int_arg(r, "latency_us")).unwrap_or(0) as u64;
+            let linked = |child: Option<&SpanEvent>, parent: Option<&SpanEvent>, pid: i64| match (
+                child, parent,
+            ) {
+                (Some(c), Some(p)) => int_arg(c, "parent_span_id") == Some(pid) && encloses(p, c),
+                _ => false,
+            };
+            let queue_ok = linked(find(2), root, 1);
+            let complete = match outcome.as_str() {
+                "completed" | "unfinished" => {
+                    // The handle span of an unfinished request (and a
+                    // timed-out wait) extends past the root's recorded
+                    // latency, so nesting is only enforced where the
+                    // model guarantees it: queue under request, store
+                    // under handle.
+                    let handle = find(3);
+                    let handle_ok = handle.is_some_and(|h| int_arg(h, "parent_span_id") == Some(2));
+                    queue_ok && handle_ok && linked(find(4), handle, 3)
+                }
+                "shed" | "timed_out" => queue_ok && find(3).is_none(),
+                _ => false,
+            };
+            ChainView {
+                trace,
+                outcome,
+                latency_us,
+                names: spans.iter().map(|e| e.name).collect(),
+                complete,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_serving::queue::RequestRecord;
+
+    fn rec(outcome: RequestOutcome) -> RequestRecord {
+        let ms = 1_000_000u64;
+        match outcome {
+            RequestOutcome::Shed => RequestRecord {
+                seq: 0,
+                arrival_ns: 10 * ms,
+                start_ns: None,
+                finish_ns: None,
+                service_ns: 0,
+                worker: None,
+                outcome,
+            },
+            RequestOutcome::TimedOut => RequestRecord {
+                seq: 1,
+                arrival_ns: 10 * ms,
+                start_ns: Some(90 * ms),
+                finish_ns: None,
+                service_ns: 0,
+                worker: Some(1),
+                outcome,
+            },
+            _ => RequestRecord {
+                seq: 2,
+                arrival_ns: 10 * ms,
+                start_ns: Some(12 * ms),
+                finish_ns: Some(20 * ms),
+                service_ns: 8 * ms,
+                worker: Some(2),
+                outcome,
+            },
+        }
+    }
+
+    fn chain(outcome: RequestOutcome) -> Vec<SpanEvent> {
+        synthesize_chain(&ChainInput {
+            trace: TraceId(0xABCD),
+            record: &rec(outcome),
+            decision: SampleDecision::TailSlow,
+            phase: "steady",
+            store_fraction: 0.5,
+            offset_us: 1_000,
+        })
+    }
+
+    #[test]
+    fn completed_chain_has_four_nested_spans() {
+        let spans = chain(RequestOutcome::Completed);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["request", "queue", "handle", "store"]
+        );
+        // request covers arrival→finish on the offset timeline.
+        assert_eq!(spans[0].start_us, 1_000 + 10_000);
+        assert_eq!(spans[0].dur_us, Some(10_000));
+        // store is half the 8ms service.
+        assert_eq!(spans[3].dur_us, Some(4_000));
+        let views = reconstruct(&spans);
+        assert_eq!(views.len(), 1);
+        assert!(views[0].complete, "{views:?}");
+        assert_eq!(views[0].outcome, "completed");
+        assert_eq!(views[0].latency_us, 10_000);
+    }
+
+    #[test]
+    fn shed_and_timed_out_chains_stop_at_queue() {
+        for outcome in [RequestOutcome::Shed, RequestOutcome::TimedOut] {
+            let spans = chain(outcome);
+            assert_eq!(spans.len(), 2, "{outcome:?}");
+            let views = reconstruct(&spans);
+            assert!(views[0].complete, "{outcome:?}: {views:?}");
+            assert_eq!(views[0].names, ["request", "queue"]);
+        }
+        // The timed-out queue span covers the abandoned 80ms wait.
+        let spans = chain(RequestOutcome::TimedOut);
+        assert_eq!(spans[1].dur_us, Some(80_000));
+    }
+
+    #[test]
+    fn reconstruction_rejects_broken_links() {
+        let mut spans = chain(RequestOutcome::Completed);
+        // Drop the handle span: store's parent disappears.
+        spans.retain(|s| s.name != "handle");
+        let views = reconstruct(&spans);
+        assert!(!views[0].complete, "missing link must not verify");
+
+        // A store span leaking outside its handle also fails.
+        let mut spans = chain(RequestOutcome::Completed);
+        if let Some(store) = spans.iter_mut().find(|s| s.name == "store") {
+            store.start_us += 1_000_000;
+        }
+        assert!(!reconstruct(&spans)[0].complete);
+    }
+
+    #[test]
+    fn chains_separate_by_trace_id() {
+        let mut all = Vec::new();
+        for (i, outcome) in
+            [RequestOutcome::Completed, RequestOutcome::Shed, RequestOutcome::Completed]
+                .into_iter()
+                .enumerate()
+        {
+            all.extend(synthesize_chain(&ChainInput {
+                trace: TraceId(i as u64 + 1),
+                record: &rec(outcome),
+                decision: SampleDecision::Head,
+                phase: "steady",
+                store_fraction: 0.4,
+                offset_us: 0,
+            }));
+        }
+        let views = reconstruct(&all);
+        assert_eq!(views.len(), 3);
+        assert!(views.iter().all(|v| v.complete));
+    }
+}

@@ -1,0 +1,375 @@
+//! Declarative SLOs, error budgets, and multi-window burn-rate alerts.
+//!
+//! An [`SloSpec`] states the objective ("99% of requests < 50ms");
+//! the [`SloEngine`] consumes closed windows from the
+//! [`crate::window::WindowRing`] and maintains (a) cumulative
+//! error-budget accounting and (b) the SRE-workbook multi-window
+//! burn-rate rules: an alert fires when the budget burn rate measured
+//! over a *long* trailing window AND a *short* trailing window both
+//! exceed the rule's factor — the long window keeps alerts from
+//! flapping on blips, the short window makes them reset quickly once
+//! the incident ends. Rules fire on the rising edge only, so one
+//! sustained overload produces exactly one alert event per rule.
+
+use crate::window::WindowStats;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A latency/availability SLO: `objective` of requests must finish
+/// under `threshold`. Shed and timed-out requests always count as bad.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Human/report name, e.g. `"search-p99-50ms"`.
+    pub name: String,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+    /// Latency threshold separating good from bad completions.
+    pub threshold: Duration,
+}
+
+impl SloSpec {
+    /// The allowed bad fraction, `1 - objective`.
+    pub fn budget_fraction(&self) -> f64 {
+        1.0 - self.objective
+    }
+}
+
+/// Alert severity, ordered by urgency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Wake a human now.
+    Page,
+    /// File it for working hours.
+    Ticket,
+}
+
+impl Severity {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Page => "page",
+            Severity::Ticket => "ticket",
+        }
+    }
+}
+
+/// One multi-window burn-rate rule.
+#[derive(Debug, Clone)]
+pub struct BurnRateRule {
+    /// Rule name, e.g. `"fast-burn"`.
+    pub name: String,
+    /// What firing means.
+    pub severity: Severity,
+    /// Trailing window count for the long (flap-damping) condition.
+    pub long_windows: usize,
+    /// Trailing window count for the short (fast-reset) condition.
+    pub short_windows: usize,
+    /// Both burns must reach this multiple of budget-neutral burn.
+    pub factor: f64,
+}
+
+impl BurnRateRule {
+    /// The SRE-workbook fast/slow pair, in window counts: a page rule
+    /// (factor 14 over 8 windows, gated by the last 2) and a ticket
+    /// rule (factor 3 over 24 windows, gated by the last 6).
+    pub fn standard_pair() -> Vec<BurnRateRule> {
+        vec![
+            BurnRateRule {
+                name: "fast-burn".into(),
+                severity: Severity::Page,
+                long_windows: 8,
+                short_windows: 2,
+                factor: 14.0,
+            },
+            BurnRateRule {
+                name: "slow-burn".into(),
+                severity: Severity::Ticket,
+                long_windows: 24,
+                short_windows: 6,
+                factor: 3.0,
+            },
+        ]
+    }
+}
+
+/// A structured alert: one rising edge of one rule.
+#[derive(Debug, Clone)]
+pub struct AlertEvent {
+    /// The rule that fired.
+    pub rule: String,
+    /// Its severity.
+    pub severity: Severity,
+    /// The SLO it guards.
+    pub slo: String,
+    /// Index of the window whose close fired the rule.
+    pub window_index: u64,
+    /// Virtual time of that window's close, nanoseconds.
+    pub at_ns: u64,
+    /// Burn over the rule's long trailing window when it fired.
+    pub long_burn: f64,
+    /// Burn over the rule's short trailing window when it fired.
+    pub short_burn: f64,
+}
+
+/// Cumulative error-budget state.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetStatus {
+    /// Terminal events observed.
+    pub total: u64,
+    /// Bad events observed (slow + shed + timed out).
+    pub bad: u64,
+    /// Bad events the objective permits for `total` events.
+    pub allowed: f64,
+    /// `bad / allowed` (0 when nothing observed); > 1 means the
+    /// budget is spent.
+    pub consumed: f64,
+}
+
+impl BudgetStatus {
+    /// Fraction of budget left, clamped at zero.
+    pub fn remaining(&self) -> f64 {
+        (1.0 - self.consumed).max(0.0)
+    }
+}
+
+/// Online SLO evaluator over a stream of closed windows.
+#[derive(Debug)]
+pub struct SloEngine {
+    spec: SloSpec,
+    rules: Vec<BurnRateRule>,
+    width_ns: u64,
+    /// Trailing (bad, total) per closed window, bounded by the longest
+    /// rule window.
+    history: VecDeque<(u64, u64)>,
+    depth: usize,
+    active: Vec<bool>,
+    alerts: Vec<AlertEvent>,
+    total: u64,
+    bad: u64,
+}
+
+impl SloEngine {
+    /// An engine for `spec` evaluating `rules` over windows of
+    /// `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective is not in `(0, 1)` or a rule's short
+    /// window exceeds its long window.
+    pub fn new(spec: SloSpec, rules: Vec<BurnRateRule>, width: Duration) -> Self {
+        assert!(spec.objective > 0.0 && spec.objective < 1.0, "objective in (0,1)");
+        for r in &rules {
+            assert!(
+                r.short_windows >= 1 && r.short_windows <= r.long_windows,
+                "short window within long window: {}",
+                r.name
+            );
+        }
+        let depth = rules.iter().map(|r| r.long_windows).max().unwrap_or(1);
+        let n_rules = rules.len();
+        Self {
+            spec,
+            rules,
+            width_ns: width.as_nanos() as u64,
+            history: VecDeque::new(),
+            depth,
+            active: vec![false; n_rules],
+            alerts: Vec::new(),
+            total: 0,
+            bad: 0,
+        }
+    }
+
+    /// The spec under evaluation.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[BurnRateRule] {
+        &self.rules
+    }
+
+    /// Budget burn rate over the last `n` closed windows: the observed
+    /// bad fraction divided by the allowed bad fraction. 1.0 means
+    /// burning exactly the budget; 0 when the trailing windows saw no
+    /// traffic.
+    pub fn burn_over(&self, n: usize) -> f64 {
+        let (mut bad, mut total) = (0u64, 0u64);
+        for &(b, t) in self.history.iter().rev().take(n) {
+            bad += b;
+            total += t;
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.spec.budget_fraction()
+    }
+
+    /// Feeds one closed window; returns the alerts that fired on this
+    /// close (rising edges only).
+    pub fn on_window_close(&mut self, w: &WindowStats) -> Vec<AlertEvent> {
+        self.history.push_back((w.bad(), w.total()));
+        if self.history.len() > self.depth {
+            self.history.pop_front();
+        }
+        self.total += w.total();
+        self.bad += w.bad();
+        let mut fired = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let long_burn = self.burn_over(rule.long_windows);
+            let short_burn = self.burn_over(rule.short_windows);
+            let firing = long_burn >= rule.factor && short_burn >= rule.factor;
+            if firing && !self.active[i] {
+                let ev = AlertEvent {
+                    rule: rule.name.clone(),
+                    severity: rule.severity,
+                    slo: self.spec.name.clone(),
+                    window_index: w.index,
+                    at_ns: (w.index + 1) * self.width_ns,
+                    long_burn,
+                    short_burn,
+                };
+                fired.push(ev.clone());
+                self.alerts.push(ev);
+            }
+            self.active[i] = firing;
+        }
+        fired
+    }
+
+    /// Every alert fired so far, in firing order.
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.alerts
+    }
+
+    /// Cumulative budget accounting over everything observed.
+    pub fn budget(&self) -> BudgetStatus {
+        let allowed = self.total as f64 * self.spec.budget_fraction();
+        BudgetStatus {
+            total: self.total,
+            bad: self.bad,
+            allowed,
+            consumed: if allowed > 0.0 { self.bad as f64 / allowed } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_telemetry::LatencyHistogram;
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            name: "test-99-50ms".into(),
+            objective: 0.99,
+            threshold: Duration::from_millis(50),
+        }
+    }
+
+    fn window(index: u64, completed: u64, slow: u64, shed: u64) -> WindowStats {
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..completed {
+            hist.record_micros(1_000);
+        }
+        WindowStats { index, offered: completed + shed, completed, shed, timed_out: 0, slow, hist }
+    }
+
+    fn engine(rules: Vec<BurnRateRule>) -> SloEngine {
+        SloEngine::new(spec(), rules, Duration::from_secs(1))
+    }
+
+    #[test]
+    fn clean_windows_never_alert_and_keep_budget() {
+        let mut e = engine(BurnRateRule::standard_pair());
+        for i in 0..50 {
+            let fired = e.on_window_close(&window(i, 100, 0, 0));
+            assert!(fired.is_empty());
+        }
+        let b = e.budget();
+        assert_eq!(b.bad, 0);
+        assert!(b.remaining() > 0.999);
+        assert_eq!(e.alerts().len(), 0);
+    }
+
+    #[test]
+    fn sustained_burn_fires_once_per_rule_on_the_rising_edge() {
+        let mut e = engine(BurnRateRule::standard_pair());
+        for i in 0..10 {
+            assert!(e.on_window_close(&window(i, 100, 0, 0)).is_empty());
+        }
+        // 30% bad is a 30× burn against a 1% budget: both rules must
+        // fire exactly once across the sustained incident.
+        let mut fired = Vec::new();
+        for i in 10..30 {
+            fired.extend(e.on_window_close(&window(i, 70, 0, 30)));
+        }
+        let pages = fired.iter().filter(|a| a.severity == Severity::Page).count();
+        let tickets = fired.iter().filter(|a| a.severity == Severity::Ticket).count();
+        assert_eq!(pages, 1, "one rising edge for the page rule");
+        assert_eq!(tickets, 1);
+        assert!(fired.iter().all(|a| a.long_burn >= 3.0 && a.short_burn >= 3.0));
+        // Recovery then a second incident re-fires.
+        for i in 30..80 {
+            assert!(e.on_window_close(&window(i, 100, 0, 0)).is_empty());
+        }
+        let mut again = Vec::new();
+        for i in 80..100 {
+            again.extend(e.on_window_close(&window(i, 70, 0, 30)));
+        }
+        assert!(again.iter().any(|a| a.severity == Severity::Page), "re-arms after recovery");
+    }
+
+    #[test]
+    fn short_window_gates_stale_long_burn() {
+        // A rule with a long memory must not fire on history alone
+        // once the short window is clean.
+        let rule = BurnRateRule {
+            name: "fast".into(),
+            severity: Severity::Page,
+            long_windows: 8,
+            short_windows: 2,
+            factor: 10.0,
+        };
+        let mut e = engine(vec![rule]);
+        // Two very bad windows, then clean ones: long burn stays high
+        // for a while but the short window clears immediately.
+        let fired = e.on_window_close(&window(0, 0, 0, 100));
+        assert_eq!(fired.len(), 1, "incident fires");
+        assert!(e.on_window_close(&window(1, 0, 0, 100)).is_empty(), "still active, no re-fire");
+        for i in 2..6 {
+            let fired = e.on_window_close(&window(i, 100, 0, 0));
+            assert!(fired.is_empty(), "clean short window suppresses re-fire at {i}");
+        }
+    }
+
+    #[test]
+    fn burn_math_matches_definition() {
+        let mut e = engine(vec![]);
+        e.on_window_close(&window(0, 98, 0, 2));
+        // 2 bad of 100 at 1% budget = 2× burn.
+        assert!((e.burn_over(1) - 2.0).abs() < 1e-9);
+        let b = e.budget();
+        assert_eq!((b.total, b.bad), (100, 2));
+        assert!((b.consumed - 2.0).abs() < 1e-9);
+        assert_eq!(b.remaining(), 0.0);
+    }
+
+    #[test]
+    fn slow_completions_count_as_bad() {
+        let mut e = engine(vec![]);
+        e.on_window_close(&window(0, 100, 5, 0));
+        assert_eq!(e.budget().bad, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective")]
+    fn objective_must_be_fractional() {
+        SloEngine::new(
+            SloSpec { name: "x".into(), objective: 1.0, threshold: Duration::from_millis(1) },
+            vec![],
+            Duration::from_secs(1),
+        );
+    }
+}

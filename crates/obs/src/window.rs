@@ -1,0 +1,407 @@
+//! Sliding-window metrics over the request-record stream.
+//!
+//! A [`WindowRing`] tiles virtual time into fixed-width windows. Each
+//! window accumulates a [`LatencyHistogram`] of completions plus
+//! offered/completed/shed/timed-out counts; closed windows are kept in
+//! a bounded ring so rolling tails (p50/p99/p99.9 over the last N
+//! windows) are cheap merges, never re-scans of the run. The ring also
+//! exports itself two ways: Prometheus text with exemplar trace ids on
+//! hot buckets, and [`CounterTrack`]s for the Chrome trace timeline.
+
+use crate::context::TraceId;
+use bdb_telemetry::{CounterTrack, LatencyHistogram};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// One request-lifecycle event on the virtual timeline. `Offered` fires
+/// at arrival; the terminal events fire when the outcome is known
+/// (shed at arrival, timed-out at abandonment, completed at finish).
+#[derive(Debug, Clone, Copy)]
+pub enum ReqEvent {
+    /// A request arrived.
+    Offered,
+    /// A request finished; `latency_us` is its sojourn time and
+    /// `trace`/`sampled` drive exemplar attachment.
+    Completed {
+        /// Sojourn time, microseconds.
+        latency_us: u64,
+        /// The request's trace id.
+        trace: TraceId,
+        /// Whether the trace was kept by the sampler (only kept traces
+        /// become exemplars — they are the ones reconstructable from
+        /// the trace file).
+        sampled: bool,
+    },
+    /// A request was rejected at admission.
+    Shed,
+    /// A request abandoned its queue slot past the deadline.
+    TimedOut,
+}
+
+/// Aggregates for one closed (or in-progress) window.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    /// Window ordinal since the stream epoch (start = index × width).
+    pub index: u64,
+    /// Arrivals in the window.
+    pub offered: u64,
+    /// Completions in the window.
+    pub completed: u64,
+    /// Admission rejections in the window.
+    pub shed: u64,
+    /// Deadline abandonments in the window.
+    pub timed_out: u64,
+    /// Completions at or above the slow threshold.
+    pub slow: u64,
+    /// Latency distribution of the window's completions.
+    pub hist: LatencyHistogram,
+}
+
+impl WindowStats {
+    fn empty(index: u64) -> Self {
+        Self {
+            index,
+            offered: 0,
+            completed: 0,
+            shed: 0,
+            timed_out: 0,
+            slow: 0,
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// Requests that reached a terminal state in this window.
+    pub fn total(&self) -> u64 {
+        self.completed + self.shed + self.timed_out
+    }
+
+    /// SLO-violating events: slow completions plus every drop.
+    pub fn bad(&self) -> u64 {
+        self.slow + self.shed + self.timed_out
+    }
+}
+
+/// The bounded ring of closed windows plus the in-progress window.
+#[derive(Debug)]
+pub struct WindowRing {
+    width_ns: u64,
+    capacity: usize,
+    slow_threshold_us: u64,
+    current: WindowStats,
+    closed: VecDeque<WindowStats>,
+    evicted: u64,
+    /// Whole-stream histogram (all completions ever observed).
+    whole: LatencyHistogram,
+    /// Exemplars: latency bucket bound (µs) → the slowest sampled
+    /// trace seen in that bucket. BTreeMap keeps exposition order
+    /// deterministic.
+    exemplars: BTreeMap<u64, (TraceId, u64)>,
+}
+
+impl WindowRing {
+    /// A ring of `capacity` closed windows of `width` each; completions
+    /// at or above `slow_threshold` count toward [`WindowStats::slow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `capacity` is zero.
+    pub fn new(width: Duration, capacity: usize, slow_threshold: Duration) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        assert!(capacity > 0, "ring needs at least one window");
+        Self {
+            width_ns: width.as_nanos() as u64,
+            capacity,
+            slow_threshold_us: slow_threshold.as_micros() as u64,
+            current: WindowStats::empty(0),
+            closed: VecDeque::new(),
+            evicted: 0,
+            whole: LatencyHistogram::new(),
+            exemplars: BTreeMap::new(),
+        }
+    }
+
+    /// Window width.
+    pub fn width(&self) -> Duration {
+        Duration::from_nanos(self.width_ns)
+    }
+
+    fn close_current(&mut self) -> WindowStats {
+        let next = WindowStats::empty(self.current.index + 1);
+        let done = std::mem::replace(&mut self.current, next);
+        self.closed.push_back(done.clone());
+        if self.closed.len() > self.capacity {
+            self.closed.pop_front();
+            self.evicted += 1;
+        }
+        done
+    }
+
+    /// Feeds one event at virtual time `t_ns`. Events MUST arrive in
+    /// non-decreasing time order. Returns every window the event's
+    /// timestamp closed (empty gaps included — burn-rate math needs
+    /// silent windows to exist, not to be skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_ns` precedes the current window (time ran
+    /// backwards).
+    pub fn observe(&mut self, t_ns: u64, ev: ReqEvent) -> Vec<WindowStats> {
+        assert!(t_ns >= self.current.index * self.width_ns, "events must be fed in time order");
+        let mut closed = Vec::new();
+        while t_ns >= (self.current.index + 1) * self.width_ns {
+            closed.push(self.close_current());
+        }
+        match ev {
+            ReqEvent::Offered => self.current.offered += 1,
+            ReqEvent::Shed => self.current.shed += 1,
+            ReqEvent::TimedOut => self.current.timed_out += 1,
+            ReqEvent::Completed { latency_us, trace, sampled } => {
+                self.current.completed += 1;
+                if latency_us >= self.slow_threshold_us {
+                    self.current.slow += 1;
+                }
+                self.current.hist.record_micros(latency_us);
+                self.whole.record_micros(latency_us);
+                if sampled {
+                    let bound = bdb_telemetry::bucket_bound(latency_us);
+                    let slot = self.exemplars.entry(bound).or_insert((trace, latency_us));
+                    if latency_us >= slot.1 {
+                        *slot = (trace, latency_us);
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    /// Closes the in-progress window (end of stream) and returns it.
+    pub fn flush(&mut self) -> WindowStats {
+        self.close_current()
+    }
+
+    /// Closed windows currently retained, oldest first.
+    pub fn closed(&self) -> impl Iterator<Item = &WindowStats> {
+        self.closed.iter()
+    }
+
+    /// Windows dropped off the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Merged latency histogram over the most recent `n` closed
+    /// windows — the rolling distribution behind the dashboard tails.
+    pub fn rolling_hist(&self, n: usize) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for w in self.closed.iter().rev().take(n) {
+            merged.merge(&w.hist);
+        }
+        merged
+    }
+
+    /// Whole-stream latency histogram (every completion observed,
+    /// including windows evicted from the ring).
+    pub fn whole_hist(&self) -> &LatencyHistogram {
+        &self.whole
+    }
+
+    /// The retained windows as Chrome-trace counter tracks, one sample
+    /// per closed window at its end time (plus `offset_us`): rates for
+    /// offered/completed/shed/timed-out and the window p99 in µs.
+    pub fn counter_tracks(&self, service: &str, offset_us: u64) -> Vec<CounterTrack> {
+        let width_us = self.width_ns / 1_000;
+        let secs = self.width_ns as f64 / 1e9;
+        let track = |name: &str, values: Vec<u64>| CounterTrack {
+            name: format!("{service} {name}"),
+            samples: self
+                .closed
+                .iter()
+                .zip(values)
+                .map(|(w, v)| (offset_us + (w.index + 1) * width_us, v))
+                .collect(),
+        };
+        let per = |f: fn(&WindowStats) -> u64| {
+            self.closed.iter().map(|w| (f(w) as f64 / secs) as u64).collect::<Vec<_>>()
+        };
+        vec![
+            track("offered_rps", per(|w| w.offered)),
+            track("completed_rps", per(|w| w.completed)),
+            track("shed_rps", per(|w| w.shed)),
+            track("timed_out_rps", per(|w| w.timed_out)),
+            track("p99_us", self.closed.iter().map(|w| w.hist.p99().as_micros() as u64).collect()),
+        ]
+    }
+
+    /// Prometheus text exposition of the ring: outcome counters over
+    /// the retained windows, the rolling histogram over the last
+    /// `rolling` windows with exemplar trace ids attached to its hot
+    /// buckets, and rolling-tail gauges. Validates against
+    /// [`bdb_telemetry::assert_prometheus_grammar`].
+    pub fn prometheus_text(&self, service: &str, rolling: usize) -> String {
+        let svc = escape_label(service);
+        let mut out = String::new();
+        let sum = |f: fn(&WindowStats) -> u64| self.closed.iter().map(f).sum::<u64>();
+        out.push_str("# TYPE obs_requests_total counter\n");
+        for (outcome, v) in [
+            ("offered", sum(|w| w.offered)),
+            ("completed", sum(|w| w.completed)),
+            ("shed", sum(|w| w.shed)),
+            ("timed_out", sum(|w| w.timed_out)),
+        ] {
+            out.push_str(&format!(
+                "obs_requests_total{{service=\"{svc}\",outcome=\"{outcome}\"}} {v}\n"
+            ));
+        }
+        let hist = self.rolling_hist(rolling);
+        out.push_str("# TYPE obs_rolling_request_us histogram\n");
+        for (bound, cumulative) in hist.cumulative_buckets() {
+            out.push_str(&format!(
+                "obs_rolling_request_us_bucket{{service=\"{svc}\",le=\"{bound}\"}} {cumulative}"
+            ));
+            // Exemplar: the slowest sampled trace whose latency falls
+            // in this bucket, when we kept one.
+            if let Some((trace, latency_us)) = self.exemplars.get(&bound) {
+                out.push_str(&format!(" # {{trace_id=\"{}\"}} {latency_us}", trace.hex()));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "obs_rolling_request_us_bucket{{service=\"{svc}\",le=\"+Inf\"}} {}\n",
+            hist.count()
+        ));
+        out.push_str(&format!(
+            "obs_rolling_request_us_sum{{service=\"{svc}\"}} {}\n",
+            hist.sum_micros()
+        ));
+        out.push_str(&format!(
+            "obs_rolling_request_us_count{{service=\"{svc}\"}} {}\n",
+            hist.count()
+        ));
+        out.push_str("# TYPE obs_rolling_p99_us gauge\n");
+        out.push_str(&format!(
+            "obs_rolling_p99_us{{service=\"{svc}\"}} {}\n",
+            hist.p99().as_micros()
+        ));
+        out.push_str("# TYPE obs_rolling_p999_us gauge\n");
+        out.push_str(&format!(
+            "obs_rolling_p999_us{{service=\"{svc}\"}} {}\n",
+            hist.p999().as_micros()
+        ));
+        out
+    }
+}
+
+/// Escapes a string for use inside a Prometheus label value.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_telemetry::assert_prometheus_grammar;
+
+    fn completed(latency_us: u64, trace: u64, sampled: bool) -> ReqEvent {
+        ReqEvent::Completed { latency_us, trace: TraceId(trace), sampled }
+    }
+
+    #[test]
+    fn windows_tile_time_and_count_outcomes() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 8, Duration::from_millis(50));
+        let s = 1_000_000_000u64;
+        assert!(ring.observe(0, ReqEvent::Offered).is_empty());
+        assert!(ring.observe(100, completed(900, 1, false)).is_empty());
+        // Jumping two windows ahead closes window 0 and the empty
+        // window 1.
+        let closed = ring.observe(2 * s + 5, ReqEvent::Shed);
+        assert_eq!(closed.len(), 2);
+        assert_eq!((closed[0].offered, closed[0].completed), (1, 1));
+        assert_eq!(closed[1].total(), 0, "gap windows exist and are empty");
+        let last = ring.flush();
+        assert_eq!(last.shed, 1);
+        assert_eq!(ring.closed().count(), 3);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_rolling_merges_recent() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 4, Duration::from_millis(50));
+        let s = 1_000_000_000u64;
+        for w in 0..10u64 {
+            // One completion per window, latency encodes the window.
+            ring.observe(w * s + 1, completed(1000 * (w + 1), w, false));
+        }
+        ring.flush();
+        assert_eq!(ring.closed().count(), 4);
+        assert_eq!(ring.evicted(), 6);
+        let rolling = ring.rolling_hist(2);
+        assert_eq!(rolling.count(), 2);
+        // Last two windows saw 9ms and 10ms completions.
+        assert!(rolling.percentile(1.0) >= Duration::from_millis(9));
+        assert_eq!(ring.whole_hist().count(), 10, "whole-run histogram survives eviction");
+    }
+
+    #[test]
+    fn slow_counts_respect_threshold() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 4, Duration::from_millis(50));
+        ring.observe(0, completed(49_999, 1, false));
+        ring.observe(1, completed(50_000, 2, false));
+        ring.observe(2, completed(90_000, 3, false));
+        let w = ring.flush();
+        assert_eq!(w.completed, 3);
+        assert_eq!(w.slow, 2);
+        assert_eq!(w.bad(), 2);
+    }
+
+    #[test]
+    fn exposition_is_grammatical_with_exemplars() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 8, Duration::from_millis(50));
+        for i in 0..50u64 {
+            ring.observe(i, ReqEvent::Offered);
+            ring.observe(i + 1, completed(500 + i * 137, i, i % 3 == 0));
+        }
+        ring.observe(1_500_000_000, ReqEvent::Shed);
+        ring.flush();
+        // Hostile service name must be escaped, not break the grammar.
+        let text = ring.prometheus_text("evil \"svc\"\\name\n", 8);
+        assert_prometheus_grammar(&text);
+        assert!(text.contains(" # {trace_id=\""), "sampled traces become exemplars");
+        assert!(text.contains("obs_rolling_request_us_bucket"));
+        assert!(text.contains("outcome=\"shed\"} 1"));
+    }
+
+    #[test]
+    fn counter_tracks_cover_closed_windows() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 8, Duration::from_millis(50));
+        let s = 1_000_000_000u64;
+        for w in 0..3u64 {
+            for i in 0..10 {
+                ring.observe(w * s + i, completed(800, i, false));
+            }
+        }
+        ring.flush();
+        let tracks = ring.counter_tracks("nutch", 0);
+        assert_eq!(tracks.len(), 5);
+        let completed_track = tracks.iter().find(|t| t.name == "nutch completed_rps").unwrap();
+        assert_eq!(completed_track.samples.len(), 3);
+        assert!(completed_track.samples.iter().all(|&(_, v)| v == 10));
+        // Samples land at window ends on the µs timeline.
+        assert_eq!(completed_track.samples[0].0, 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_events_panic() {
+        let mut ring = WindowRing::new(Duration::from_secs(1), 4, Duration::from_millis(50));
+        ring.observe(5 * 1_000_000_000, ReqEvent::Offered);
+        ring.observe(0, ReqEvent::Offered);
+    }
+}

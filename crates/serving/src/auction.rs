@@ -76,6 +76,19 @@ impl AuctionServer {
         self.trace = Some(ServingTraceModel::new());
     }
 
+    /// The modeled service-time distribution for deterministic
+    /// (host-independent) runs: relational browse/view/bid mix with a
+    /// pronounced tail (bid writes contend), store-dominated.
+    pub fn service_model(&self) -> crate::model::ServiceTimeModel {
+        crate::model::ServiceTimeModel {
+            base_us: 2200.0,
+            sigma: 0.40,
+            tail_weight: 0.025,
+            tail_mult: 7.0,
+            store_share: (0.50, 0.75),
+        }
+    }
+
     /// Pre-touches the modeled server code (ramp-up); no-op without
     /// tracing.
     pub fn warm_trace<P: Probe + ?Sized>(&mut self, probe: &mut P) {

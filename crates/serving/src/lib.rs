@@ -43,6 +43,7 @@
 pub mod auction;
 pub mod latency;
 pub mod loadgen;
+pub mod model;
 pub mod queue;
 pub mod search;
 pub mod server;
@@ -54,6 +55,7 @@ pub use loadgen::{
     run_closed_loop, run_closed_loop_instrumented, run_closed_loop_sampled, run_offered_load,
     run_offered_load_instrumented, run_offered_load_shaped, PrometheusSampler, ServiceReport,
 };
-pub use queue::{QueuePolicy, QueueSim};
+pub use model::{splitmix64, ServiceTimeModel};
+pub use queue::{QueuePolicy, QueueSim, RequestOutcome, RequestRecord};
 pub use server::Server;
 pub use trace::ServingTraceModel;

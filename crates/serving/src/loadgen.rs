@@ -2,7 +2,7 @@
 //! simulation.
 
 use crate::latency::LatencyHistogram;
-use crate::queue::{QueuePolicy, QueueSim};
+use crate::queue::{QueuePolicy, QueueSim, RequestOutcome, RequestRecord};
 use crate::server::Server;
 use bdb_archsim::NullProbe;
 use bdb_telemetry::{span, MetricsRegistry, SpanRecorder};
@@ -31,6 +31,12 @@ pub struct ServiceReport {
     /// Requests abandoned after waiting past the policy deadline
     /// (always zero for closed-loop runs).
     pub timed_out: u64,
+    /// Per-request outcome stream in arrival order (see
+    /// [`RequestRecord`]). Offered-load runs forward the simulator's
+    /// stream; closed-loop runs synthesize one `Completed` record per
+    /// request from the measured service times. The aggregate fields
+    /// above are unchanged and remain derivable from this stream.
+    pub records: Vec<RequestRecord>,
 }
 
 impl ServiceReport {
@@ -129,6 +135,8 @@ fn closed_loop_impl<S: Server>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut latency = LatencyHistogram::new();
     let mut result_units = 0u64;
+    let mut records = Vec::with_capacity(requests);
+    let mut clock_ns = 0u64;
     let instrumented = telemetry.is_enabled() || sampler.is_some();
     let request_us =
         if instrumented { Some(metrics.histogram("serving.request_us")) } else { None };
@@ -145,6 +153,19 @@ fn closed_loop_impl<S: Server>(
         drop(s);
         result_units += units;
         latency.record(service_time);
+        // Closed loop = one worker, zero think time: each request
+        // arrives the instant the previous one finishes.
+        let service_ns = service_time.as_nanos() as u64;
+        records.push(RequestRecord {
+            seq: i as u64,
+            arrival_ns: clock_ns,
+            start_ns: Some(clock_ns),
+            finish_ns: Some(clock_ns + service_ns),
+            service_ns,
+            worker: Some(0),
+            outcome: RequestOutcome::Completed,
+        });
+        clock_ns += service_ns;
         if let Some(h) = &request_us {
             h.record(service_time);
         }
@@ -167,6 +188,7 @@ fn closed_loop_impl<S: Server>(
         result_units,
         shed: 0,
         timed_out: 0,
+        records,
     }
 }
 
@@ -276,6 +298,7 @@ pub fn run_offered_load_shaped<S: Server>(
         result_units,
         shed: qr.shed,
         timed_out: qr.timed_out,
+        records: qr.records,
     }
 }
 
@@ -360,6 +383,30 @@ mod tests {
         // entry point still behaves exactly as before.
         let clean = run_offered_load(&mut s, capacity * 0.05, Duration::from_secs(2), 1, 100, 3);
         assert_eq!((clean.shed, clean.timed_out), (0, 0));
+    }
+
+    #[test]
+    fn reports_carry_request_records() {
+        let mut s = Spin;
+        let closed = run_closed_loop(&mut s, 40, 5);
+        assert_eq!(closed.records.len(), 40);
+        assert!(closed
+            .records
+            .iter()
+            .all(|r| r.outcome == crate::queue::RequestOutcome::Completed));
+        // Arrivals chain back-to-back on the synthetic closed-loop clock.
+        for pair in closed.records.windows(2) {
+            assert_eq!(pair[1].arrival_ns, pair[0].finish_ns.unwrap());
+        }
+
+        let offered = run_offered_load(&mut s, 50.0, Duration::from_secs(2), 2, 100, 5);
+        assert!(!offered.records.is_empty());
+        let done = offered
+            .records
+            .iter()
+            .filter(|r| r.outcome == crate::queue::RequestOutcome::Completed)
+            .count() as u64;
+        assert_eq!(done, offered.completed);
     }
 
     #[test]

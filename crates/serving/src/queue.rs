@@ -30,6 +30,79 @@ pub struct QueuePolicy {
     pub deadline: Option<Duration>,
 }
 
+/// Terminal status of one simulated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served to completion within the horizon.
+    Completed,
+    /// Rejected at admission: the queue was full.
+    Shed,
+    /// Admitted but abandoned after waiting past the policy deadline.
+    TimedOut,
+    /// Admitted and started (or queued) but not finished by the
+    /// horizon's end.
+    Unfinished,
+}
+
+impl RequestOutcome {
+    /// Lowercase label, stable for reports and span arguments.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestOutcome::Completed => "completed",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::TimedOut => "timed_out",
+            RequestOutcome::Unfinished => "unfinished",
+        }
+    }
+}
+
+/// One request's life in the simulation, in virtual nanoseconds since
+/// the horizon start. The simulator emits these in arrival order so an
+/// observability layer can consume the run as a stream instead of only
+/// reading the final aggregates.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// Arrival sequence number (0-based).
+    pub seq: u64,
+    /// Arrival time.
+    pub arrival_ns: u64,
+    /// Service start (admission wait ends); `None` for shed arrivals.
+    /// For timed-out requests this is the moment the request was
+    /// abandoned — when a worker would have picked it up.
+    pub start_ns: Option<u64>,
+    /// Completion time; `None` unless the outcome is `Completed` or
+    /// `Unfinished` (where it falls past the horizon).
+    pub finish_ns: Option<u64>,
+    /// Assigned service time (zero for shed/timed-out requests, which
+    /// never reach a worker).
+    pub service_ns: u64,
+    /// The worker that served (or would have served) the request;
+    /// `None` for shed arrivals.
+    pub worker: Option<u32>,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestRecord {
+    /// Time the request spent in the system: sojourn (wait + service)
+    /// for completed/unfinished requests, the abandoned wait for
+    /// timed-out ones, zero for shed arrivals.
+    pub fn latency_ns(&self) -> u64 {
+        match self.outcome {
+            RequestOutcome::Shed => 0,
+            RequestOutcome::TimedOut => self.start_ns.unwrap_or(0).saturating_sub(self.arrival_ns),
+            RequestOutcome::Completed | RequestOutcome::Unfinished => {
+                self.finish_ns.unwrap_or(0).saturating_sub(self.arrival_ns)
+            }
+        }
+    }
+
+    /// Admission wait (service start minus arrival); zero for shed.
+    pub fn wait_ns(&self) -> u64 {
+        self.start_ns.unwrap_or(self.arrival_ns).saturating_sub(self.arrival_ns)
+    }
+}
+
 /// Result of one queueing simulation.
 #[derive(Debug, Clone)]
 pub struct QueueResult {
@@ -48,6 +121,10 @@ pub struct QueueResult {
     pub latency: LatencyHistogram,
     /// Mean number of busy workers over the horizon.
     pub utilization: f64,
+    /// Per-request outcome stream, in arrival order. The aggregate
+    /// fields above are exactly derivable from it; they are kept so
+    /// existing consumers stay byte-compatible.
+    pub records: Vec<RequestRecord>,
 }
 
 /// Event-driven FIFO queue with `workers` identical servers.
@@ -108,9 +185,12 @@ impl QueueSim {
             arrivals.push(t);
         }
 
-        // Workers as a min-heap of next-free times.
-        let mut free_at: BinaryHeap<std::cmp::Reverse<u64>> =
-            (0..self.workers).map(|_| std::cmp::Reverse(0u64)).collect();
+        // Workers as a min-heap of (next-free time, worker id). The id
+        // breaks ties deterministically and lets each record name the
+        // server that handled it; ordering by free time is unchanged,
+        // so aggregates match the id-less simulation exactly.
+        let mut free_at: BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            (0..self.workers).map(|w| std::cmp::Reverse((0u64, w))).collect();
         let to_ns = |s: f64| (s * 1e9) as u64;
         let deadline_ns = self.policy.deadline.map(|d| d.as_nanos() as u64);
         // Start times of accepted requests still waiting for a worker
@@ -123,17 +203,27 @@ impl QueueSim {
         let mut shed = 0u64;
         let mut timed_out = 0u64;
         let mut busy_ns = 0u128;
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(arrivals.len());
         let mut service_idx = rng.gen_range(0..service_times.len());
-        for &arrival_s in &arrivals {
+        for (seq, &arrival_s) in arrivals.iter().enumerate() {
             let arrival = to_ns(arrival_s);
             while waiting.front().is_some_and(|&s| s <= arrival) {
                 waiting.pop_front();
             }
             if self.policy.queue_capacity.is_some_and(|cap| waiting.len() >= cap) {
                 shed += 1;
+                records.push(RequestRecord {
+                    seq: seq as u64,
+                    arrival_ns: arrival,
+                    start_ns: None,
+                    finish_ns: None,
+                    service_ns: 0,
+                    worker: None,
+                    outcome: RequestOutcome::Shed,
+                });
                 continue;
             }
-            let std::cmp::Reverse(earliest_free) = free_at.pop().expect("non-empty");
+            let std::cmp::Reverse((earliest_free, worker)) = free_at.pop().expect("non-empty");
             let start = earliest_free.max(arrival);
             if start > arrival {
                 waiting.push_back(start);
@@ -142,20 +232,40 @@ impl QueueSim {
                 // Abandoned at the moment a worker would have picked it
                 // up; the worker serves the next request instead.
                 timed_out += 1;
-                free_at.push(std::cmp::Reverse(earliest_free));
+                free_at.push(std::cmp::Reverse((earliest_free, worker)));
+                records.push(RequestRecord {
+                    seq: seq as u64,
+                    arrival_ns: arrival,
+                    start_ns: Some(start),
+                    finish_ns: None,
+                    service_ns: 0,
+                    worker: Some(worker),
+                    outcome: RequestOutcome::TimedOut,
+                });
                 continue;
             }
             let service = service_times[service_idx].as_nanos() as u64;
             service_idx = (service_idx + 1) % service_times.len();
             let finish = start + service;
-            if finish <= to_ns(horizon_s) {
+            let outcome = if finish <= to_ns(horizon_s) {
                 completed += 1;
                 latency.record(Duration::from_nanos(finish - arrival));
                 busy_ns += service as u128;
+                RequestOutcome::Completed
             } else {
                 unfinished += 1;
-            }
-            free_at.push(std::cmp::Reverse(finish));
+                RequestOutcome::Unfinished
+            };
+            free_at.push(std::cmp::Reverse((finish, worker)));
+            records.push(RequestRecord {
+                seq: seq as u64,
+                arrival_ns: arrival,
+                start_ns: Some(start),
+                finish_ns: Some(finish),
+                service_ns: service,
+                worker: Some(worker),
+                outcome,
+            });
         }
         QueueResult {
             completed,
@@ -165,6 +275,7 @@ impl QueueSim {
             achieved_rps: completed as f64 / horizon_s,
             latency,
             utilization: busy_ns as f64 / (horizon_s * 1e9 * self.workers as f64),
+            records,
         }
     }
 }
@@ -287,5 +398,84 @@ mod tests {
     #[should_panic(expected = "service times")]
     fn empty_service_times_panic() {
         QueueSim::new(1).run(10.0, Duration::from_secs(1), &[], 0);
+    }
+
+    #[test]
+    fn records_reconcile_with_aggregates() {
+        let policy = QueuePolicy { queue_capacity: Some(6), deadline: Some(ms(12)) };
+        let r = QueueSim::new(2).with_policy(policy).run(
+            800.0,
+            Duration::from_secs(5),
+            &[ms(5), ms(15)],
+            9,
+        );
+        let count = |o: RequestOutcome| r.records.iter().filter(|x| x.outcome == o).count() as u64;
+        assert_eq!(count(RequestOutcome::Completed), r.completed);
+        assert_eq!(count(RequestOutcome::Shed), r.shed);
+        assert_eq!(count(RequestOutcome::TimedOut), r.timed_out);
+        assert_eq!(count(RequestOutcome::Unfinished), r.unfinished);
+        assert!(r.shed > 0 && r.timed_out > 0 && r.completed > 0, "exercise every outcome");
+
+        // Rebuilding the latency histogram from completed records
+        // reproduces the aggregate distribution exactly.
+        let mut rebuilt = LatencyHistogram::new();
+        for rec in r.records.iter().filter(|x| x.outcome == RequestOutcome::Completed) {
+            rebuilt.record(Duration::from_nanos(rec.latency_ns()));
+        }
+        assert_eq!(rebuilt.count(), r.latency.count());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rebuilt.percentile(q), r.latency.percentile(q));
+        }
+    }
+
+    #[test]
+    fn records_are_in_arrival_order_and_causally_sane() {
+        let r = QueueSim::new(3).run(300.0, Duration::from_secs(5), &[ms(5), ms(9)], 12);
+        assert!(!r.records.is_empty());
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            if i > 0 {
+                assert!(rec.arrival_ns >= r.records[i - 1].arrival_ns);
+            }
+            match rec.outcome {
+                RequestOutcome::Shed => {
+                    assert!(rec.start_ns.is_none() && rec.worker.is_none());
+                }
+                RequestOutcome::TimedOut => {
+                    assert!(rec.start_ns.unwrap() > rec.arrival_ns);
+                    assert!(rec.finish_ns.is_none());
+                }
+                RequestOutcome::Completed | RequestOutcome::Unfinished => {
+                    let start = rec.start_ns.unwrap();
+                    assert!(start >= rec.arrival_ns);
+                    assert_eq!(rec.finish_ns.unwrap(), start + rec.service_ns);
+                    assert!(rec.worker.unwrap() < 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_service_intervals_never_overlap() {
+        let r = QueueSim::new(2).run(600.0, Duration::from_secs(3), &[ms(4), ms(11)], 21);
+        for w in 0..2u32 {
+            let mut busy: Vec<(u64, u64)> = r
+                .records
+                .iter()
+                .filter(|rec| {
+                    rec.worker == Some(w)
+                        && matches!(
+                            rec.outcome,
+                            RequestOutcome::Completed | RequestOutcome::Unfinished
+                        )
+                })
+                .map(|rec| (rec.start_ns.unwrap(), rec.finish_ns.unwrap()))
+                .collect();
+            busy.sort_unstable();
+            assert!(!busy.is_empty());
+            for pair in busy.windows(2) {
+                assert!(pair[1].0 >= pair[0].1, "worker {w} double-booked: {pair:?}");
+            }
+        }
     }
 }

@@ -50,5 +50,8 @@ pub mod span;
 pub use chrome_trace::{
     chrome_trace_json, chrome_trace_json_with_tracks, file_stem, CounterTrack, TraceSession,
 };
-pub use metrics::{Counter, Gauge, HistogramHandle, LatencyHistogram, MetricsRegistry};
+pub use metrics::{
+    assert_prometheus_grammar, bucket_bound, bucket_index, prometheus_name, Counter, Gauge,
+    HistogramHandle, LatencyHistogram, MetricsRegistry,
+};
 pub use span::{current_thread_id, ArgValue, SpanEvent, SpanGuard, SpanRecorder};

@@ -40,6 +40,19 @@ fn bucket_upper(i: usize) -> u64 {
     bounds()[i.min(BUCKETS - 1)]
 }
 
+/// The index of the log bucket a `micros` sample lands in. Exposed so
+/// observability layers can reason about bucket-level agreement (e.g.
+/// "rolling p99 matches the whole-run histogram within one bucket").
+pub fn bucket_index(micros: u64) -> usize {
+    bucket_for(micros)
+}
+
+/// The upper bound (in microseconds) of the bucket a `micros` sample
+/// lands in — the `le` bound its `_bucket` series line would carry.
+pub fn bucket_bound(micros: u64) -> u64 {
+    bucket_upper(bucket_for(micros))
+}
+
 /// A log-bucketed latency histogram (1 µs granularity at the low end,
 /// ~2% relative error overall), cheap enough to update per request.
 #[derive(Debug, Clone)]
@@ -91,7 +104,10 @@ impl LatencyHistogram {
     }
 
     /// The latency at quantile `q` in `[0, 1]` (upper bucket bound, so
-    /// within ~5% above the true value). Zero when empty.
+    /// within ~5% above the true value). Zero when empty. The reported
+    /// value is clamped to [`LatencyHistogram::max`], so the final
+    /// bucket never over-reports: `percentile(1.0)` equals the recorded
+    /// maximum exactly.
     ///
     /// # Panics
     ///
@@ -106,10 +122,26 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Duration::from_micros(bucket_upper(i).min(self.max_micros.max(1)));
+                return Duration::from_micros(bucket_upper(i).min(self.max_micros));
             }
         }
         self.max()
+    }
+
+    /// Median latency — `percentile(0.5)`.
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.5)
+    }
+
+    /// 99th-percentile latency — `percentile(0.99)`.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile latency — `percentile(0.999)`, the tail the
+    /// online-services scenario is judged by.
+    pub fn p999(&self) -> Duration {
+        self.percentile(0.999)
     }
 
     /// Sum of all recorded samples in microseconds.
@@ -353,8 +385,10 @@ impl MetricsRegistry {
 
 /// Maps a registry metric name onto the Prometheus name charset
 /// `[a-zA-Z0-9_:]`, e.g. `serving.request_us` → `serving_request_us`.
-/// A leading digit is prefixed with `_`.
-fn prometheus_name(name: &str) -> String {
+/// A leading digit is prefixed with `_`. Public so sibling exporters
+/// (e.g. the observability layer's exemplar-bearing exposition) name
+/// their series through the same mapping.
+pub fn prometheus_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for c in name.chars() {
         if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
@@ -367,6 +401,139 @@ fn prometheus_name(name: &str) -> String {
         out.insert(0, '_');
     }
     out
+}
+
+fn valid_prometheus_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || "_:".contains(c))
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c))
+}
+
+/// Scans a `{label="value",...}` block starting at `s[0] == '{'`,
+/// asserting every pair is well-formed. Label values may use the text
+/// format's escape sequences (`\\`, `\"`, `\n`); a raw quote or an
+/// unknown escape is a grammar violation. Returns the byte index just
+/// past the closing `}`.
+fn scan_label_block(s: &str, line: &str) -> usize {
+    let b = s.as_bytes();
+    debug_assert_eq!(b.first(), Some(&b'{'));
+    let mut i = 1;
+    if b.get(i) == Some(&b'}') {
+        return i + 1;
+    }
+    loop {
+        let name_start = i;
+        while i < b.len() && b[i] != b'=' {
+            i += 1;
+        }
+        assert!(i < b.len(), "label pair has an '=': {line}");
+        assert!(valid_prometheus_identifier(&s[name_start..i]), "label name valid: {line}");
+        i += 1;
+        assert!(b.get(i) == Some(&b'"'), "label value quoted: {line}");
+        i += 1;
+        loop {
+            assert!(i < b.len(), "label value closes its quote: {line}");
+            match b[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    assert!(
+                        matches!(b.get(i + 1), Some(b'\\' | b'"' | b'n')),
+                        "label value escape must be \\\\, \\\" or \\n: {line}"
+                    );
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return i + 1,
+            _ => panic!("label pairs separated by ',' and closed by '}}': {line}"),
+        }
+    }
+}
+
+/// Asserts `text` follows the Prometheus text exposition 0.0.4 grammar
+/// rules this suite's exporters must honor: `# HELP`/`# TYPE` comments,
+/// metric names in `[a-zA-Z_:][a-zA-Z0-9_:]*`, optional
+/// `{label="value"}` pairs with escape-aware values, a parseable sample
+/// value (`+Inf` allowed), every sample preceded by its family's TYPE
+/// comment — plus OpenMetrics-style exemplar suffixes
+/// (`... # {trace_id="..."} value [timestamp]`) on sample lines.
+///
+/// Test support shared across crates: the telemetry exporter tests and
+/// the observability layer's exemplar exposition tests both validate
+/// through this one grammar.
+///
+/// # Panics
+///
+/// Panics (with the offending line) on the first grammar violation.
+pub fn assert_prometheus_grammar(text: &str) {
+    let mut typed: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            let name = parts.next().unwrap_or("");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "only HELP/TYPE comments are meaningful: {line}"
+            );
+            assert!(valid_prometheus_identifier(name), "comment names a valid metric: {line}");
+            if keyword == "TYPE" {
+                let ty = parts.next().unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                    "TYPE must name a known type: {line}"
+                );
+                assert!(!typed.contains(&name.to_owned()), "one TYPE per family: {line}");
+                typed.push(name.to_owned());
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [# {labels} value [ts]]
+        let (sample, exemplar) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        let name_end = sample
+            .find(|c: char| !(c.is_ascii_alphanumeric() || "_:".contains(c)))
+            .unwrap_or(sample.len());
+        let name = &sample[..name_end];
+        assert!(valid_prometheus_identifier(name), "sample names a valid metric: {line}");
+        let mut rest = &sample[name_end..];
+        if rest.starts_with('{') {
+            rest = &rest[scan_label_block(rest, line)..];
+        }
+        let value = rest.strip_prefix(' ').unwrap_or_else(|| panic!("sample has a value: {line}"));
+        assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "value must parse: {line}");
+        if let Some(exemplar) = exemplar {
+            assert!(exemplar.starts_with('{'), "exemplar starts with a label set: {line}");
+            let rest = &exemplar[scan_label_block(exemplar, line)..];
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            assert!(
+                (1..=2).contains(&fields.len()),
+                "exemplar carries a value and optional timestamp: {line}"
+            );
+            for f in fields {
+                assert!(f.parse::<f64>().is_ok(), "exemplar fields must parse: {line}");
+            }
+        }
+        // Samples of a family follow its TYPE comment.
+        let family = typed.iter().any(|t| {
+            name == t
+                || name
+                    .strip_prefix(t.as_str())
+                    .is_some_and(|suffix| ["_bucket", "_sum", "_count"].contains(&suffix))
+        });
+        assert!(family, "sample {name} preceded by its TYPE comment: {line}");
+    }
 }
 
 #[cfg(test)]
@@ -582,76 +749,6 @@ mod tests {
         assert_eq!(prometheus_name("9lives"), "_9lives");
     }
 
-    /// Asserts `text` follows the Prometheus text exposition 0.0.4
-    /// grammar rules this exporter must honor: `# HELP`/`# TYPE`
-    /// comments, metric names in `[a-zA-Z_:][a-zA-Z0-9_:]*`, optional
-    /// `{label="value"}` pairs, and a parseable value (`+Inf` allowed).
-    fn assert_prometheus_grammar(text: &str) {
-        fn valid_name(s: &str) -> bool {
-            !s.is_empty()
-                && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || "_:".contains(c))
-                && s.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c))
-        }
-        let mut typed: Vec<String> = Vec::new();
-        for line in text.lines() {
-            if line.is_empty() {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix("# ") {
-                let mut parts = rest.splitn(3, ' ');
-                let keyword = parts.next().unwrap();
-                let name = parts.next().unwrap_or("");
-                assert!(
-                    keyword == "HELP" || keyword == "TYPE",
-                    "only HELP/TYPE comments are meaningful: {line}"
-                );
-                assert!(valid_name(name), "comment names a valid metric: {line}");
-                if keyword == "TYPE" {
-                    let ty = parts.next().unwrap_or("");
-                    assert!(
-                        ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
-                        "TYPE must name a known type: {line}"
-                    );
-                    assert!(!typed.contains(&name.to_owned()), "one TYPE per family: {line}");
-                    typed.push(name.to_owned());
-                }
-                continue;
-            }
-            // Sample line: name[{labels}] value
-            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
-            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "value must parse: {line}");
-            let name = match series.split_once('{') {
-                Some((name, labels)) => {
-                    let labels = labels.strip_suffix('}').expect("label braces must close");
-                    for pair in labels.split(',').filter(|p| !p.is_empty()) {
-                        let (k, v) = pair.split_once('=').expect("label has a value");
-                        assert!(valid_name(k), "label name valid: {line}");
-                        assert!(
-                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
-                            "label value quoted: {line}"
-                        );
-                        let inner = &v[1..v.len() - 1];
-                        assert!(
-                            !inner.contains('"') && !inner.contains('\n'),
-                            "label value needs no escaping: {line}"
-                        );
-                    }
-                    name
-                }
-                None => series,
-            };
-            assert!(valid_name(name), "sample names a valid metric: {line}");
-            // Samples of a family follow its TYPE comment.
-            let family = typed.iter().any(|t| {
-                name == t
-                    || name
-                        .strip_prefix(t.as_str())
-                        .is_some_and(|suffix| ["_bucket", "_sum", "_count"].contains(&suffix))
-            });
-            assert!(family, "sample {name} preceded by its TYPE comment: {line}");
-        }
-    }
-
     #[test]
     fn prometheus_text_is_grammatical() {
         let reg = MetricsRegistry::new();
@@ -690,6 +787,104 @@ mod tests {
         assert!(text.contains("_2_fast_2_furious 1\n"), "{text}");
         assert!(text.contains("s_rt__lloc_bytes 3\n"), "{text}");
         assert_prometheus_grammar(&text);
+    }
+
+    #[test]
+    fn p999_convenience_tracks_percentile() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record_micros(i);
+        }
+        assert_eq!(h.p50(), h.percentile(0.5));
+        assert_eq!(h.p99(), h.percentile(0.99));
+        assert_eq!(h.p999(), h.percentile(0.999));
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        let p999 = h.p999().as_micros() as f64;
+        assert!((p999 - 9990.0).abs() / 9990.0 < 0.06, "p999={p999}");
+    }
+
+    #[test]
+    fn final_bucket_percentile_never_exceeds_recorded_max() {
+        // A single sample: every quantile is exactly that sample, not
+        // its bucket's upper bound.
+        let mut h = LatencyHistogram::new();
+        h.record_micros(777);
+        assert_eq!(h.percentile(1.0), Duration::from_micros(777));
+        assert_eq!(h.p999(), Duration::from_micros(777));
+
+        // All-zero samples: bucket 0's upper bound is 1 µs, but the
+        // recorded max is 0 — percentile(1.0) must not invent latency.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record_micros(0);
+        }
+        assert_eq!(h.percentile(1.0), Duration::ZERO);
+
+        // A spread distribution: no quantile exceeds the max.
+        let mut h = LatencyHistogram::new();
+        for us in [3u64, 90, 1500, 88_000, 123_456] {
+            h.record_micros(us);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert!(h.percentile(q) <= h.max(), "q={q}");
+        }
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn bucket_bound_covers_its_sample() {
+        for us in [0u64, 1, 2, 50, 777, 88_000] {
+            assert!(bucket_bound(us) >= us, "{us}");
+            assert_eq!(bucket_bound(us), bucket_upper(bucket_index(us)));
+        }
+    }
+
+    #[test]
+    fn exemplar_suffixes_are_grammatical() {
+        let text = "\
+# HELP svc_request_us Latency histogram (microseconds).\n\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"128\"} 40 # {trace_id=\"00c0ffee5eed1234\"} 117 1.500\n\
+svc_request_us_bucket{le=\"+Inf\"} 41 # {trace_id=\"deadbeef00000001\"} 90210\n\
+svc_request_us_sum 52710\n\
+svc_request_us_count 41\n";
+        assert_prometheus_grammar(text);
+    }
+
+    #[test]
+    fn hostile_exemplar_trace_ids_escape_and_validate() {
+        // Escaped quote/backslash/newline in the exemplar label value
+        // are legal text-format escapes and must be accepted.
+        let escaped = "\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\\\"b\\\\c\\nd\"} 5\n\
+svc_request_us_sum 5\n\
+svc_request_us_count 1\n";
+        assert_prometheus_grammar(escaped);
+
+        // A raw, unescaped quote inside the value is a violation.
+        let raw_quote = "\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\"b\"} 5\n";
+        assert!(std::panic::catch_unwind(|| assert_prometheus_grammar(raw_quote)).is_err());
+
+        // An unknown escape (\q) is a violation too.
+        let bad_escape = "\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\\qb\"} 5\n";
+        assert!(std::panic::catch_unwind(|| assert_prometheus_grammar(bad_escape)).is_err());
+
+        // Exemplars need a parseable value...
+        let no_value = "\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} nope\n";
+        assert!(std::panic::catch_unwind(|| assert_prometheus_grammar(no_value)).is_err());
+
+        // ...and at most a value plus one timestamp.
+        let extra = "\
+# TYPE svc_request_us histogram\n\
+svc_request_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 5 6 7\n";
+        assert!(std::panic::catch_unwind(|| assert_prometheus_grammar(extra)).is_err());
     }
 
     #[test]
