@@ -121,6 +121,17 @@ if [ "$fast" -eq 0 ]; then
         done
     done
     echo "ci: SLO artifacts present for all serving workloads"
+
+    # Vectorized-engine gate: the columnar kernels must equal the row
+    # oracle exactly (values, row order, float bits) on random tables,
+    # and strictly beat it on simulated instructions AND DRAM bytes for
+    # all three query workloads; then the regenerated perf numbers must
+    # match the committed BENCH_RESULTS.json within tolerance.
+    run cargo test --release -q -p bdb-integration \
+        --test columnar_differential --test columnar_vs_row_sim
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --fraction 0.02 --bench-baseline BENCH_RESULTS.json
+    echo "ci: columnar engine differential + perf gates passed"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

@@ -1,8 +1,10 @@
 //! Criterion benches for the relational-query workloads (paper Table 6
-//! rows 8–10) over Table-3-shaped data.
+//! rows 8–10) over Table-3-shaped data — row-engine oracle vs. the
+//! vectorized columnar engine.
 
 use bdb_sql::exec::{aggregate, hash_join, select, Aggregation};
 use bdb_sql::expr::{col, lit};
+use bdb_sql::{kernel, ColumnarTable};
 use bigdatabench::workloads::query::build_tables;
 use bigdatabench::RunScale;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -11,25 +13,50 @@ fn bench_queries(c: &mut Criterion) {
     let scale = RunScale::baseline();
     let (orders, items) = build_tables(&scale, 10_000);
     let bytes = (orders.byte_size() + items.byte_size()) as u64;
+    let orders_c = ColumnarTable::from_table(&orders);
+    let items_c = ColumnarTable::from_table(&items);
 
     let mut group = c.benchmark_group("query");
     group.sample_size(20);
     group.throughput(Throughput::Bytes(bytes));
 
-    group.bench_function("select", |b| {
+    group.bench_function("select-row", |b| {
         b.iter(|| {
             select(&items, &col("GOODS_PRICE").gt(lit(50.0)), &["ITEM_ID", "GOODS_AMOUNT"])
                 .expect("query")
         })
     });
-    group.bench_function("aggregate", |b| {
+    group.bench_function("select-columnar", |b| {
+        b.iter(|| {
+            kernel::select(
+                &items_c,
+                &col("GOODS_PRICE").gt(lit(50.0)),
+                &["ITEM_ID", "GOODS_AMOUNT"],
+            )
+            .expect("query")
+        })
+    });
+    group.bench_function("aggregate-row", |b| {
         b.iter(|| {
             aggregate(&items, "GOODS_ID", &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")])
                 .expect("query")
         })
     });
-    group.bench_function("join", |b| {
+    group.bench_function("aggregate-columnar", |b| {
+        b.iter(|| {
+            kernel::aggregate(
+                &items_c,
+                "GOODS_ID",
+                &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
+            )
+            .expect("query")
+        })
+    });
+    group.bench_function("join-row", |b| {
         b.iter(|| hash_join(&orders, "ORDER_ID", &items, "ORDER_ID").expect("join"))
+    });
+    group.bench_function("join-columnar", |b| {
+        b.iter(|| kernel::hash_join(&orders_c, "ORDER_ID", &items_c, "ORDER_ID").expect("join"))
     });
     group.finish();
 }

@@ -486,8 +486,9 @@ fn trace_exports(
     use bdb_mlkit::KMeans;
     use bdb_serving::loadgen::{run_closed_loop_sampled, PrometheusSampler};
     use bdb_serving::search::SearchServer;
-    use bdb_sql::exec::{hash_join_instrumented, select_instrumented};
     use bdb_sql::expr::{col, lit};
+    use bdb_sql::kernel::{hash_join_instrumented, select_instrumented};
+    use bdb_sql::ColumnarTable;
 
     section("Telemetry traces — Chrome trace JSON + metrics per workload");
     let dir = trace_dir.or(profile_dir).expect("trace_exports needs a destination");
@@ -676,10 +677,17 @@ fn trace_exports(
     let session = TraceSession::enabled("JoinQuery");
     let orders_n = ((8_000.0 * f) as u64).max(500);
     let (orders, items) = bigdatabench::workloads::query::build_tables(&suite.scale(1), orders_n);
+    let orders_c = ColumnarTable::from_table(&orders);
+    let items_c = ColumnarTable::from_table(&items);
     let query_span = session.recorder.span("sql", "query-session");
-    let sel =
-        select_instrumented(&orders, &col("BUYER_ID").gt(lit(0)), &["ORDER_ID"], &session.recorder);
-    let joined = hash_join_instrumented(&orders, "ORDER_ID", &items, "ORDER_ID", &session.recorder);
+    let sel = select_instrumented(
+        &orders_c,
+        &col("BUYER_ID").gt(lit(0)),
+        &["ORDER_ID"],
+        &session.recorder,
+    );
+    let joined =
+        hash_join_instrumented(&orders_c, "ORDER_ID", &items_c, "ORDER_ID", &session.recorder);
     drop(query_span);
     match (sel, joined) {
         (Ok(sel), Ok(joined)) => {

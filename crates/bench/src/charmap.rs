@@ -101,10 +101,10 @@ mod tests {
     #[test]
     fn full_default_set_analyzes_above_the_variance_target() {
         let input = analysis_input(1.0 / 64.0, &crate::results::DEFAULT_WORKLOADS);
-        assert_eq!(input.vectors.len(), 8);
+        assert_eq!(input.vectors.len(), 10);
         let map = bdb_charmap::analyze(&input, bdb_charmap::DEFAULT_SEED).expect("analyzes");
         assert!(map.variance_retained >= bdb_charmap::VARIANCE_TARGET);
-        assert!(map.k >= 2 && map.k < 8);
+        assert!(map.k >= 2 && map.k < 10);
         assert_eq!(map.subset.len(), map.k);
     }
 }

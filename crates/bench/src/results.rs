@@ -21,12 +21,15 @@ use std::time::Instant;
 /// comparator refuses to diff documents of different versions.
 /// v2: `mpki` gained `branch` (mispredicts per kilo-instruction) and
 /// the workload set grew from 5 to all 8 traced workloads.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: workloads gained a gated top-level `dram_bytes` counter and the
+/// set grew to 10 — all three relational query workloads are tracked so
+/// the vectorized engine's instruction/DRAM wins stay pinned.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Workloads captured in the artifact: every traced workload, covering
 /// each paper scenario family (micro MapReduce ×2, graph analytics ×2,
-/// machine learning, relational query, search serving, Cloud OLTP).
-pub const DEFAULT_WORKLOADS: [WorkloadId; 8] = [
+/// machine learning, relational query ×3, search serving, Cloud OLTP).
+pub const DEFAULT_WORKLOADS: [WorkloadId; 10] = [
     WorkloadId::WordCount,
     WorkloadId::Sort,
     WorkloadId::PageRank,
@@ -34,6 +37,8 @@ pub const DEFAULT_WORKLOADS: [WorkloadId; 8] = [
     WorkloadId::KMeans,
     WorkloadId::NutchServer,
     WorkloadId::Read,
+    WorkloadId::SelectQuery,
+    WorkloadId::AggregateQuery,
     WorkloadId::JoinQuery,
 ];
 
@@ -74,6 +79,8 @@ pub struct WorkloadResult {
     pub instructions: u64,
     /// Total modeled cycles.
     pub cycles: u64,
+    /// Total modeled DRAM traffic in bytes.
+    pub dram_bytes: u64,
     /// Misses per kilo-instruction: L1I, L1D, L2, L3, ITLB, DTLB, plus
     /// branch mispredicts per kilo-instruction.
     pub mpki: [f64; 7],
@@ -132,6 +139,7 @@ pub fn collect(fraction: f64, ids: &[WorkloadId]) -> BenchResults {
                 ipc: report.ipc(),
                 instructions: total,
                 cycles: report.cycles,
+                dram_bytes: report.dram_bytes,
                 mpki: [
                     report.l1i_mpki(),
                     report.l1d.stats.mpki(total),
@@ -210,7 +218,8 @@ fn write_workload(out: &mut String, w: &WorkloadResult) {
         .field_f64("mips", w.mips)
         .field_f64("ipc", w.ipc)
         .field_u64("instructions", w.instructions)
-        .field_u64("cycles", w.cycles);
+        .field_u64("cycles", w.cycles)
+        .field_u64("dram_bytes", w.dram_bytes);
     {
         let buf = o.field_raw("mpki");
         let mut m = ObjectWriter::new(buf);
@@ -498,7 +507,7 @@ mod reader {
 }
 
 /// The gated metric paths: deterministic simulator outputs only.
-const GATED: [&str; 4] = ["mips", "ipc", "instructions", "cycles"];
+const GATED: [&str; 5] = ["mips", "ipc", "instructions", "cycles", "dram_bytes"];
 
 fn change_pct(baseline: f64, current: f64) -> f64 {
     if baseline == 0.0 {
@@ -693,7 +702,11 @@ mod tests {
     #[test]
     fn incompatible_documents_are_refused() {
         let json = tiny().to_json();
-        let other_version = json.replacen("\"schema_version\":2", "\"schema_version\":3", 1);
+        let other_version = json.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{}", SCHEMA_VERSION + 1),
+            1,
+        );
         assert!(compare_json(&other_version, &json, 5.0).is_err());
         let other_fraction = json.replacen("\"fraction\":", "\"fraction\":0.5, \"x\":", 1);
         assert!(compare_json(&json, &other_fraction, 5.0).is_err());

@@ -1,14 +1,20 @@
 //! Realtime analytics: Select, Aggregate and Join queries over the
 //! e-commerce transaction tables (paper Tables 3 and 4).
+//!
+//! The queries execute on the vectorized columnar engine
+//! ([`bdb_sql::kernel`]): row tables from the generator are converted to
+//! [`ColumnarTable`]s once, then scanned/aggregated/joined in
+//! ~1024-row morsels. The row-at-a-time operators in [`bdb_sql::exec`]
+//! remain available as the differential-testing oracle.
 
 use crate::report::{UserMetric, WorkloadReport};
 use crate::scale::RunScale;
 use crate::workload::{Workload, WorkloadId};
 use bdb_archsim::{CharacterizationReport, MachineConfig, SimProbe};
 use bdb_datagen::EcommerceGenerator;
-use bdb_sql::exec;
 use bdb_sql::expr::{col, lit};
-use bdb_sql::{Aggregation, ColumnType, Schema, SqlTraceModel, Table, Value};
+use bdb_sql::kernel;
+use bdb_sql::{Aggregation, ColumnType, ColumnarTable, Schema, SqlTraceModel, Table, Value};
 use std::time::Instant;
 
 /// Library-scale baseline order count (the paper's 32 GB of table data).
@@ -72,17 +78,17 @@ enum QueryKind {
 
 fn run_query(
     kind: &QueryKind,
-    orders: &Table,
-    items: &Table,
+    orders: &ColumnarTable,
+    items: &ColumnarTable,
     probe: Option<(&mut SimProbe, &mut Option<SqlTraceModel>)>,
 ) -> usize {
     match (kind, probe) {
         (QueryKind::Select, None) => {
-            exec::select(items, &col("GOODS_PRICE").gt(lit(50.0)), &["ITEM_ID", "GOODS_AMOUNT"])
+            kernel::select(items, &col("GOODS_PRICE").gt(lit(50.0)), &["ITEM_ID", "GOODS_AMOUNT"])
                 .expect("valid query")
                 .len()
         }
-        (QueryKind::Select, Some((p, t))) => exec::select_traced(
+        (QueryKind::Select, Some((p, t))) => kernel::select_traced(
             items,
             &col("GOODS_PRICE").gt(lit(50.0)),
             &["ITEM_ID", "GOODS_AMOUNT"],
@@ -91,14 +97,14 @@ fn run_query(
         )
         .expect("valid query")
         .len(),
-        (QueryKind::Aggregate, None) => exec::aggregate(
+        (QueryKind::Aggregate, None) => kernel::aggregate(
             items,
             "GOODS_ID",
             &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
         )
         .expect("valid query")
         .len(),
-        (QueryKind::Aggregate, Some((p, t))) => exec::aggregate_traced(
+        (QueryKind::Aggregate, Some((p, t))) => kernel::aggregate_traced(
             items,
             "GOODS_ID",
             &[Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")],
@@ -108,10 +114,10 @@ fn run_query(
         .expect("valid query")
         .len(),
         (QueryKind::Join, None) => {
-            exec::hash_join(orders, "ORDER_ID", items, "ORDER_ID").expect("valid join").len()
+            kernel::hash_join(orders, "ORDER_ID", items, "ORDER_ID").expect("valid join").len()
         }
         (QueryKind::Join, Some((p, t))) => {
-            exec::hash_join_traced(orders, "ORDER_ID", items, "ORDER_ID", p, t)
+            kernel::hash_join_traced(orders, "ORDER_ID", items, "ORDER_ID", p, t)
                 .expect("valid join")
                 .len()
         }
@@ -133,6 +139,8 @@ macro_rules! query_workload {
                 let n = scale.native_units(ORDERS_BASELINE);
                 let (orders, items) = build_tables(scale, n);
                 let bytes = table_bytes(&orders, &items);
+                let orders = ColumnarTable::from_table(&orders);
+                let items = ColumnarTable::from_table(&items);
                 let start = Instant::now();
                 let rows = run_query(&$kind, &orders, &items, None);
                 let seconds = start.elapsed().as_secs_f64();
@@ -152,10 +160,12 @@ macro_rules! query_workload {
             ) -> CharacterizationReport {
                 let n = scale.traced_units(ORDERS_BASELINE).max(50);
                 let (orders, items) = build_tables(scale, n);
+                let orders = ColumnarTable::from_table(&orders);
+                let items = ColumnarTable::from_table(&items);
                 let mut probe = SimProbe::new(machine);
                 let mut trace = Some(SqlTraceModel::new());
-                trace.as_mut().expect("set").register_table(&orders);
-                trace.as_mut().expect("set").register_table(&items);
+                trace.as_mut().expect("set").register_columnar(&orders);
+                trace.as_mut().expect("set").register_columnar(&items);
                 trace.as_mut().expect("set").warm(&mut probe);
                 run_query(&$kind, &orders, &items, Some((&mut probe, &mut trace)));
                 probe.reset_stats();
@@ -198,6 +208,28 @@ mod tests {
         // exactly the item count (≈ 6.3 per order).
         let n = scale.native_units(ORDERS_BASELINE) as usize;
         assert!(rows > n * 4 && rows < n * 9, "rows {rows} for {n} orders");
+    }
+
+    #[test]
+    fn columnar_engine_matches_row_oracle() {
+        let scale = RunScale::quick();
+        let (orders, items) = build_tables(&scale, 200);
+        let co = ColumnarTable::from_table(&orders);
+        let ci = ColumnarTable::from_table(&items);
+        let pred = col("GOODS_PRICE").gt(lit(50.0));
+        assert_eq!(
+            kernel::select(&ci, &pred, &["ITEM_ID", "GOODS_AMOUNT"]).unwrap(),
+            bdb_sql::exec::select(&items, &pred, &["ITEM_ID", "GOODS_AMOUNT"]).unwrap()
+        );
+        let aggs = [Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")];
+        assert_eq!(
+            kernel::aggregate(&ci, "GOODS_ID", &aggs).unwrap(),
+            bdb_sql::exec::aggregate(&items, "GOODS_ID", &aggs).unwrap()
+        );
+        assert_eq!(
+            kernel::hash_join(&co, "ORDER_ID", &ci, "ORDER_ID").unwrap(),
+            bdb_sql::exec::hash_join(&orders, "ORDER_ID", &items, "ORDER_ID").unwrap()
+        );
     }
 
     #[test]

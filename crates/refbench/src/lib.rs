@@ -33,6 +33,7 @@
 pub mod hpcc;
 pub mod parsec;
 pub mod spec;
+pub mod sqlkern;
 
 use bdb_archsim::{CharacterizationReport, MachineConfig, Probe, SimProbe};
 

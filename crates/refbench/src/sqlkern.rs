@@ -1,0 +1,209 @@
+//! Microbenchmarks for the vectorized columnar query kernels.
+//!
+//! Where the suite-level workloads measure the three fixed paper
+//! queries, these sweeps isolate each kernel and vary the one parameter
+//! that dominates its behaviour:
+//!
+//! * **filter** — predicate selectivity (how many rows survive and pay
+//!   for late materialization);
+//! * **aggregation** — group cardinality (hash-table footprint from a
+//!   handful of hot groups up to one group per row);
+//! * **join** — build/probe ratio (a small dimension table probed by a
+//!   large fact table vs. the reverse);
+//! * **scan** — column count (pure streaming bandwidth of the scan
+//!   kernel with a pass-everything predicate).
+//!
+//! All sweeps run the real [`bdb_sql::kernel`] traced paths on a fresh
+//! [`SimProbe`] per point, with the warm/reset/measure protocol the
+//! suite uses, so points are directly comparable to workload-level
+//! characterizations.
+
+use bdb_archsim::{CharacterizationReport, MachineConfig, SimProbe};
+use bdb_sql::expr::{col, lit};
+use bdb_sql::kernel;
+use bdb_sql::{Aggregation, ColumnType, ColumnarTable, Schema, SqlTraceModel, Table, Value};
+
+/// One sweep point: the parameter value and the measured report.
+#[derive(Debug)]
+pub struct SweepPoint<T> {
+    /// Swept parameter value (selectivity, cardinality, ...).
+    pub param: T,
+    /// Characterization of the kernel at this parameter.
+    pub report: CharacterizationReport,
+}
+
+/// Deterministic table: `v` cycles `0..1000`, `g` cycles `0..groups`.
+fn synth_table(name: &str, rows: usize, groups: usize) -> ColumnarTable {
+    let mut t = Table::new(
+        name,
+        Schema::new(&[("id", ColumnType::Int), ("g", ColumnType::Int), ("v", ColumnType::Float)]),
+    );
+    let mut h: u64 = 0x9E37_79B9;
+    for i in 0..rows {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int((h % groups.max(1) as u64) as i64),
+            Value::Float((h >> 32) as f64 % 1000.0),
+        ])
+        .expect("schema");
+    }
+    ColumnarTable::from_table(&t)
+}
+
+/// Warm/reset/measure protocol around one traced kernel invocation.
+fn measure(
+    machine: MachineConfig,
+    tables: &[&ColumnarTable],
+    run: impl Fn(&mut SimProbe, &mut Option<SqlTraceModel>),
+) -> CharacterizationReport {
+    let mut probe = SimProbe::new(machine);
+    let mut trace = Some(SqlTraceModel::new());
+    for t in tables {
+        trace.as_mut().expect("set").register_columnar(t);
+    }
+    trace.as_mut().expect("set").warm(&mut probe);
+    run(&mut probe, &mut trace);
+    probe.reset_stats();
+    run(&mut probe, &mut trace);
+    probe.finish()
+}
+
+/// Filter kernel vs. predicate selectivity: `v < 1000 * s` passes a
+/// fraction `s` of rows, so instruction count grows with `s` through
+/// the late-materialization gathers while scan traffic stays flat.
+pub fn filter_selectivity_sweep(
+    rows: usize,
+    selectivities: &[f64],
+    machine: MachineConfig,
+) -> Vec<SweepPoint<f64>> {
+    let t = synth_table("filter_sweep", rows, 64);
+    selectivities
+        .iter()
+        .map(|&s| SweepPoint {
+            param: s,
+            report: measure(machine.clone(), &[&t], |p, tr| {
+                kernel::select_traced(&t, &col("v").lt(lit(1000.0 * s)), &["id"], p, tr)
+                    .expect("query");
+            }),
+        })
+        .collect()
+}
+
+/// Aggregation kernel vs. group cardinality: few groups keep the hash
+/// table cache-resident; one group per row scatters it.
+pub fn agg_cardinality_sweep(
+    rows: usize,
+    cardinalities: &[usize],
+    machine: MachineConfig,
+) -> Vec<SweepPoint<usize>> {
+    cardinalities
+        .iter()
+        .map(|&groups| {
+            let t = synth_table("agg_sweep", rows, groups);
+            SweepPoint {
+                param: groups,
+                report: measure(machine.clone(), &[&t], |p, tr| {
+                    kernel::aggregate_traced(
+                        &t,
+                        "g",
+                        &[Aggregation::count(), Aggregation::sum("v")],
+                        p,
+                        tr,
+                    )
+                    .expect("query");
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Join kernel vs. build/probe split: `build_fraction` of `rows` go to
+/// the build side, the rest probe it (keys overlap by construction).
+pub fn join_ratio_sweep(
+    rows: usize,
+    build_fractions: &[f64],
+    machine: MachineConfig,
+) -> Vec<SweepPoint<f64>> {
+    build_fractions
+        .iter()
+        .map(|&f| {
+            let build_rows = ((rows as f64 * f) as usize).max(1);
+            let probe_rows = (rows - build_rows.min(rows)).max(1);
+            let keys = build_rows.max(probe_rows) / 4;
+            let build = synth_table("join_build", build_rows, keys.max(1));
+            let probe = synth_table("join_probe", probe_rows, keys.max(1));
+            SweepPoint {
+                param: f,
+                report: measure(machine.clone(), &[&build, &probe], |p, tr| {
+                    kernel::hash_join_traced(&build, "g", &probe, "g", p, tr).expect("join");
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Scan kernel vs. projected column count with a pass-everything
+/// predicate: pure streaming bandwidth.
+pub fn scan_width_sweep(
+    rows: usize,
+    widths: &[usize],
+    machine: MachineConfig,
+) -> Vec<SweepPoint<usize>> {
+    let t = synth_table("scan_sweep", rows, 64);
+    let all_cols = ["id", "g", "v"];
+    widths
+        .iter()
+        .map(|&w| {
+            let proj = &all_cols[..w.clamp(1, all_cols.len())];
+            SweepPoint {
+                param: w,
+                report: measure(machine.clone(), &[&t], |p, tr| {
+                    kernel::select_traced(&t, &col("id").ge(lit(0)), proj, p, tr).expect("query");
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINE: fn() -> MachineConfig = MachineConfig::xeon_e5645;
+
+    #[test]
+    fn selectivity_raises_instructions_not_scan_traffic() {
+        let pts = filter_selectivity_sweep(8_192, &[0.05, 0.95], MACHINE());
+        assert!(
+            pts[1].report.instructions() > pts[0].report.instructions(),
+            "gathers should make the 95% point costlier: {} vs {}",
+            pts[1].report.instructions(),
+            pts[0].report.instructions()
+        );
+    }
+
+    #[test]
+    fn group_cardinality_sweep_runs_every_point() {
+        let pts = agg_cardinality_sweep(4_096, &[4, 256, 4_096], MACHINE());
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(p.report.instructions() > 0);
+            assert!(p.report.mix.loads > 0);
+        }
+    }
+
+    #[test]
+    fn join_ratio_extremes_both_run() {
+        let pts = join_ratio_sweep(8_192, &[0.1, 0.5, 0.9], MACHINE());
+        assert_eq!(pts.len(), 3);
+        // A bigger build side means more hash-insert stores.
+        assert!(pts[2].report.mix.stores > pts[0].report.mix.stores);
+    }
+
+    #[test]
+    fn wider_scans_read_more() {
+        let pts = scan_width_sweep(8_192, &[1, 3], MACHINE());
+        assert!(pts[1].report.mix.loads > pts[0].report.mix.loads);
+    }
+}

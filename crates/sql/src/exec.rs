@@ -7,7 +7,7 @@
 use crate::expr::Expr;
 use crate::table::Table;
 use crate::trace::SqlTraceModel;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::SqlError;
 use bdb_archsim::{NullProbe, Probe};
 use bdb_telemetry::{span, SpanRecorder};
@@ -64,9 +64,11 @@ impl Aggregation {
     }
 }
 
-/// Running accumulator for one aggregate over one group.
+/// Running accumulator for one aggregate over one group. Shared with
+/// the columnar kernels so both engines have bit-identical float
+/// accumulation semantics.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(u64),
     Sum(f64),
     Avg(f64, u64),
@@ -75,7 +77,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(f: AggregateFn) -> Self {
+    pub(crate) fn new(f: AggregateFn) -> Self {
         match f {
             AggregateFn::Count => Acc::Count(0),
             AggregateFn::Sum => Acc::Sum(0.0),
@@ -85,7 +87,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: &Value) {
+    pub(crate) fn update(&mut self, v: ValueRef<'_>) {
         match self {
             Acc::Count(n) => *n += 1,
             Acc::Sum(s) => {
@@ -101,22 +103,24 @@ impl Acc {
             }
             Acc::Min(m) => {
                 if !v.is_null()
-                    && m.as_ref().is_none_or(|cur| v.total_cmp(cur) == std::cmp::Ordering::Less)
+                    && m.as_ref()
+                        .is_none_or(|cur| v.total_cmp(&cur.view()) == std::cmp::Ordering::Less)
                 {
-                    *m = Some(v.clone());
+                    *m = Some(v.to_value());
                 }
             }
             Acc::Max(m) => {
                 if !v.is_null()
-                    && m.as_ref().is_none_or(|cur| v.total_cmp(cur) == std::cmp::Ordering::Greater)
+                    && m.as_ref()
+                        .is_none_or(|cur| v.total_cmp(&cur.view()) == std::cmp::Ordering::Greater)
                 {
-                    *m = Some(v.clone());
+                    *m = Some(v.to_value());
                 }
             }
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n as i64),
             Acc::Sum(s) => Value::Float(s),
@@ -291,7 +295,7 @@ fn aggregate_impl<P: Probe + ?Sized>(
     let mut groups: HashMap<u64, (Value, Vec<Acc>)> = HashMap::new();
     let buckets = (table.len() / 4).max(64);
     for row in 0..table.len() {
-        let key = table.value(row, gcol);
+        let key = table.value_ref(row, gcol);
         let h = key.hash64();
         if let Some(t) = trace.as_mut() {
             t.on_row(probe);
@@ -307,9 +311,9 @@ fn aggregate_impl<P: Probe + ?Sized>(
         }
         let entry = groups
             .entry(h)
-            .or_insert_with(|| (key.clone(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
+            .or_insert_with(|| (key.to_value(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
         for (acc, &c) in entry.1.iter_mut().zip(&acols) {
-            acc.update(&table.value(row, c));
+            acc.update(table.value_ref(row, c));
         }
     }
     let mut rows: Vec<Vec<Value>> = groups
@@ -394,7 +398,7 @@ fn hash_join_impl<P: Probe + ?Sized>(
     let buckets = left.len().max(64);
     let mut build: HashMap<u64, Vec<usize>> = HashMap::with_capacity(left.len());
     for row in 0..left.len() {
-        let key = left.value(row, li);
+        let key = left.value_ref(row, li);
         if key.is_null() {
             continue; // NULL never joins
         }
@@ -412,7 +416,7 @@ fn hash_join_impl<P: Probe + ?Sized>(
     let mut probe_span = span!(telemetry, "sql", "join-probe", rows = right.len());
     let mut out = Vec::new();
     for row in 0..right.len() {
-        let key = right.value(row, ri);
+        let key = right.value_ref(row, ri);
         if key.is_null() {
             continue;
         }
@@ -428,7 +432,7 @@ fn hash_join_impl<P: Probe + ?Sized>(
         if let Some(matches) = build.get(&h) {
             for &lrow in matches {
                 // Re-check equality (hash collisions).
-                if left.value(lrow, li).total_cmp(&key) == std::cmp::Ordering::Equal {
+                if left.value_ref(lrow, li).total_cmp(&key) == std::cmp::Ordering::Equal {
                     if let Some(t) = trace.as_mut() {
                         for c in 0..left.schema().arity() {
                             t.column_read(probe, left, lrow, c);
@@ -437,8 +441,10 @@ fn hash_join_impl<P: Probe + ?Sized>(
                             t.column_read(probe, right, row, c);
                         }
                     }
-                    let mut joined = left.row(lrow);
-                    joined.extend(right.row(row));
+                    let mut joined =
+                        Vec::with_capacity(left.schema().arity() + right.schema().arity());
+                    left.append_row_to(lrow, &mut joined);
+                    right.append_row_to(row, &mut joined);
                     out.push(joined);
                 }
             }

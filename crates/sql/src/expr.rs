@@ -1,7 +1,7 @@
 //! Scalar predicate expressions for filters and join conditions.
 
 use crate::table::Table;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::SqlError;
 use std::cmp::Ordering;
 
@@ -126,15 +126,31 @@ impl Expr {
     ///
     /// Returns [`SqlError::UnknownColumn`] for unresolved names.
     pub fn bind(&self, table: &Table) -> Result<BoundExpr, SqlError> {
+        self.bind_schema(table.schema())
+    }
+
+    /// Binds column names to positions in `schema` — the table-free form
+    /// of [`Expr::bind`], shared with the columnar kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::UnknownColumn`] for unresolved names.
+    pub fn bind_schema(&self, schema: &crate::schema::Schema) -> Result<BoundExpr, SqlError> {
         Ok(match self {
-            Expr::Column(name) => BoundExpr::Column(table.schema().resolve(name)?.0),
+            Expr::Column(name) => BoundExpr::Column(schema.resolve(name)?.0),
             Expr::Literal(v) => BoundExpr::Literal(v.clone()),
-            Expr::Compare(a, op, b) => {
-                BoundExpr::Compare(Box::new(a.bind(table)?), *op, Box::new(b.bind(table)?))
+            Expr::Compare(a, op, b) => BoundExpr::Compare(
+                Box::new(a.bind_schema(schema)?),
+                *op,
+                Box::new(b.bind_schema(schema)?),
+            ),
+            Expr::And(a, b) => {
+                BoundExpr::And(Box::new(a.bind_schema(schema)?), Box::new(b.bind_schema(schema)?))
             }
-            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(table)?), Box::new(b.bind(table)?)),
-            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(table)?), Box::new(b.bind(table)?)),
-            Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(table)?)),
+            Expr::Or(a, b) => {
+                BoundExpr::Or(Box::new(a.bind_schema(schema)?), Box::new(b.bind_schema(schema)?))
+            }
+            Expr::Not(a) => BoundExpr::Not(Box::new(a.bind_schema(schema)?)),
         })
     }
 }
@@ -159,67 +175,79 @@ pub enum BoundExpr {
 impl BoundExpr {
     /// Evaluates to a value on `row` of `table`.
     pub fn eval(&self, table: &Table, row: usize) -> Value {
+        self.eval_ref(table, row).to_value()
+    }
+
+    /// Evaluates to a borrowed value on `row` of `table` — the
+    /// allocation-free path used by filters and the columnar kernels'
+    /// generic fallback.
+    pub fn eval_ref<'a>(&'a self, table: &'a Table, row: usize) -> ValueRef<'a> {
         match self {
-            BoundExpr::Column(i) => table.value(row, *i),
-            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Column(i) => table.value_ref(row, *i),
+            BoundExpr::Literal(v) => v.view(),
             BoundExpr::Compare(a, op, b) => {
-                let av = a.eval(table, row);
-                let bv = b.eval(table, row);
+                let av = a.eval_ref(table, row);
+                let bv = b.eval_ref(table, row);
                 if av.is_null() || bv.is_null() {
-                    return Value::Null; // SQL three-valued logic
+                    return ValueRef::Null; // SQL three-valued logic
                 }
-                let ord = av.total_cmp(&bv);
-                let res = match op {
-                    CmpOp::Eq => ord == Ordering::Equal,
-                    CmpOp::Ne => ord != Ordering::Equal,
-                    CmpOp::Lt => ord == Ordering::Less,
-                    CmpOp::Le => ord != Ordering::Greater,
-                    CmpOp::Gt => ord == Ordering::Greater,
-                    CmpOp::Ge => ord != Ordering::Less,
-                };
-                Value::Int(res as i64)
+                ValueRef::Int(op.holds(av.total_cmp(&bv)) as i64)
             }
-            BoundExpr::And(a, b) => truthy_and(a.eval(table, row), b.eval(table, row)),
-            BoundExpr::Or(a, b) => truthy_or(a.eval(table, row), b.eval(table, row)),
-            BoundExpr::Not(a) => match a.eval(table, row) {
-                Value::Null => Value::Null,
-                v => Value::Int((!truthy(&v)) as i64),
+            BoundExpr::And(a, b) => truthy_and(a.eval_ref(table, row), b.eval_ref(table, row)),
+            BoundExpr::Or(a, b) => truthy_or(a.eval_ref(table, row), b.eval_ref(table, row)),
+            BoundExpr::Not(a) => match a.eval_ref(table, row) {
+                ValueRef::Null => ValueRef::Null,
+                v => ValueRef::Int((!truthy(v)) as i64),
             },
         }
     }
 
     /// Evaluates as a filter predicate (NULL counts as false).
     pub fn matches(&self, table: &Table, row: usize) -> bool {
-        truthy(&self.eval(table, row))
+        truthy(self.eval_ref(table, row))
     }
 }
 
-fn truthy(v: &Value) -> bool {
+impl CmpOp {
+    /// Whether an ordering between operands satisfies this operator.
+    pub(crate) fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+pub(crate) fn truthy(v: ValueRef<'_>) -> bool {
     match v {
-        Value::Int(x) => *x != 0,
-        Value::Float(x) => *x != 0.0,
-        Value::Null => false,
-        Value::Str(s) => !s.is_empty(),
-        Value::Date(_) => true,
+        ValueRef::Int(x) => x != 0,
+        ValueRef::Float(x) => x != 0.0,
+        ValueRef::Null => false,
+        ValueRef::Str(s) => !s.is_empty(),
+        ValueRef::Date(_) => true,
     }
 }
 
-fn truthy_and(a: Value, b: Value) -> Value {
+pub(crate) fn truthy_and<'a>(a: ValueRef<'a>, b: ValueRef<'a>) -> ValueRef<'a> {
     match (a.is_null(), b.is_null()) {
-        (false, false) => Value::Int((truthy(&a) && truthy(&b)) as i64),
+        (false, false) => ValueRef::Int((truthy(a) && truthy(b)) as i64),
         // NULL AND false = false; otherwise NULL.
-        (true, false) if !truthy(&b) => Value::Int(0),
-        (false, true) if !truthy(&a) => Value::Int(0),
-        _ => Value::Null,
+        (true, false) if !truthy(b) => ValueRef::Int(0),
+        (false, true) if !truthy(a) => ValueRef::Int(0),
+        _ => ValueRef::Null,
     }
 }
 
-fn truthy_or(a: Value, b: Value) -> Value {
+pub(crate) fn truthy_or<'a>(a: ValueRef<'a>, b: ValueRef<'a>) -> ValueRef<'a> {
     match (a.is_null(), b.is_null()) {
-        (false, false) => Value::Int((truthy(&a) || truthy(&b)) as i64),
-        (true, false) if truthy(&b) => Value::Int(1),
-        (false, true) if truthy(&a) => Value::Int(1),
-        _ => Value::Null,
+        (false, false) => ValueRef::Int((truthy(a) || truthy(b)) as i64),
+        (true, false) if truthy(b) => ValueRef::Int(1),
+        (false, true) if truthy(a) => ValueRef::Int(1),
+        _ => ValueRef::Null,
     }
 }
 

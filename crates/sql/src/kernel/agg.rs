@@ -1,0 +1,115 @@
+//! Hash aggregation over column batches.
+//!
+//! The parallel path is hash-partitioned so float accumulation stays
+//! bit-identical to the row oracle: rows are split by group hash into
+//! [`PARTITIONS`] disjoint partitions (a group lives wholly in one
+//! partition), partition lists are stitched in morsel order so each
+//! partition sees its rows in global row order, and partitions then
+//! aggregate independently — every group's values are added in exactly
+//! the order the single-threaded row engine adds them, regardless of
+//! worker count.
+
+use super::{for_each_index, for_each_morsel};
+use crate::column::ColumnarTable;
+use crate::exec::{Acc, Aggregation};
+use crate::value::Value;
+use bdb_archsim::layout::splitmix64;
+use bdb_telemetry::{span, SpanRecorder};
+use std::collections::HashMap;
+
+/// Number of hash partitions in the parallel paths (power of two).
+pub(crate) const PARTITIONS: usize = 16;
+
+/// The partition a group hash belongs to (any pure function of the
+/// hash works; `splitmix64` decorrelates it from bucket selection).
+pub(crate) fn partition_of(h: u64) -> usize {
+    (splitmix64(h) & (PARTITIONS as u64 - 1)) as usize
+}
+
+/// Group state: key plus one accumulator per aggregation, keyed by the
+/// group hash exactly like the row engine's `aggregate`.
+#[derive(Debug, Default)]
+pub(crate) struct GroupTable {
+    groups: HashMap<u64, (Value, Vec<Acc>)>,
+}
+
+impl GroupTable {
+    /// Folds one row into its group (creating it on first sight).
+    pub(crate) fn update(
+        &mut self,
+        t: &ColumnarTable,
+        gcol: usize,
+        acols: &[usize],
+        aggs: &[Aggregation],
+        row: usize,
+        h: u64,
+    ) {
+        let entry = self.groups.entry(h).or_insert_with(|| {
+            (
+                t.column(gcol).value_ref(row).to_value(),
+                aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            )
+        });
+        for (acc, &c) in entry.1.iter_mut().zip(acols) {
+            acc.update(t.column(c).value_ref(row));
+        }
+    }
+}
+
+/// Finalizes accumulated groups into output rows ordered by group key
+/// (same ordering as the row engine).
+pub(crate) fn finish_rows(tables: impl IntoIterator<Item = GroupTable>) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = tables
+        .into_iter()
+        .flat_map(|t| t.groups.into_values())
+        .map(|(key, accs)| {
+            let mut row = vec![key];
+            row.extend(accs.into_iter().map(Acc::finish));
+            row
+        })
+        .collect();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    rows
+}
+
+/// Morsel-parallel partitioned hash aggregation.
+pub(crate) fn aggregate_parallel(
+    t: &ColumnarTable,
+    gcol: usize,
+    acols: &[usize],
+    aggs: &[Aggregation],
+    telemetry: &SpanRecorder,
+) -> Vec<Vec<Value>> {
+    // Pass 1: hash the group column morsel-by-morsel and split row ids
+    // into partitions.
+    let per_morsel: Vec<[Vec<(u32, u64)>; PARTITIONS]> = for_each_morsel(t.len(), |m, rows| {
+        let mut span = span!(telemetry, "sql", "agg-morsel", morsel = m, rows = rows.len());
+        let mut parts: [Vec<(u32, u64)>; PARTITIONS] = std::array::from_fn(|_| Vec::new());
+        let col = t.column(gcol);
+        for row in rows {
+            let h = col.value_ref(row).hash64();
+            parts[partition_of(h)].push((row as u32, h));
+        }
+        span.arg("partitions_touched", parts.iter().filter(|p| !p.is_empty()).count());
+        parts
+    });
+    // Stitch per-partition lists in morsel order: global row order within
+    // each partition, the invariant float exactness rests on.
+    let mut parts: Vec<Vec<(u32, u64)>> = (0..PARTITIONS).map(|_| Vec::new()).collect();
+    for morsel in per_morsel {
+        for (p, rows) in morsel.into_iter().enumerate() {
+            parts[p].extend(rows);
+        }
+    }
+    // Pass 2: aggregate partitions independently.
+    let tables = for_each_index(PARTITIONS, |p| {
+        let mut span = span!(telemetry, "sql", "agg-partition", partition = p);
+        let mut gt = GroupTable::default();
+        for &(row, h) in &parts[p] {
+            gt.update(t, gcol, acols, aggs, row as usize, h);
+        }
+        span.arg("rows", parts[p].len());
+        gt
+    });
+    finish_rows(tables)
+}

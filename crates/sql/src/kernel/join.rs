@@ -1,0 +1,90 @@
+//! Partitioned hash join over typed key columns.
+//!
+//! Build and probe both run morsel-parallel: the build side is hashed
+//! and split into [`PARTITIONS`] disjoint hash tables (stitched in
+//! morsel order so collision chains keep global row order), then probe
+//! morsels look up their partition's table independently. Matches
+//! materialize late — only matched rows gather their payload columns —
+//! and per-morsel outputs concatenate in morsel order, so the result
+//! row order is exactly the row engine's probe order.
+
+use super::agg::{partition_of, PARTITIONS};
+use super::project::gather_row;
+use super::{for_each_index, for_each_morsel};
+use crate::column::ColumnarTable;
+use crate::value::Value;
+use bdb_telemetry::{span, SpanRecorder};
+use std::collections::HashMap;
+
+/// Morsel-parallel partitioned hash join; returns `left.row ++
+/// right.row` for every match, in probe order.
+pub(crate) fn join_parallel(
+    left: &ColumnarTable,
+    li: usize,
+    right: &ColumnarTable,
+    ri: usize,
+    telemetry: &SpanRecorder,
+) -> Vec<Vec<Value>> {
+    // Build pass 1: hash the left key column into partitions.
+    let per_morsel: Vec<[Vec<(u32, u64)>; PARTITIONS]> = for_each_morsel(left.len(), |m, rows| {
+        let _s = span!(telemetry, "sql", "build-morsel", morsel = m, rows = rows.len());
+        let mut parts: [Vec<(u32, u64)>; PARTITIONS] = std::array::from_fn(|_| Vec::new());
+        let col = left.column(li);
+        for row in rows {
+            let key = col.value_ref(row);
+            if key.is_null() {
+                continue; // NULL never joins
+            }
+            let h = key.hash64();
+            parts[partition_of(h)].push((row as u32, h));
+        }
+        parts
+    });
+    let mut parts: Vec<Vec<(u32, u64)>> = (0..PARTITIONS).map(|_| Vec::new()).collect();
+    for morsel in per_morsel {
+        for (p, rows) in morsel.into_iter().enumerate() {
+            parts[p].extend(rows);
+        }
+    }
+    // Build pass 2: one hash table per partition, chains in row order.
+    let tables: Vec<HashMap<u64, Vec<u32>>> = for_each_index(PARTITIONS, |p| {
+        let mut span = span!(telemetry, "sql", "build-partition", partition = p);
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(parts[p].len());
+        for &(row, h) in &parts[p] {
+            table.entry(h).or_default().push(row);
+        }
+        span.arg("keys", table.len());
+        table
+    });
+    // Probe: morsels of the right table look up their partition table
+    // and materialize matches late.
+    let lcols: Vec<usize> = (0..left.schema().arity()).collect();
+    let rcols: Vec<usize> = (0..right.schema().arity()).collect();
+    let out_per_morsel: Vec<Vec<Vec<Value>>> = for_each_morsel(right.len(), |m, rows| {
+        let mut span = span!(telemetry, "sql", "probe-morsel", morsel = m, rows = rows.len());
+        let col = right.column(ri);
+        let lkey = left.column(li);
+        let mut out = Vec::new();
+        for row in rows {
+            let key = col.value_ref(row);
+            if key.is_null() {
+                continue;
+            }
+            let h = key.hash64();
+            if let Some(matches) = tables[partition_of(h)].get(&h) {
+                for &lrow in matches {
+                    // Re-check equality (hash collisions).
+                    if lkey.value_ref(lrow as usize).total_cmp(&key) == std::cmp::Ordering::Equal {
+                        let mut joined = Vec::with_capacity(lcols.len() + rcols.len());
+                        gather_row(left, &lcols, lrow as usize, &mut joined);
+                        gather_row(right, &rcols, row, &mut joined);
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+        span.arg("output_rows", out.len());
+        out
+    });
+    out_per_morsel.into_iter().flatten().collect()
+}

@@ -1,0 +1,45 @@
+//! Late materialization: gather selected rows into owned output rows.
+//!
+//! Kernels carry selection vectors (row ids) through filter/join stages
+//! and only touch the projected columns here, at the very end — rows
+//! that fail the predicate never pay for their payload columns.
+
+use crate::column::ColumnarTable;
+use crate::value::Value;
+
+/// Appends the projected cells of `row` onto `out`.
+pub(crate) fn gather_row(t: &ColumnarTable, cols: &[usize], row: usize, out: &mut Vec<Value>) {
+    out.reserve(cols.len());
+    for &c in cols {
+        out.push(t.column(c).value_ref(row).to_value());
+    }
+}
+
+/// Materializes one output row per selected row id.
+pub(crate) fn gather_rows(t: &ColumnarTable, cols: &[usize], sel: &[u32]) -> Vec<Vec<Value>> {
+    sel.iter()
+        .map(|&row| {
+            let mut out = Vec::with_capacity(cols.len());
+            gather_row(t, cols, row as usize, &mut out);
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::table::Table;
+
+    #[test]
+    fn gathers_in_selection_order() {
+        let mut t = Table::new("t", Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Str)]));
+        for (a, b) in [(1, "x"), (2, "y"), (3, "z")] {
+            t.push_row(vec![Value::Int(a), b.into()]).unwrap();
+        }
+        let c = ColumnarTable::from_table(&t);
+        let rows = gather_rows(&c, &[1, 0], &[2, 0]);
+        assert_eq!(rows, vec![vec!["z".into(), Value::Int(3)], vec!["x".into(), Value::Int(1)]]);
+    }
+}

@@ -38,19 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod exec;
 pub mod expr;
+pub mod kernel;
 pub mod parser;
 pub mod schema;
 pub mod table;
 pub mod trace;
 pub mod value;
 
+pub use column::{ColumnVec, ColumnarTable};
 pub use exec::{AggregateFn, Aggregation};
 pub use schema::{ColumnType, Schema};
 pub use table::{Database, Table};
 pub use trace::SqlTraceModel;
-pub use value::Value;
+pub use value::{Value, ValueRef};
 
 /// Errors produced by the query engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,7 +1,7 @@
 //! Columnar tables and the database catalog.
 
 use crate::schema::{ColumnType, Schema};
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use crate::SqlError;
 use std::collections::HashMap;
 
@@ -40,12 +40,12 @@ impl Column {
         }
     }
 
-    fn get(&self, row: usize) -> Value {
+    fn get_ref(&self, row: usize) -> ValueRef<'_> {
         match self {
-            Column::Int(c) => Value::Int(c[row]),
-            Column::Float(c) => Value::Float(c[row]),
-            Column::Str(c) => Value::Str(c[row].clone()),
-            Column::Date(c) => Value::Date(c[row]),
+            Column::Int(c) => ValueRef::Int(c[row]),
+            Column::Float(c) => ValueRef::Float(c[row]),
+            Column::Str(c) => ValueRef::Str(&c[row]),
+            Column::Date(c) => ValueRef::Date(c[row]),
         }
     }
 }
@@ -127,11 +127,21 @@ impl Table {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn value(&self, row: usize, col: usize) -> Value {
+        self.value_ref(row, col).to_value()
+    }
+
+    /// A borrowed view of the value at `(row, col)` — the hot-path
+    /// accessor: no `String` clone for `Str` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn value_ref(&self, row: usize, col: usize) -> ValueRef<'_> {
         assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
         if self.nulls[col].contains(&row) {
-            return Value::Null;
+            return ValueRef::Null;
         }
-        self.columns[col].get(row)
+        self.columns[col].get_ref(row)
     }
 
     /// Materializes one full row.
@@ -140,7 +150,22 @@ impl Table {
     ///
     /// Panics if `row` is out of bounds.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        (0..self.schema.arity()).map(|c| self.value(row, c)).collect()
+        let mut out = Vec::with_capacity(self.schema.arity());
+        self.append_row_to(row, &mut out);
+        out
+    }
+
+    /// Appends the cells of `row` onto `out`, reusing the caller's
+    /// buffer instead of allocating a fresh `Vec` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn append_row_to(&self, row: usize, out: &mut Vec<Value>) {
+        out.reserve(self.schema.arity());
+        for c in 0..self.schema.arity() {
+            out.push(self.value(row, c));
+        }
     }
 }
 

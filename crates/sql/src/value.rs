@@ -50,10 +50,78 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// A borrowed view of this value.
+    pub fn view(&self) -> ValueRef<'_> {
+        ValueRef::from(self)
+    }
+
     /// Total-order comparison used by sorts and grouping; `Null` sorts
     /// first, cross-type comparisons order by type tag.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
-        use Value::*;
+        self.view().total_cmp(&other.view())
+    }
+
+    /// A stable 64-bit hash (used by hash joins and group-by).
+    pub fn hash64(&self) -> u64 {
+        self.view().hash64()
+    }
+}
+
+/// A borrowed, allocation-free view of one cell value — the hot-path
+/// counterpart of [`Value`] for scans, join keys and group keys. It is
+/// `Copy`, so row-at-a-time code can pass it around without cloning the
+/// backing `String` of a `Str` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Borrowed UTF-8 string.
+    Str(&'a str),
+    /// Days since data-set epoch.
+    Date(u32),
+    /// SQL NULL.
+    Null,
+}
+
+impl<'a> ValueRef<'a> {
+    /// The integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ValueRef::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The float, widening `Int` if needed.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ValueRef::Float(x) => Some(*x),
+            ValueRef::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Materializes an owned [`Value`] (allocates only for `Str`).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Int(x) => Value::Int(x),
+            ValueRef::Float(x) => Value::Float(x),
+            ValueRef::Str(s) => Value::Str(s.to_owned()),
+            ValueRef::Date(d) => Value::Date(d),
+            ValueRef::Null => Value::Null,
+        }
+    }
+
+    /// Total-order comparison; same semantics as [`Value::total_cmp`].
+    pub fn total_cmp(&self, other: &ValueRef<'_>) -> Ordering {
+        use ValueRef::*;
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Null, _) => Ordering::Less,
@@ -68,7 +136,7 @@ impl Value {
         }
     }
 
-    /// A stable 64-bit hash (used by hash joins and group-by).
+    /// A stable 64-bit hash; same function as [`Value::hash64`].
     pub fn hash64(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |bytes: &[u8]| {
@@ -77,23 +145,35 @@ impl Value {
             }
         };
         match self {
-            Value::Int(x) => mix(&x.to_le_bytes()),
-            Value::Float(x) => mix(&x.to_bits().to_le_bytes()),
-            Value::Str(s) => mix(s.as_bytes()),
-            Value::Date(d) => mix(&d.to_le_bytes()),
-            Value::Null => mix(&[0xFF]),
+            ValueRef::Int(x) => mix(&x.to_le_bytes()),
+            ValueRef::Float(x) => mix(&x.to_bits().to_le_bytes()),
+            ValueRef::Str(s) => mix(s.as_bytes()),
+            ValueRef::Date(d) => mix(&d.to_le_bytes()),
+            ValueRef::Null => mix(&[0xFF]),
         }
         h
     }
 }
 
-fn tag(v: &Value) -> u8 {
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::Int(x) => ValueRef::Int(*x),
+            Value::Float(x) => ValueRef::Float(*x),
+            Value::Str(s) => ValueRef::Str(s),
+            Value::Date(d) => ValueRef::Date(*d),
+            Value::Null => ValueRef::Null,
+        }
+    }
+}
+
+fn tag(v: &ValueRef<'_>) -> u8 {
     match v {
-        Value::Null => 0,
-        Value::Int(_) => 1,
-        Value::Float(_) => 2,
-        Value::Str(_) => 3,
-        Value::Date(_) => 4,
+        ValueRef::Null => 0,
+        ValueRef::Int(_) => 1,
+        ValueRef::Float(_) => 2,
+        ValueRef::Str(_) => 3,
+        ValueRef::Date(_) => 4,
     }
 }
 
@@ -181,5 +261,27 @@ mod tests {
     fn display() {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn value_ref_mirrors_value() {
+        let vals = [
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Str("abc".into()),
+            Value::Date(9),
+            Value::Null,
+            Value::Float(f64::NAN),
+        ];
+        for a in &vals {
+            assert_eq!(a.view().hash64(), a.hash64());
+            assert_eq!(a.view().to_value().hash64(), a.hash64());
+            for b in &vals {
+                assert_eq!(a.view().total_cmp(&b.view()), a.total_cmp(b), "{a:?} vs {b:?}");
+            }
+        }
+        assert_eq!(ValueRef::Int(5).as_float(), Some(5.0));
+        assert!(ValueRef::Null.is_null());
+        assert_eq!(Value::Str("x".into()).view(), ValueRef::Str("x"));
     }
 }

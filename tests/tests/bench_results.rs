@@ -1,6 +1,6 @@
 //! Golden test for the BENCH_RESULTS.json regression artifact: the
 //! document must parse with `serde_json`, carry every gated metric for
-//! all eight traced workloads, and its per-phase counters must sum to
+//! all ten traced workloads, and its per-phase counters must sum to
 //! the whole-run totals.
 
 use bdb_bench::results::{collect, DEFAULT_WORKLOADS, SCHEMA_VERSION};
@@ -28,11 +28,13 @@ fn artifact_has_every_required_metric_per_workload() {
         "K-means",
         "Nutch Server",
         "Read",
+        "Select Query",
+        "Aggregate Query",
         "Join Query",
     ] {
         assert!(names.contains(&required), "missing {required} in {names:?}");
     }
-    assert_eq!(names.len(), 8, "every traced workload is captured: {names:?}");
+    assert_eq!(names.len(), 10, "every traced workload is captured: {names:?}");
 
     for w in workloads {
         let name = w.get("name").and_then(|n| n.as_str()).unwrap_or("?");
@@ -41,6 +43,10 @@ fn artifact_has_every_required_metric_per_workload() {
             assert!(value.is_some(), "{name}: {scalar} present");
         }
         assert!(w.get("instructions").and_then(serde_json::Value::as_u64).unwrap_or(0) > 0);
+        assert!(
+            w.get("dram_bytes").and_then(serde_json::Value::as_u64).is_some(),
+            "{name}: dram_bytes present"
+        );
         let mpki = w.get("mpki").expect("mpki object");
         for level in ["l1i", "l1d", "l2", "l3", "itlb", "dtlb", "branch"] {
             assert!(

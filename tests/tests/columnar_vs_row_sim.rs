@@ -1,0 +1,148 @@
+//! Simulated-metric comparison: the vectorized columnar engine must
+//! beat the row-at-a-time engine on retired instructions AND DRAM
+//! traffic for all three query workloads, at the same traced scale and
+//! on the same simulated machine (Xeon E5645), each engine measured
+//! with its own fresh `SimProbe` + `SqlTraceModel`.
+
+use bdb_archsim::{CharacterizationReport, MachineConfig, SimProbe};
+use bdb_sql::exec;
+use bdb_sql::expr::{col, lit};
+use bdb_sql::kernel;
+use bdb_sql::{Aggregation, ColumnarTable, SqlTraceModel, Table};
+use bigdatabench::workloads::query::{build_tables, ORDERS_BASELINE};
+use bigdatabench::RunScale;
+
+fn traced_tables() -> (Table, Table) {
+    let scale = RunScale::quick();
+    let n = scale.traced_units(ORDERS_BASELINE).max(50);
+    build_tables(&scale, n)
+}
+
+/// Runs `q` under the row-engine warm/measure protocol.
+fn row_traced(
+    orders: &Table,
+    items: &Table,
+    q: impl Fn(&Table, &Table, &mut SimProbe, &mut Option<SqlTraceModel>),
+) -> CharacterizationReport {
+    let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+    let mut trace = Some(SqlTraceModel::new());
+    trace.as_mut().expect("set").register_table(orders);
+    trace.as_mut().expect("set").register_table(items);
+    trace.as_mut().expect("set").warm(&mut probe);
+    q(orders, items, &mut probe, &mut trace);
+    probe.reset_stats();
+    q(orders, items, &mut probe, &mut trace);
+    probe.finish()
+}
+
+/// Runs `q` under the columnar warm/measure protocol.
+fn columnar_traced(
+    orders: &Table,
+    items: &Table,
+    q: impl Fn(&ColumnarTable, &ColumnarTable, &mut SimProbe, &mut Option<SqlTraceModel>),
+) -> CharacterizationReport {
+    let orders = ColumnarTable::from_table(orders);
+    let items = ColumnarTable::from_table(items);
+    let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+    let mut trace = Some(SqlTraceModel::new());
+    trace.as_mut().expect("set").register_columnar(&orders);
+    trace.as_mut().expect("set").register_columnar(&items);
+    trace.as_mut().expect("set").warm(&mut probe);
+    q(&orders, &items, &mut probe, &mut trace);
+    probe.reset_stats();
+    q(&orders, &items, &mut probe, &mut trace);
+    probe.finish()
+}
+
+fn assert_strict_win(name: &str, row: &CharacterizationReport, colr: &CharacterizationReport) {
+    assert!(
+        colr.instructions() < row.instructions(),
+        "{name}: columnar instructions {} must beat row {}",
+        colr.instructions(),
+        row.instructions()
+    );
+    assert!(
+        colr.dram_bytes < row.dram_bytes,
+        "{name}: columnar dram_bytes {} must beat row {}",
+        colr.dram_bytes,
+        row.dram_bytes
+    );
+}
+
+#[test]
+fn select_columnar_beats_row_engine() {
+    let (orders, items) = traced_tables();
+    let row = row_traced(&orders, &items, |_o, i, p, t| {
+        exec::select_traced(
+            i,
+            &col("GOODS_PRICE").gt(lit(50.0)),
+            &["ITEM_ID", "GOODS_AMOUNT"],
+            p,
+            t,
+        )
+        .expect("query");
+    });
+    let colr = columnar_traced(&orders, &items, |_o, i, p, t| {
+        kernel::select_traced(
+            i,
+            &col("GOODS_PRICE").gt(lit(50.0)),
+            &["ITEM_ID", "GOODS_AMOUNT"],
+            p,
+            t,
+        )
+        .expect("query");
+    });
+    assert_strict_win("select", &row, &colr);
+}
+
+#[test]
+fn aggregate_columnar_beats_row_engine() {
+    let (orders, items) = traced_tables();
+    let aggs = [Aggregation::count(), Aggregation::sum("GOODS_AMOUNT")];
+    let row = row_traced(&orders, &items, |_o, i, p, t| {
+        exec::aggregate_traced(i, "GOODS_ID", &aggs, p, t).expect("query");
+    });
+    let colr = columnar_traced(&orders, &items, |_o, i, p, t| {
+        kernel::aggregate_traced(i, "GOODS_ID", &aggs, p, t).expect("query");
+    });
+    assert_strict_win("aggregate", &row, &colr);
+}
+
+#[test]
+fn join_columnar_beats_row_engine() {
+    let (orders, items) = traced_tables();
+    let row = row_traced(&orders, &items, |o, i, p, t| {
+        exec::hash_join_traced(o, "ORDER_ID", i, "ORDER_ID", p, t).expect("join");
+    });
+    let colr = columnar_traced(&orders, &items, |o, i, p, t| {
+        kernel::hash_join_traced(o, "ORDER_ID", i, "ORDER_ID", p, t).expect("join");
+    });
+    assert_strict_win("join", &row, &colr);
+}
+
+#[test]
+fn traced_engines_agree_on_results() {
+    // The sim comparison is only meaningful if both engines compute the
+    // same answer under tracing.
+    let (orders, items) = traced_tables();
+    let co = ColumnarTable::from_table(&orders);
+    let ci = ColumnarTable::from_table(&items);
+    let mut probe = SimProbe::new(MachineConfig::xeon_e5645());
+    let mut trace = Some(SqlTraceModel::new());
+    trace.as_mut().expect("set").register_table(&orders);
+    trace.as_mut().expect("set").register_table(&items);
+    trace.as_mut().expect("set").register_columnar(&co);
+    trace.as_mut().expect("set").register_columnar(&ci);
+    let pred = col("GOODS_PRICE").gt(lit(50.0));
+    let want =
+        exec::select_traced(&items, &pred, &["ITEM_ID"], &mut probe, &mut trace).expect("row");
+    let got =
+        kernel::select_traced(&ci, &pred, &["ITEM_ID"], &mut probe, &mut trace).expect("columnar");
+    assert_eq!(got, want);
+    let want =
+        exec::hash_join_traced(&orders, "ORDER_ID", &items, "ORDER_ID", &mut probe, &mut trace)
+            .expect("row");
+    let got = kernel::hash_join_traced(&co, "ORDER_ID", &ci, "ORDER_ID", &mut probe, &mut trace)
+        .expect("columnar");
+    assert_eq!(got, want);
+}
