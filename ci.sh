@@ -36,13 +36,21 @@ if [ "$subset" -eq 1 ]; then
     # only (the committed subset holds no serving workload, so the pass
     # falls back to Nutch); the binary gates the burn-rate alert and
     # chain reconstruction in-process.
+    # One shortened chaos campaign rides along (--bench-subset makes
+    # --chaos pick the short fault schedules); the binary gates every
+    # invariant checker plus forced failover/read-repair in-process.
     slodir="$(mktemp -d)"
-    trap 'rm -rf "$slodir"' EXIT
+    chaosdir="$(mktemp -d)"
+    trap 'rm -rf "$slodir" "$chaosdir"' EXIT
     run cargo run --release -q -p bdb-bench --bin reproduce -- \
         --fraction 0.02 --bench-baseline BENCH_RESULTS.json \
-        --bench-subset charmap.json --slo "$slodir"
+        --bench-subset charmap.json --slo "$slodir" --chaos 7 "$chaosdir"
     if [ ! -s "$slodir/slo_report.json" ]; then
         echo "ci: missing or empty slo_report.json in subset tier" >&2
+        exit 1
+    fi
+    if [ ! -s "$chaosdir/chaos_report.json" ]; then
+        echo "ci: missing or empty chaos_report.json in subset tier" >&2
         exit 1
     fi
     echo "ci: subset tier passed"
@@ -132,6 +140,31 @@ if [ "$fast" -eq 0 ]; then
     run cargo run --release -q -p bdb-bench --bin reproduce -- \
         --fraction 0.02 --bench-baseline BENCH_RESULTS.json
     echo "ci: columnar engine differential + perf gates passed"
+
+    # Chaos-campaign gate: three fixed seeds run the full Cloud-OLTP,
+    # WordCount and serving campaigns under seeded fault schedules. The
+    # binary exits nonzero if any invariant checker fails or the OLTP
+    # campaign did not force at least one failover and one read-repair;
+    # here we additionally gate the report artifact and its
+    # byte-determinism (two runs of the same seed must diff clean).
+    chaosdir="$(mktemp -d)"
+    trap 'rm -rf "$profdir" "$charmapdir" "$slodir" "$chaosdir"' EXIT
+    for seed in 7 21 1337; do
+        run cargo run --release -q -p bdb-bench --bin reproduce -- \
+            --chaos "$seed" "$chaosdir/seed-$seed"
+        if [ ! -s "$chaosdir/seed-$seed/chaos_report.json" ]; then
+            echo "ci: missing or empty chaos_report.json for seed $seed" >&2
+            exit 1
+        fi
+    done
+    run cargo run --release -q -p bdb-bench --bin reproduce -- \
+        --chaos 7 "$chaosdir/seed-7-again"
+    if ! cmp -s "$chaosdir/seed-7/chaos_report.json" \
+                "$chaosdir/seed-7-again/chaos_report.json"; then
+        echo "ci: chaos_report.json is not byte-deterministic for seed 7" >&2
+        exit 1
+    fi
+    echo "ci: chaos campaigns passed for seeds 7, 21, 1337 (deterministic)"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

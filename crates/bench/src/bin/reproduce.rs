@@ -55,6 +55,8 @@ struct Args {
     charmap_baseline: Option<std::path::PathBuf>,
     faults_seed: Option<u64>,
     slo_dir: Option<std::path::PathBuf>,
+    chaos_seed: Option<u64>,
+    chaos_dir: Option<std::path::PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -112,17 +114,36 @@ options:
                          must fire exactly one page burn-rate alert,
                          deterministically. With --bench-subset, only
                          the representative serving workload runs.
+  --chaos SEED DIR       deterministic chaos campaigns: the replicated
+                         Cloud-OLTP store (lost ships, torn WAL writes,
+                         virtual-time node kills -> failover, read
+                         repair, anti-entropy), WordCount under
+                         rotating fault mixes, and an overloaded
+                         serving tier — each judged by invariant
+                         checkers (history safety, replica convergence,
+                         byte-identical output, tail-sampled failures);
+                         writes DIR/chaos_report.json (byte-identical
+                         across runs for a seed) and a Chrome trace of
+                         lifecycle instants per campaign
+                         (<c>.chaos.trace.json); exit 1 on any checker
+                         failure or if the Cloud-OLTP campaign forced
+                         no failover or no read-repair.
+                         With --bench-subset, runs shortened campaigns.
   -h, --help             this text
 
 `--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--charmap`/
-`--charmap-baseline`/`--faults`/`--slo` without a selection run only
-that pass.";
+`--charmap-baseline`/`--faults`/`--slo`/`--chaos` without a selection
+run only that pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
 enum Expecting {
     Flag,
     Value(&'static str),
+    /// The seed owed to `--chaos` (which takes two values).
+    ChaosSeed,
+    /// The directory owed to `--chaos SEED`.
+    ChaosDir,
 }
 
 fn parse_args() -> Args {
@@ -133,6 +154,16 @@ fn parse_args() -> Args {
         match state {
             Expecting::Value(flag) => {
                 apply_value(&mut args, flag, &raw);
+                state = Expecting::Flag;
+            }
+            Expecting::ChaosSeed => {
+                args.chaos_seed = Some(
+                    raw.parse().unwrap_or_else(|_| usage_error("--chaos needs an integer seed")),
+                );
+                state = Expecting::ChaosDir;
+            }
+            Expecting::ChaosDir => {
+                args.chaos_dir = Some(raw.into());
                 state = Expecting::Flag;
             }
             Expecting::Flag => match raw.as_str() {
@@ -163,6 +194,7 @@ fn parse_args() -> Args {
                 "--charmap-baseline" => state = Expecting::Value("--charmap-baseline"),
                 "--faults" => state = Expecting::Value("--faults"),
                 "--slo" => state = Expecting::Value("--slo"),
+                "--chaos" => state = Expecting::ChaosSeed,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -171,8 +203,12 @@ fn parse_args() -> Args {
             },
         }
     }
-    if let Expecting::Value(flag) = state {
-        usage_error(&format!("{flag} needs a value"));
+    match state {
+        Expecting::Flag => {}
+        Expecting::Value(flag) => usage_error(&format!("{flag} needs a value")),
+        Expecting::ChaosSeed | Expecting::ChaosDir => {
+            usage_error("--chaos needs a seed and a directory (`--chaos SEED DIR`)")
+        }
     }
     if args.bench_subset.is_some() && args.bench_baseline.is_none() {
         usage_error("--bench-subset requires --bench-baseline");
@@ -184,7 +220,8 @@ fn parse_args() -> Args {
         || args.charmap_dir.is_some()
         || args.charmap_baseline.is_some()
         || args.faults_seed.is_some()
-        || args.slo_dir.is_some();
+        || args.slo_dir.is_some()
+        || args.chaos_seed.is_some();
     if !selected && !side_pass {
         select_everything(&mut args);
     }
@@ -857,6 +894,10 @@ fn main() {
     if args.slo_dir.is_some() {
         slo_pass(&args);
     }
+
+    if args.chaos_seed.is_some() {
+        chaos_pass(&args);
+    }
 }
 
 /// Fault-injection smoke pass: the Hadoop recovery story end to end.
@@ -1117,6 +1158,138 @@ fn slo_pass(args: &Args) {
     std::fs::write(&path, report::render_report(SLO_SEED, &observations))
         .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
     println!("slo pass PASS: wrote {} ({} services observed)", path.display(), observations.len());
+}
+
+/// Deterministic chaos-campaign pass: three workload tiers under
+/// seeded fault schedules, each judged by invariant checkers.
+///
+/// * **cloud-oltp** — the replicated sharded store: lost replication
+///   ships, torn WAL appends, and virtual-time node kills that take
+///   down shard primaries mid-write; checked for history safety (no
+///   acknowledged write lost, no invented or stale reads), exact
+///   replica convergence after full repair, and fault coverage (the
+///   campaign must actually have forced failovers, read-repairs, lost
+///   ships, kills and rejoins).
+/// * **wordcount** — MapReduce under rotating spill errors, task
+///   panics and speculated stragglers; output must stay
+///   byte-identical to the fault-free baseline every round.
+/// * **nutch-serving** — an overloaded service with injected
+///   stragglers; fault-failed requests must always be tail-sampled,
+///   exposed as exemplars, and the SLO arithmetic must stay
+///   consistent.
+///
+/// Writes `DIR/chaos_report.json` (byte-identical across runs for a
+/// given seed — CI diffs two runs directly) and one Chrome trace of
+/// lifecycle instants per campaign. Exits 1 if any checker fails or
+/// the Cloud-OLTP campaign did not force at least one failover and one
+/// read-repair. With `--bench-subset`, runs shortened campaigns (the
+/// fast per-PR tier).
+fn chaos_pass(args: &Args) {
+    use bdb_chaos::{oltp_campaign, serving_campaign, wordcount_campaign, OltpCampaignConfig};
+    use bdb_telemetry::json::ObjectWriter;
+
+    let seed = args.chaos_seed.expect("chaos_pass called without --chaos");
+    let dir = args.chaos_dir.as_ref().expect("--chaos always parses its directory");
+    section(&format!("Chaos campaigns — seed {seed}"));
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+
+    let short = args.bench_subset.is_some();
+    let (oltp_config, rounds) = if short {
+        eprintln!("subset tier: shortened campaigns");
+        (OltpCampaignConfig::short(), 2)
+    } else {
+        (OltpCampaignConfig::default(), 3)
+    };
+
+    // Injected task panics are the campaign's business (the engine
+    // catches and retries them); keep their backtraces off the console.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("injected fault:") {
+            default_hook(info);
+        }
+    }));
+
+    let scratch = dir.join("cluster-scratch");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let oltp = oltp_campaign(seed, &scratch, oltp_config)
+        .unwrap_or_else(|e| die(&format!("cloud-oltp campaign: {e}")));
+    std::fs::remove_dir_all(&scratch).ok();
+    let wordcount = wordcount_campaign(seed, rounds);
+    let serving = serving_campaign(seed, rounds);
+    let _ = std::panic::take_hook();
+    let reports = [&oltp, &wordcount, &serving];
+
+    let mut t = TextTable::new(&["campaign", "checker", "verdict", "details"]);
+    let mut failed = false;
+    for r in reports {
+        for c in &r.checkers {
+            failed |= !c.pass;
+            let details =
+                c.details.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ");
+            t.row(&[r.campaign, c.name, if c.pass { "PASS" } else { "FAIL" }, &details]);
+        }
+    }
+    println!("{}", t.render());
+
+    for r in reports {
+        let stem = bdb_telemetry::file_stem(r.campaign);
+        let path = dir.join(format!("{stem}.chaos.trace.json"));
+        std::fs::write(&path, bdb_telemetry::chrome_trace_json(r.campaign, &r.spans, None))
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+        eprintln!("wrote {}", path.display());
+    }
+
+    // The combined machine-readable report: byte-deterministic, so two
+    // runs of the same seed diff clean.
+    let mut out = String::new();
+    {
+        let mut o = ObjectWriter::new(&mut out);
+        o.field_str("schema", "bdb-chaos-run-v1").field_u64("seed", seed);
+        o.field_u64("campaigns_run", reports.len() as u64);
+        let buf = o.field_raw("campaigns");
+        buf.push('[');
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(r.render_json().trim_end());
+        }
+        buf.push(']');
+        o.finish();
+    }
+    out.push('\n');
+    let path = dir.join("chaos_report.json");
+    std::fs::write(&path, out).unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+    eprintln!("wrote {}", path.display());
+
+    // In-binary acceptance: the Cloud-OLTP campaign must actually have
+    // exercised the recovery machinery, not merely avoided breaking.
+    if oltp.stat("failovers").unwrap_or(0) < 1 || oltp.stat("read_repairs").unwrap_or(0) < 1 {
+        eprintln!(
+            "chaos FAIL: cloud-oltp forced {} failover(s) and {} read-repair(s); need >= 1 of each",
+            oltp.stat("failovers").unwrap_or(0),
+            oltp.stat("read_repairs").unwrap_or(0)
+        );
+        std::process::exit(1);
+    }
+    if failed {
+        eprintln!("chaos FAIL: an invariant checker failed (see FAIL rows above)");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos PASS: {} campaigns, {} checkers, report {}",
+        reports.len(),
+        reports.iter().map(|r| r.checkers.len()).sum::<usize>(),
+        dir.join("chaos_report.json").display()
+    );
 }
 
 /// Resolves the representative subset committed in a `charmap.json`

@@ -73,6 +73,27 @@ fn missing_charmap_baseline_file_is_an_error() {
 }
 
 #[test]
+fn chaos_missing_either_value_is_a_usage_error() {
+    // `--chaos` takes two values; stopping after zero or one of them is
+    // a usage error naming the full shape.
+    for args in [vec!["--chaos"], vec!["--chaos", "7"]] {
+        let out = reproduce().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--chaos needs a seed and a directory"), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage: reproduce"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn chaos_rejects_a_non_integer_seed() {
+    let out = reproduce().args(["--chaos", "lucky", "/tmp/x"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--chaos needs an integer seed"), "{stderr}");
+}
+
+#[test]
 fn help_documents_the_bench_flags() {
     let out = reproduce().arg("--help").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(0));
@@ -88,8 +109,13 @@ fn help_documents_the_bench_flags() {
         "--profile",
         "--fraction",
         "--slo",
+        "--chaos",
     ] {
         assert!(stdout.contains(flag), "help mentions {flag}: {stdout}");
+    }
+    // The chaos artifacts are part of the documented contract too.
+    for artifact in ["chaos_report.json", ".chaos.trace.json"] {
+        assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
     }
     // The profiling artifacts are part of the documented contract.
     for artifact in [".folded", ".critpath.txt", ".util.txt"] {

@@ -1,0 +1,159 @@
+//! The MapReduce chaos campaign: WordCount re-run under rotating fault
+//! mixes (spill errors, task panics, speculated stragglers), checked
+//! byte-identical to a fault-free baseline every round.
+
+use crate::report::{CampaignReport, CheckerVerdict};
+use bdb_faults::FaultPlan;
+use bdb_mapreduce::{sites, Emitter, Engine, Job};
+use bdb_telemetry::{ArgValue, SpanEvent};
+use std::time::Duration;
+
+struct WordCount;
+impl Job for WordCount {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn map<P: bdb_archsim::Probe + ?Sized>(
+        &self,
+        line: &String,
+        emit: &mut Emitter<String, u64>,
+        _p: &mut P,
+    ) {
+        for w in line.split_whitespace() {
+            emit.emit(w.to_owned(), 1);
+        }
+    }
+    fn combine(&self, _k: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+    fn reduce<P: bdb_archsim::Probe + ?Sized>(
+        &self,
+        key: String,
+        values: Vec<u64>,
+        out: &mut Vec<(String, u64)>,
+        _p: &mut P,
+    ) {
+        out.push((key, values.into_iter().sum()));
+    }
+}
+
+fn lines(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("alpha beta-{} gamma delta epsilon", i % 23)).collect()
+}
+
+/// Four spill-heavy map tasks, three reducers.
+fn engine(faults: FaultPlan) -> Engine {
+    Engine::builder().threads(4).reducers(3).map_buffer_bytes(1024).faults(faults).build()
+}
+
+/// One round's fault mix, rotating map-side, reduce-side, and
+/// straggler-plus-tear schedules.
+fn round_plan(seed: u64, round: u32) -> FaultPlan {
+    let b = FaultPlan::builder(seed.wrapping_add(u64::from(round)));
+    match round % 3 {
+        0 => b
+            .io_error_nth(sites::SPILL_WRITE, 0)
+            .panic_nth(sites::MAP_TASK, 1)
+            .straggle_nth(sites::MAP_STRAGGLER, 3, Duration::from_millis(400))
+            .build(),
+        1 => b.io_error_nth(sites::SPILL_READ, 0).panic_nth(sites::REDUCE_TASK, 1).build(),
+        _ => b
+            .torn_write_nth(sites::SPILL_WRITE, 1)
+            .straggle_nth(sites::MAP_STRAGGLER, 2, Duration::from_millis(300))
+            .build(),
+    }
+}
+
+/// Runs the WordCount chaos campaign: a clean baseline, then `rounds`
+/// faulty re-runs, each of which must recover (bounded retries plus
+/// speculative execution) to the byte-identical output.
+#[must_use]
+pub fn wordcount_campaign(seed: u64, rounds: u32) -> CampaignReport {
+    let input = lines(400);
+    let (baseline, base_stats) = engine(FaultPlan::disabled()).run(&WordCount, &input);
+
+    let mut identical_rounds = 0u64;
+    let mut injected_total = 0u64;
+    let mut recovered_total = 0u64;
+    let mut map_retries = 0u64;
+    let mut reduce_retries = 0u64;
+    let mut speculative_tasks = 0u64;
+    let mut injected: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut recovered: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut spans = Vec::new();
+
+    // One virtual second per round on the campaign timeline.
+    const ROUND_US: u64 = 1_000_000;
+    for round in 0..rounds {
+        let plan = round_plan(seed, round);
+        let (out, stats) = engine(plan.clone()).run(&WordCount, &input);
+        let identical = out == baseline;
+        if identical {
+            identical_rounds += 1;
+        }
+        injected_total += plan.injected();
+        recovered_total += plan.recovered();
+        // The retry/speculation split is scheduling-dependent (a
+        // straggler's re-execution races between the two buckets), so
+        // it may gate the pass boolean below but must stay out of the
+        // byte-compared report; only plan-derived counters — pinned to
+        // the injected schedule — are reported.
+        map_retries += stats.map_retries;
+        reduce_retries += stats.reduce_retries;
+        speculative_tasks += stats.speculative_tasks;
+        for (site, n) in plan.injected_by_site() {
+            *injected.entry(site).or_insert(0) += n;
+        }
+        for (site, n) in plan.recovered_by_site() {
+            *recovered.entry(site).or_insert(0) += n;
+        }
+        spans.push(SpanEvent {
+            name: "wordcount-round",
+            cat: "chaos",
+            start_us: u64::from(round) * ROUND_US,
+            dur_us: None,
+            tid: 0,
+            args: vec![
+                ("round", ArgValue::Int(i64::from(round))),
+                ("identical", ArgValue::Int(i64::from(identical))),
+                ("injected", ArgValue::Int(plan.injected() as i64)),
+                ("recovered", ArgValue::Int(plan.recovered() as i64)),
+            ],
+        });
+    }
+
+    let identity =
+        CheckerVerdict::new("byte_identical_output", identical_rounds == u64::from(rounds))
+            .detail("rounds", rounds)
+            .detail("identical_rounds", identical_rounds)
+            .detail("output_pairs", baseline.len());
+
+    let recovery = CheckerVerdict::new(
+        "retry_and_speculation",
+        injected_total >= u64::from(rounds)
+            && recovered_total >= 1
+            && map_retries + reduce_retries >= 1
+            && speculative_tasks >= 1
+            && base_stats.spills > 0,
+    )
+    .detail("injected", injected_total)
+    .detail("recovered", recovered_total)
+    .detail("baseline_spills", base_stats.spills);
+
+    CampaignReport {
+        campaign: "wordcount",
+        seed,
+        rounds,
+        checkers: vec![identity, recovery],
+        injected: injected.into_iter().collect(),
+        recovered: recovered.into_iter().collect(),
+        stats: vec![
+            ("faults_injected".into(), injected_total),
+            ("faults_recovered".into(), recovered_total),
+            ("identical_rounds".into(), identical_rounds),
+            ("output_pairs".into(), baseline.len() as u64),
+        ],
+        spans,
+    }
+}

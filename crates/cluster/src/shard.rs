@@ -1,0 +1,109 @@
+//! Key → shard → replica-set placement.
+
+/// Hash-partitions keys across `shards` shards and places each shard's
+/// replicas on consecutive nodes of the ring (HBase region assignment
+/// flattened to a static map — deterministic and balance-friendly).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    nodes: usize,
+    replication: usize,
+}
+
+impl ShardMap {
+    /// Builds a map of `shards` shards over `nodes` nodes with
+    /// `replication`-way placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `replication > nodes`
+    /// (replicas must land on distinct nodes).
+    #[must_use]
+    pub fn new(shards: usize, nodes: usize, replication: usize) -> Self {
+        assert!(shards > 0 && nodes > 0 && replication > 0, "degenerate shard map");
+        assert!(replication <= nodes, "replication factor exceeds node count");
+        Self { shards, nodes, replication }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Replication factor.
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The shard owning `key` (FNV-1a of the key, mod shards).
+    #[must_use]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.shards as u64) as usize
+    }
+
+    /// The replica set of `shard`: `replication` consecutive nodes
+    /// starting at `shard % nodes`. The first entry is the shard's
+    /// initial primary.
+    #[must_use]
+    pub fn replicas(&self, shard: usize) -> Vec<usize> {
+        (0..self.replication).map(|i| (shard + i) % self.nodes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        let map = ShardMap::new(8, 4, 3);
+        for shard in 0..8 {
+            let reps = map.replicas(shard);
+            assert_eq!(reps.len(), 3);
+            let mut uniq = reps.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas land on distinct nodes");
+            assert_eq!(reps, map.replicas(shard));
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let map = ShardMap::new(8, 4, 3);
+        for i in 0..100u32 {
+            let key = format!("user{i:06}").into_bytes();
+            let s = map.shard_of(&key);
+            assert!(s < 8);
+            assert_eq!(s, map.shard_of(&key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_all_shards() {
+        let map = ShardMap::new(8, 4, 3);
+        let mut seen = [false; 8];
+        for i in 0..200u32 {
+            seen[map.shard_of(format!("user{i:06}").as_bytes())] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 keys cover all 8 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor exceeds node count")]
+    fn overwide_replication_panics() {
+        let _ = ShardMap::new(4, 2, 3);
+    }
+}

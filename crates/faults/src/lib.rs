@@ -9,7 +9,7 @@
 //! `"mapreduce.spill.write"` or `"kvstore.wal.append"` that the engines
 //! consult at their crash points.
 //!
-//! Four fault kinds are supported ([`FaultKind`]):
+//! Five fault kinds are supported ([`FaultKind`]):
 //!
 //! * **I/O errors** — a site returns an injected [`std::io::Error`];
 //! * **torn writes** — an [`std::io::Write`] wrapper ([`FaultyWrite`])
@@ -17,14 +17,18 @@
 //!   later write also fails), modeling a process crash mid-write;
 //! * **panics** — the site panics, modeling a task crash;
 //! * **stragglers** — the site reports an artificial delay, modeling
-//!   the slow tasks Hadoop's speculative execution exists for.
+//!   the slow tasks Hadoop's speculative execution exists for;
+//! * **node kills** — a whole simulated node dies; the cluster layer
+//!   (`bdb-cluster`) takes the node offline and later fails it back in.
 //!
 //! A plan decides deterministically: each site keeps an occurrence
-//! counter, and a rule fires either on an exact occurrence
-//! ([`Trigger::Nth`]) or pseudo-randomly from a hash of
-//! `(seed, site, occurrence)` ([`Trigger::Probability`]) — never from
-//! global RNG state, so two runs with the same plan and the same
-//! per-site call sequence inject identically.
+//! counter, and a rule fires on an exact occurrence ([`Trigger::Nth`]),
+//! pseudo-randomly from a hash of `(seed, site, occurrence)`
+//! ([`Trigger::Probability`]), or once the plan's virtual clock passes a
+//! deadline ([`Trigger::AtVirtualTime`], advanced by the harness via
+//! [`FaultPlan::set_virtual_time`]) — never from global RNG state, so
+//! two runs with the same plan and the same per-site call sequence
+//! inject identically.
 //!
 //! Every injection is counted in an optional
 //! [`bdb_telemetry::MetricsRegistry`] under `fault.injected.<site>`,
@@ -49,9 +53,9 @@
 #![warn(missing_docs)]
 
 use bdb_telemetry::MetricsRegistry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -68,6 +72,10 @@ pub enum FaultKind {
     /// The site is delayed by the given duration (an artificial
     /// straggler).
     Straggle(Duration),
+    /// A whole simulated node dies (the cluster layer interprets this
+    /// by taking the node offline; a single `Store` treats it as an
+    /// I/O error).
+    NodeKill,
 }
 
 /// When a rule fires, relative to the per-site occurrence counter.
@@ -78,6 +86,10 @@ pub enum Trigger {
     /// Fire whenever `hash(seed, site, occurrence)` falls below this
     /// probability (deterministic given the plan's seed).
     Probability(f64),
+    /// Fire on the first occurrence of the site at or after the given
+    /// virtual time (see [`FaultPlan::set_virtual_time`]); at most once
+    /// per rule.
+    AtVirtualTime(Duration),
 }
 
 #[derive(Debug, Clone)]
@@ -97,6 +109,15 @@ struct Inner {
     occurrences: Mutex<HashMap<&'static str, u64>>,
     injected: AtomicU64,
     recovered: AtomicU64,
+    /// Per-site injection/recovery counts (sorted map so reports that
+    /// render them are byte-deterministic).
+    injected_sites: Mutex<BTreeMap<&'static str, u64>>,
+    recovered_sites: Mutex<BTreeMap<&'static str, u64>>,
+    /// The plan's virtual clock, in nanoseconds; advanced by the
+    /// driving harness, consulted by [`Trigger::AtVirtualTime`] rules.
+    virtual_now_ns: AtomicU64,
+    /// One flag per rule: `AtVirtualTime` rules fire at most once.
+    fired: Vec<AtomicBool>,
     metrics: Option<MetricsRegistry>,
 }
 
@@ -155,6 +176,24 @@ impl FaultPlanBuilder {
         self.rule(site, Trigger::Probability(p), FaultKind::Panic)
     }
 
+    /// Every occurrence of `site` suffers a torn write with
+    /// probability `p`.
+    pub fn torn_write_p(self, site: &'static str, p: f64) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::TornWrite)
+    }
+
+    /// Every occurrence of `site` straggles for `delay` with
+    /// probability `p`.
+    pub fn straggle_p(self, site: &'static str, p: f64, delay: Duration) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::Straggle(delay))
+    }
+
+    /// The first occurrence of `site` at or after virtual time `at`
+    /// kills the node (fires at most once).
+    pub fn node_kill_at(self, site: &'static str, at: Duration) -> Self {
+        self.rule(site, Trigger::AtVirtualTime(at), FaultKind::NodeKill)
+    }
+
     /// Attaches a metrics registry; injections and recoveries are
     /// counted under `fault.injected.<site>` / `fault.recovered.<site>`.
     pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
@@ -164,6 +203,7 @@ impl FaultPlanBuilder {
 
     /// Finishes the plan.
     pub fn build(self) -> FaultPlan {
+        let fired = self.rules.iter().map(|_| AtomicBool::new(false)).collect();
         FaultPlan {
             inner: Some(Arc::new(Inner {
                 seed: self.seed,
@@ -171,6 +211,10 @@ impl FaultPlanBuilder {
                 occurrences: Mutex::new(HashMap::new()),
                 injected: AtomicU64::new(0),
                 recovered: AtomicU64::new(0),
+                injected_sites: Mutex::new(BTreeMap::new()),
+                recovered_sites: Mutex::new(BTreeMap::new()),
+                virtual_now_ns: AtomicU64::new(0),
+                fired,
                 metrics: self.metrics,
             })),
         }
@@ -203,6 +247,40 @@ impl FaultPlan {
         self.inner.as_ref().map_or(0, |i| i.recovered.load(Ordering::Relaxed))
     }
 
+    /// Per-site injection counts, sorted by site name.
+    pub fn injected_by_site(&self) -> Vec<(String, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            let sites = i.injected_sites.lock().expect("fault plan lock");
+            sites.iter().map(|(s, n)| ((*s).to_string(), *n)).collect()
+        })
+    }
+
+    /// Per-site recovery counts, sorted by site name.
+    pub fn recovered_by_site(&self) -> Vec<(String, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            let sites = i.recovered_sites.lock().expect("fault plan lock");
+            sites.iter().map(|(s, n)| ((*s).to_string(), *n)).collect()
+        })
+    }
+
+    /// Advances the plan's virtual clock. [`Trigger::AtVirtualTime`]
+    /// rules fire on the first site check at or after their deadline.
+    /// The clock is monotonic: attempts to move it backwards are
+    /// ignored.
+    pub fn set_virtual_time(&self, now: Duration) {
+        if let Some(inner) = self.inner.as_ref() {
+            let ns = u64::try_from(now.as_nanos()).unwrap_or(u64::MAX);
+            inner.virtual_now_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// The plan's current virtual time.
+    pub fn virtual_time(&self) -> Duration {
+        self.inner.as_ref().map_or(Duration::ZERO, |i| {
+            Duration::from_nanos(i.virtual_now_ns.load(Ordering::Relaxed))
+        })
+    }
+
     /// Consults the plan at `site`: advances the site's occurrence
     /// counter and returns the fault to inject, if any. Engines usually
     /// call the typed helpers ([`FaultPlan::fail_io`],
@@ -216,16 +294,24 @@ impl FaultPlan {
             *slot += 1;
             n
         };
-        for rule in &inner.rules {
+        for (idx, rule) in inner.rules.iter().enumerate() {
             if rule.site != site {
                 continue;
             }
             let fires = match rule.trigger {
                 Trigger::Nth(want) => n == want,
                 Trigger::Probability(p) => unit_hash(inner.seed, site, n) < p,
+                Trigger::AtVirtualTime(at) => {
+                    let now = inner.virtual_now_ns.load(Ordering::Relaxed);
+                    let due = now >= u64::try_from(at.as_nanos()).unwrap_or(u64::MAX);
+                    // Fire at most once: claim the flag atomically.
+                    due && !inner.fired[idx].swap(true, Ordering::Relaxed)
+                }
             };
             if fires {
                 inner.injected.fetch_add(1, Ordering::Relaxed);
+                *inner.injected_sites.lock().expect("fault plan lock").entry(site).or_insert(0) +=
+                    1;
                 if let Some(m) = &inner.metrics {
                     m.counter(&format!("fault.injected.{site}")).inc();
                 }
@@ -245,7 +331,9 @@ impl FaultPlan {
     /// Returns the injected error when a rule fires.
     pub fn fail_io(&self, site: &'static str) -> std::io::Result<()> {
         match self.check(site) {
-            Some(FaultKind::IoError | FaultKind::TornWrite) => Err(injected_error(site)),
+            Some(FaultKind::IoError | FaultKind::TornWrite | FaultKind::NodeKill) => {
+                Err(injected_error(site))
+            }
             _ => Ok(()),
         }
     }
@@ -277,9 +365,16 @@ impl FaultPlan {
     pub fn note_recovered(&self, site: &'static str) {
         let Some(inner) = self.inner.as_ref() else { return };
         inner.recovered.fetch_add(1, Ordering::Relaxed);
+        *inner.recovered_sites.lock().expect("fault plan lock").entry(site).or_insert(0) += 1;
         if let Some(m) = &inner.metrics {
             m.counter(&format!("fault.recovered.{site}")).inc();
         }
+    }
+
+    /// Site check for node-lifecycle points: whether a
+    /// [`FaultKind::NodeKill`] rule fires at this occurrence.
+    pub fn node_killed(&self, site: &'static str) -> bool {
+        matches!(self.check(site), Some(FaultKind::NodeKill))
     }
 
     /// Wraps a writer so that each `write` call is one occurrence of
@@ -355,7 +450,7 @@ impl<W: Write> Write for FaultyWrite<W> {
             return Err(injected_error(self.site));
         }
         match self.plan.check(self.site) {
-            Some(FaultKind::IoError) => {
+            Some(FaultKind::IoError | FaultKind::NodeKill) => {
                 self.broken = true;
                 Err(injected_error(self.site))
             }
@@ -488,6 +583,76 @@ mod tests {
         assert_eq!(metrics.counter("fault.injected.m.site").get(), 1);
         assert_eq!(metrics.counter("fault.recovered.m.site").get(), 1);
         assert_eq!(plan.recovered(), 1);
+    }
+
+    #[test]
+    fn torn_write_p_is_deterministic_and_tears() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::builder(seed).torn_write_p("tw", 0.2).build();
+            let mut sink = Vec::new();
+            let mut w = plan.wrap_write("tw", &mut sink);
+            let mut wrote = 0usize;
+            for _ in 0..50 {
+                if w.write_all(b"0123456789").is_err() {
+                    break;
+                }
+                wrote += 1;
+            }
+            drop(w);
+            (wrote, sink)
+        };
+        let (wrote_a, sink_a) = run(9);
+        let (wrote_b, sink_b) = run(9);
+        assert_eq!(wrote_a, wrote_b, "same seed, same tear point");
+        assert_eq!(sink_a, sink_b);
+        assert!(wrote_a < 50, "p=0.2 over 50 writes virtually always tears");
+        assert_eq!(sink_a.len(), wrote_a * 10 + 5, "half of the torn buffer landed");
+    }
+
+    #[test]
+    fn straggle_p_reports_delay_deterministically() {
+        let d = Duration::from_millis(7);
+        let hits = |seed: u64| {
+            let plan = FaultPlan::builder(seed).straggle_p("sl", 0.3, d).build();
+            (0..200).filter(|_| plan.straggle("sl") == Some(d)).count()
+        };
+        let a = hits(4);
+        assert_eq!(a, hits(4), "same seed, same straggler pattern");
+        assert!((20..120).contains(&a), "~30% of 200, got {a}");
+    }
+
+    #[test]
+    fn node_kill_fires_once_at_virtual_time() {
+        let plan = FaultPlan::builder(5).node_kill_at("nk", Duration::from_millis(10)).build();
+        assert!(!plan.node_killed("nk"), "before the deadline nothing fires");
+        plan.set_virtual_time(Duration::from_millis(9));
+        assert!(!plan.node_killed("nk"));
+        plan.set_virtual_time(Duration::from_millis(10));
+        assert!(plan.node_killed("nk"), "first check at/after the deadline fires");
+        assert!(!plan.node_killed("nk"), "an AtVirtualTime rule fires at most once");
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn virtual_clock_is_monotonic() {
+        let plan = FaultPlan::builder(5).build();
+        plan.set_virtual_time(Duration::from_secs(3));
+        plan.set_virtual_time(Duration::from_secs(1));
+        assert_eq!(plan.virtual_time(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn per_site_counts_are_sorted_and_exact() {
+        let plan =
+            FaultPlan::builder(1).io_error_nth("z.site", 0).io_error_nth("a.site", 0).build();
+        assert!(plan.fail_io("z.site").is_err());
+        assert!(plan.fail_io("a.site").is_err());
+        plan.note_recovered("z.site");
+        assert_eq!(
+            plan.injected_by_site(),
+            vec![("a.site".to_string(), 1), ("z.site".to_string(), 1)]
+        );
+        assert_eq!(plan.recovered_by_site(), vec![("z.site".to_string(), 1)]);
     }
 
     #[test]

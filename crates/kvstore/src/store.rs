@@ -126,16 +126,12 @@ impl Store {
             }
         }
         let wal = WriteAheadLog::open_with(&wal_path, faults.clone())?;
+        Self::remove_stray_tmp(dir)?;
         let mut ids: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".tmp") {
-                // A table a crashed flush/compaction never published.
-                std::fs::remove_file(entry.path())?;
-                continue;
-            }
             if let Some(id) = name.strip_prefix("table-").and_then(|s| s.strip_suffix(".sst")) {
                 if let Ok(id) = id.parse::<u64>() {
                     ids.push(id);
@@ -161,6 +157,41 @@ impl Store {
             counters: None,
             faults,
         })
+    }
+
+    /// Removes stray `*.tmp` files in `dir` — tables a crashed flush or
+    /// compaction never published. [`Store::open_with_faults`] runs this
+    /// during recovery; the cluster layer also runs it on a replica
+    /// directory after a failed WAL-ship before the node rejoins, so a
+    /// half-shipped table can never be mistaken for a published one.
+    /// Returns the number of files removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors (a missing directory is fine: 0).
+    pub fn remove_stray_tmp(dir: &Path) -> std::io::Result<usize> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Logical WAL position: bytes of whole records durably appended
+    /// since open (see [`WriteAheadLog::offset`]). The replication
+    /// layer records this per replica after each acknowledged ship and
+    /// promotes the replica with the highest offset on failover.
+    pub fn wal_offset(&self) -> u64 {
+        self.wal.offset()
     }
 
     /// Enables read/write-path instrumentation for `*_with` operations.

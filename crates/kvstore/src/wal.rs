@@ -26,6 +26,7 @@ pub struct WriteAheadLog {
     writer: BufWriter<FaultyWrite<File>>,
     faults: FaultPlan,
     records: u64,
+    offset: u64,
 }
 
 impl WriteAheadLog {
@@ -49,7 +50,7 @@ impl WriteAheadLog {
     pub fn open_with(path: &Path, faults: FaultPlan) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let writer = BufWriter::new(faults.wrap_write(crate::sites::WAL_APPEND, file));
-        Ok(Self { path: path.to_owned(), writer, faults, records: 0 })
+        Ok(Self { path: path.to_owned(), writer, faults, records: 0, offset: 0 })
     }
 
     /// Appends a put record.
@@ -82,12 +83,23 @@ impl WriteAheadLog {
         self.writer.write_all(&rec)?;
         self.writer.flush()?;
         self.records += 1;
+        self.offset += rec.len() as u64;
         Ok(())
     }
 
     /// Records appended through this handle.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Logical log position: total bytes of whole records acknowledged
+    /// through this handle since open. Unlike [`WriteAheadLog::records`]
+    /// it is *not* reset by [`WriteAheadLog::truncate`], so it grows
+    /// monotonically with every durable append — the quantity replica
+    /// promotion compares ("highest replicated WAL offset"). A torn or
+    /// failed append does not advance it.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 
     /// Replays every intact record in `path`, stopping silently at the
@@ -97,12 +109,23 @@ impl WriteAheadLog {
     ///
     /// Propagates read errors; a missing file replays as empty.
     pub fn replay(path: &Path) -> std::io::Result<Vec<WalOp>> {
+        Self::replay_with_offset(path).map(|(ops, _)| ops)
+    }
+
+    /// [`WriteAheadLog::replay`], additionally reporting the byte
+    /// length of the intact whole-record prefix (the durable log
+    /// offset a rejoining replica resumes from).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors; a missing file replays as empty.
+    pub fn replay_with_offset(path: &Path) -> std::io::Result<(Vec<WalOp>, u64)> {
         let mut bytes = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut bytes)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e),
         }
         let mut ops = Vec::new();
@@ -111,7 +134,8 @@ impl WriteAheadLog {
             ops.push(op);
             s = rest;
         }
-        Ok(ops)
+        let durable = (bytes.len() - s.len()) as u64;
+        Ok((ops, durable))
     }
 
     /// Truncates the log (after a successful memtable flush).
@@ -230,6 +254,40 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let ops = WriteAheadLog::replay(&path).unwrap();
         assert_eq!(ops.len(), 1, "replay stops at corrupt record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offset_counts_only_acknowledged_whole_records() {
+        let path = tmp("offset");
+        let _ = std::fs::remove_file(&path);
+        let plan =
+            bdb_faults::FaultPlan::builder(1).torn_write_nth(crate::sites::WAL_APPEND, 2).build();
+        let mut wal = WriteAheadLog::open_with(&path, plan).unwrap();
+        wal.log_put(b"a", b"1").unwrap();
+        wal.log_put(b"bb", b"22").unwrap();
+        let acked = wal.offset();
+        assert_eq!(acked, (10 + 2) as u64 + (10 + 4) as u64);
+        assert!(wal.log_put(b"torn-key", b"torn-value").is_err());
+        assert_eq!(wal.offset(), acked, "a torn append does not advance the offset");
+        let (ops, durable) = WriteAheadLog::replay_with_offset(&path).unwrap();
+        assert_eq!(ops.len(), 2, "replay drops the torn tail");
+        assert_eq!(durable, acked, "durable prefix length equals the acknowledged offset");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn offset_survives_truncate() {
+        let path = tmp("offset-trunc");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = WriteAheadLog::open(&path).unwrap();
+        wal.log_put(b"a", b"1").unwrap();
+        let before = wal.offset();
+        wal.truncate().unwrap();
+        assert_eq!(wal.records(), 0);
+        assert_eq!(wal.offset(), before, "offset is a logical position, not a file size");
+        wal.log_put(b"b", b"2").unwrap();
+        assert!(wal.offset() > before);
         std::fs::remove_file(&path).ok();
     }
 

@@ -240,4 +240,82 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
+
+    /// Mirror of the invariant above for the replication path: a WAL
+    /// ship torn mid-record on the replica side must leave the replica,
+    /// after replay, with *exactly* the acknowledged whole-record
+    /// prefix — no torn record visible, no acknowledged record lost —
+    /// and the durable offset equal to the sum of acknowledged record
+    /// lengths. Stray tmp files from the crashed node are cleaned
+    /// before rejoin.
+    #[test]
+    fn torn_ship_mid_record_replays_exact_acknowledged_prefix(
+        values in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..24),
+            2..20,
+        ),
+        tear_at in 0u64..20,
+    ) {
+        let tear_at = tear_at % values.len() as u64;
+        let tag = case_tag(
+            &values.iter().map(|v| (Vec::new(), v.clone(), false)).collect::<Vec<_>>(),
+            tear_at,
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "bdb-ship-prop-{}-{:x}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::builder(7).torn_write_nth(sites::WAL_APPEND, tear_at).build();
+        let mut acked: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut acked_bytes = 0u64;
+        {
+            // The replica applies shipped records through its normal
+            // write path; the tear hits the WAL append mid-record.
+            let mut replica = Store::open_with_faults(&dir, manual_config(), plan.clone()).unwrap();
+            for (i, v) in values.iter().enumerate() {
+                let k = key(i as u32);
+                match replica.put(k.clone(), v.clone()) {
+                    Ok(()) => {
+                        acked_bytes += record_len(k.len(), v.len()) as u64;
+                        acked.push((k, v.clone()));
+                        prop_assert_eq!(replica.wal_offset(), acked_bytes);
+                    }
+                    Err(e) => {
+                        prop_assert!(bdb_faults::is_injected(&e));
+                        break;
+                    }
+                }
+            }
+            // Crash mid-ship: the torn tail stays on disk.
+        }
+        prop_assert_eq!(acked.len() as u64, tear_at, "the ship tears at occurrence {}", tear_at);
+        let (replayed, durable) = WriteAheadLog::replay_with_offset(&dir.join("wal.log")).unwrap();
+        prop_assert_eq!(durable, acked_bytes, "durable prefix == acknowledged bytes");
+        prop_assert_eq!(replayed.len(), acked.len(), "whole-record prefix only");
+
+        // The crashed node also left a half-built table behind; the
+        // post-ship cleanup removes it before the replica rejoins.
+        std::fs::create_dir_all(&dir).unwrap();
+        let stray = dir.join("table-000000000003.sst.tmp");
+        std::fs::write(&stray, b"half-shipped table").unwrap();
+        let removed = Store::remove_stray_tmp(&dir).unwrap();
+        prop_assert_eq!(removed, 1);
+        prop_assert!(!stray.exists());
+
+        let mut replica = Store::open(&dir).unwrap();
+        for (k, v) in &acked {
+            let got = replica.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v), "acked write survived");
+        }
+        if (tear_at as usize) < values.len() {
+            prop_assert_eq!(
+                replica.get(&key(tear_at as u32)).unwrap(),
+                None,
+                "the torn record was never acknowledged"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -292,8 +292,14 @@ impl ObsPipeline {
             let ev = match kind {
                 Kind::Arrive => ReqEvent::Offered,
                 Kind::Terminal => match r.outcome {
-                    RequestOutcome::Shed => ReqEvent::Shed,
-                    RequestOutcome::TimedOut => ReqEvent::TimedOut,
+                    RequestOutcome::Shed => ReqEvent::Shed {
+                        trace,
+                        sampled: self.config.sampling.decide(trace, r).keep(),
+                    },
+                    RequestOutcome::TimedOut => ReqEvent::TimedOut {
+                        trace,
+                        sampled: self.config.sampling.decide(trace, r).keep(),
+                    },
                     _ => ReqEvent::Completed {
                         latency_us: r.latency_ns() / 1_000,
                         trace,

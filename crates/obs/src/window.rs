@@ -32,10 +32,22 @@ pub enum ReqEvent {
         /// the trace file).
         sampled: bool,
     },
-    /// A request was rejected at admission.
-    Shed,
+    /// A request was rejected at admission. Failures carry their trace
+    /// too: the sampler always tail-samples them, and the exposition
+    /// attaches them as exemplars to the failure counters.
+    Shed {
+        /// The request's trace id.
+        trace: TraceId,
+        /// Whether the trace was kept by the sampler.
+        sampled: bool,
+    },
     /// A request abandoned its queue slot past the deadline.
-    TimedOut,
+    TimedOut {
+        /// The request's trace id.
+        trace: TraceId,
+        /// Whether the trace was kept by the sampler.
+        sampled: bool,
+    },
 }
 
 /// Aggregates for one closed (or in-progress) window.
@@ -96,6 +108,10 @@ pub struct WindowRing {
     /// trace seen in that bucket. BTreeMap keeps exposition order
     /// deterministic.
     exemplars: BTreeMap<u64, (TraceId, u64)>,
+    /// Failure exemplars: outcome (`"shed"` / `"timed_out"`) → the most
+    /// recent sampled trace that ended in that outcome, so every
+    /// injected-fault failure class is pivotable to a kept trace.
+    failure_exemplars: BTreeMap<&'static str, TraceId>,
 }
 
 impl WindowRing {
@@ -117,6 +133,7 @@ impl WindowRing {
             evicted: 0,
             whole: LatencyHistogram::new(),
             exemplars: BTreeMap::new(),
+            failure_exemplars: BTreeMap::new(),
         }
     }
 
@@ -153,8 +170,18 @@ impl WindowRing {
         }
         match ev {
             ReqEvent::Offered => self.current.offered += 1,
-            ReqEvent::Shed => self.current.shed += 1,
-            ReqEvent::TimedOut => self.current.timed_out += 1,
+            ReqEvent::Shed { trace, sampled } => {
+                self.current.shed += 1;
+                if sampled {
+                    self.failure_exemplars.insert("shed", trace);
+                }
+            }
+            ReqEvent::TimedOut { trace, sampled } => {
+                self.current.timed_out += 1;
+                if sampled {
+                    self.failure_exemplars.insert("timed_out", trace);
+                }
+            }
             ReqEvent::Completed { latency_us, trace, sampled } => {
                 self.current.completed += 1;
                 if latency_us >= self.slow_threshold_us {
@@ -249,8 +276,14 @@ impl WindowRing {
             ("timed_out", sum(|w| w.timed_out)),
         ] {
             out.push_str(&format!(
-                "obs_requests_total{{service=\"{svc}\",outcome=\"{outcome}\"}} {v}\n"
+                "obs_requests_total{{service=\"{svc}\",outcome=\"{outcome}\"}} {v}"
             ));
+            // Failure counters carry an exemplar: the most recent kept
+            // trace of that outcome (exemplar value 1 = one request).
+            if let Some(trace) = self.failure_exemplars.get(outcome) {
+                out.push_str(&format!(" # {{trace_id=\"{}\"}} 1", trace.hex()));
+            }
+            out.push('\n');
         }
         let hist = self.rolling_hist(rolling);
         out.push_str("# TYPE obs_rolling_request_us histogram\n");
@@ -314,6 +347,10 @@ mod tests {
         ReqEvent::Completed { latency_us, trace: TraceId(trace), sampled }
     }
 
+    fn shed(trace: u64, sampled: bool) -> ReqEvent {
+        ReqEvent::Shed { trace: TraceId(trace), sampled }
+    }
+
     #[test]
     fn windows_tile_time_and_count_outcomes() {
         let mut ring = WindowRing::new(Duration::from_secs(1), 8, Duration::from_millis(50));
@@ -322,7 +359,7 @@ mod tests {
         assert!(ring.observe(100, completed(900, 1, false)).is_empty());
         // Jumping two windows ahead closes window 0 and the empty
         // window 1.
-        let closed = ring.observe(2 * s + 5, ReqEvent::Shed);
+        let closed = ring.observe(2 * s + 5, shed(99, true));
         assert_eq!(closed.len(), 2);
         assert_eq!((closed[0].offered, closed[0].completed), (1, 1));
         assert_eq!(closed[1].total(), 0, "gap windows exist and are empty");
@@ -368,14 +405,25 @@ mod tests {
             ring.observe(i, ReqEvent::Offered);
             ring.observe(i + 1, completed(500 + i * 137, i, i % 3 == 0));
         }
-        ring.observe(1_500_000_000, ReqEvent::Shed);
+        ring.observe(1_500_000_000, shed(77, true));
+        ring.observe(1_600_000_000, ReqEvent::TimedOut { trace: TraceId(78), sampled: true });
         ring.flush();
         // Hostile service name must be escaped, not break the grammar.
         let text = ring.prometheus_text("evil \"svc\"\\name\n", 8);
         assert_prometheus_grammar(&text);
         assert!(text.contains(" # {trace_id=\""), "sampled traces become exemplars");
         assert!(text.contains("obs_rolling_request_us_bucket"));
-        assert!(text.contains("outcome=\"shed\"} 1"));
+        let shed_line =
+            text.lines().find(|l| l.contains("outcome=\"shed\"")).expect("shed counter present");
+        assert!(
+            shed_line.contains(&format!("# {{trace_id=\"{}\"}} 1", TraceId(77).hex())),
+            "sampled failures become exemplars on the failure counter: {shed_line}"
+        );
+        let timeout_line = text
+            .lines()
+            .find(|l| l.contains("outcome=\"timed_out\""))
+            .expect("timed_out counter present");
+        assert!(timeout_line.contains(&format!("trace_id=\"{}\"", TraceId(78).hex())));
     }
 
     #[test]
