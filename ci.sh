@@ -39,18 +39,28 @@ if [ "$subset" -eq 1 ]; then
     # One shortened chaos campaign rides along (--bench-subset makes
     # --chaos pick the short fault schedules); the binary gates every
     # invariant checker plus forced failover/read-repair in-process.
+    # A shortened time-series scrape rides along too (--bench-subset
+    # makes --tsdb shrink the traced-write run and both serving
+    # phases); the binary gates chain completeness, stored-vs-live
+    # quantile agreement and the recording-rule replay in-process.
     slodir="$(mktemp -d)"
     chaosdir="$(mktemp -d)"
-    trap 'rm -rf "$slodir" "$chaosdir"' EXIT
+    tsdbdir="$(mktemp -d)"
+    trap 'rm -rf "$slodir" "$chaosdir" "$tsdbdir"' EXIT
     run cargo run --release -q -p bdb-bench --bin reproduce -- \
         --fraction 0.02 --bench-baseline BENCH_RESULTS.json \
-        --bench-subset charmap.json --slo "$slodir" --chaos 7 "$chaosdir"
+        --bench-subset charmap.json --slo "$slodir" --chaos 7 "$chaosdir" \
+        --tsdb "$tsdbdir"
     if [ ! -s "$slodir/slo_report.json" ]; then
         echo "ci: missing or empty slo_report.json in subset tier" >&2
         exit 1
     fi
     if [ ! -s "$chaosdir/chaos_report.json" ]; then
         echo "ci: missing or empty chaos_report.json in subset tier" >&2
+        exit 1
+    fi
+    if [ ! -s "$tsdbdir/tsdb_snapshot.bin" ] || [ ! -s "$tsdbdir/timeline.txt" ]; then
+        echo "ci: missing or empty tsdb artifacts in subset tier" >&2
         exit 1
     fi
     echo "ci: subset tier passed"
@@ -165,6 +175,31 @@ if [ "$fast" -eq 0 ]; then
         exit 1
     fi
     echo "ci: chaos campaigns passed for seeds 7, 21, 1337 (deterministic)"
+
+    # Time-series gate: the tsdb pass scrapes a traced cluster run and
+    # a shaped serving overload into the embedded store. The binary
+    # gates span-chain completeness, stored-vs-live p99 agreement and
+    # the recording-rule replay in-process; here we gate the artifacts
+    # and the snapshot's byte-determinism across two identical-seed
+    # runs.
+    tsdbdir="$(mktemp -d)"
+    trap 'rm -rf "$profdir" "$charmapdir" "$slodir" "$chaosdir" "$tsdbdir"' EXIT
+    for tag in a b; do
+        run cargo run --release -q -p bdb-bench --bin reproduce -- \
+            --tsdb "$tsdbdir/$tag"
+    done
+    for f in tsdb_snapshot.bin timeline.txt serving.dash.txt \
+             node-0.dash.txt node-1.dash.txt node-2.dash.txt node-3.dash.txt; do
+        if [ ! -s "$tsdbdir/a/$f" ]; then
+            echo "ci: missing or empty tsdb artifact: $f" >&2
+            exit 1
+        fi
+    done
+    if ! cmp -s "$tsdbdir/a/tsdb_snapshot.bin" "$tsdbdir/b/tsdb_snapshot.bin"; then
+        echo "ci: tsdb_snapshot.bin is not byte-deterministic" >&2
+        exit 1
+    fi
+    echo "ci: tsdb snapshot deterministic, dashboards and timeline present"
 fi
 
 if [ "$bench_check" -eq 1 ]; then

@@ -57,6 +57,7 @@ struct Args {
     slo_dir: Option<std::path::PathBuf>,
     chaos_seed: Option<u64>,
     chaos_dir: Option<std::path::PathBuf>,
+    tsdb_dir: Option<std::path::PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -129,11 +130,26 @@ options:
                          failure or if the Cloud-OLTP campaign forced
                          no failover or no read-repair.
                          With --bench-subset, runs shortened campaigns.
+  --tsdb DIR             embedded time-series pass: run an OLTP chaos
+                         round with traced writes plus a shaped serving
+                         overload, scrape every node's metrics registry
+                         into the bdb-tsdb store throughout, replay the
+                         stored series through the burn-rate rules and
+                         cross-check quantiles against the live window
+                         ring; writes DIR/tsdb_snapshot.bin (byte-
+                         deterministic for a seed), per node
+                         node-<n>.dash.txt sparkline dashboards and
+                         timeline.txt (failover events + reconstructed
+                         write span chains); exit 1 if any traced chain
+                         is causally incomplete, the stored p99 drifts
+                         more than one histogram bucket from the live
+                         value, or replayed alerts diverge. With
+                         --bench-subset, runs a shortened scrape.
   -h, --help             this text
 
 `--trace`/`--profile`/`--bench-json`/`--bench-baseline`/`--charmap`/
-`--charmap-baseline`/`--faults`/`--slo`/`--chaos` without a selection
-run only that pass.";
+`--charmap-baseline`/`--faults`/`--slo`/`--chaos`/`--tsdb` without a
+selection run only that pass.";
 
 /// What the next raw argument is expected to be. The parser is a
 /// two-state machine: flags, or the value owed to the previous flag.
@@ -195,6 +211,7 @@ fn parse_args() -> Args {
                 "--faults" => state = Expecting::Value("--faults"),
                 "--slo" => state = Expecting::Value("--slo"),
                 "--chaos" => state = Expecting::ChaosSeed,
+                "--tsdb" => state = Expecting::Value("--tsdb"),
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -221,7 +238,8 @@ fn parse_args() -> Args {
         || args.charmap_baseline.is_some()
         || args.faults_seed.is_some()
         || args.slo_dir.is_some()
-        || args.chaos_seed.is_some();
+        || args.chaos_seed.is_some()
+        || args.tsdb_dir.is_some();
     if !selected && !side_pass {
         select_everything(&mut args);
     }
@@ -258,6 +276,7 @@ fn apply_value(args: &mut Args, flag: &str, value: &str) {
             );
         }
         "--slo" => args.slo_dir = Some(value.into()),
+        "--tsdb" => args.tsdb_dir = Some(value.into()),
         _ => unreachable!("values are only owed to known flags"),
     }
 }
@@ -635,28 +654,56 @@ fn trace_exports(
     session.metrics.counter("mlkit.kmeans_iterations").add(u64::from(model.iterations));
     export(&session, &format!("{} points | {} iterations", points.len(), model.iterations));
 
-    // Online service: Nutch-style search server, closed loop, with
-    // periodic Prometheus scrapes written next to the trace.
-    let session = TraceSession::enabled("NutchServer");
-    let mut server = SearchServer::build(((400.0 * f) as u32).max(100), 42);
+    // Online services: the Nutch-style search tier plus the Olio
+    // social and RuBiS auction tiers, each closed loop with periodic
+    // Prometheus scrapes written next to the trace.
+    fn serve_with_scrapes<S: bdb_serving::Server>(
+        session: &TraceSession,
+        server: &mut S,
+        requests: usize,
+    ) -> (bdb_serving::loadgen::ServiceReport, Vec<String>) {
+        let mut sampler = PrometheusSampler::every((requests / 4).max(1));
+        let report = run_closed_loop_sampled(
+            server,
+            requests,
+            7,
+            &session.recorder,
+            &session.metrics,
+            &mut sampler,
+        );
+        let scrapes = sampler.finish(&session.metrics);
+        (report, scrapes)
+    }
     let requests = ((1_000.0 * f) as usize).max(200);
-    let mut sampler = PrometheusSampler::every(requests / 4);
-    let report = run_closed_loop_sampled(
-        &mut server,
-        requests,
-        7,
-        &session.recorder,
-        &session.metrics,
-        &mut sampler,
-    );
-    export(&session, &format!("{requests} requests | {:.0} req/s", report.achieved_rps));
-    let scrapes = sampler.finish(&session.metrics);
-    let prom_path = dir.join("nutchserver.prom.txt");
-    let body: String =
-        scrapes.iter().enumerate().map(|(i, s)| format!("# scrape {i}\n{s}\n")).collect();
-    match std::fs::write(&prom_path, body) {
-        Ok(()) => println!("  {:<20} -> {}", "", prom_path.display()),
-        Err(e) => eprintln!("  NutchServer: prometheus export failed: {e}"),
+    let mut serving_runs: Vec<(TraceSession, bdb_serving::loadgen::ServiceReport, Vec<String>)> =
+        Vec::new();
+    {
+        let session = TraceSession::enabled("NutchServer");
+        let mut server = SearchServer::build(((400.0 * f) as u32).max(100), 42);
+        let (report, scrapes) = serve_with_scrapes(&session, &mut server, requests);
+        serving_runs.push((session, report, scrapes));
+    }
+    {
+        let session = TraceSession::enabled("OlioServer");
+        let mut server = bdb_serving::social::SocialServer::build(200, 8, 42);
+        let (report, scrapes) = serve_with_scrapes(&session, &mut server, requests);
+        serving_runs.push((session, report, scrapes));
+    }
+    {
+        let session = TraceSession::enabled("RubisServer");
+        let mut server = bdb_serving::auction::AuctionServer::build(200, 10, 100, 42);
+        let (report, scrapes) = serve_with_scrapes(&session, &mut server, requests);
+        serving_runs.push((session, report, scrapes));
+    }
+    for (session, report, scrapes) in &serving_runs {
+        export(session, &format!("{requests} requests | {:.0} req/s", report.achieved_rps));
+        let prom_path = dir.join(format!("{}.prom.txt", session.name.to_lowercase()));
+        let body: String =
+            scrapes.iter().enumerate().map(|(i, s)| format!("# scrape {i}\n{s}\n")).collect();
+        match std::fs::write(&prom_path, body) {
+            Ok(()) => println!("  {:<20} -> {}", "", prom_path.display()),
+            Err(e) => eprintln!("  {}: prometheus export failed: {e}", session.name),
+        }
     }
 
     // Cloud OLTP: LSM store write + read mix with flushes/compactions.
@@ -897,6 +944,10 @@ fn main() {
 
     if args.chaos_seed.is_some() {
         chaos_pass(&args);
+    }
+
+    if args.tsdb_dir.is_some() {
+        tsdb_pass(&args);
     }
 }
 
@@ -1289,6 +1340,300 @@ fn chaos_pass(args: &Args) {
         reports.len(),
         reports.iter().map(|r| r.checkers.len()).sum::<usize>(),
         dir.join("chaos_report.json").display()
+    );
+}
+
+/// Embedded time-series pass: the cluster and the serving tier run
+/// under scrape, every sample lands in the `bdb-tsdb` store, and the
+/// stored series must reproduce what the live engines saw.
+///
+/// * **Cluster half** — a replicated store takes traced client writes
+///   (`put_traced`) through a seeded fault schedule (a lost
+///   replication ship, a mid-run primary kill, a later rejoin). Every
+///   node's metrics registry is scraped each virtual tick, so
+///   `cluster.replication_lag_bytes` and `cluster.quorum_ack_us`
+///   become stored series. The flat span stream is rebuilt into
+///   per-write chains (route → WAL append → ship → quorum ack) and
+///   rendered with the membership events as `timeline.txt`.
+/// * **Serving half** — the Nutch search tier runs a steady phase and
+///   a shaped overload through a live [`bdb_obs::ObsPipeline`] while a
+///   parallel metrics registry replays the same terminal events as
+///   cumulative counters plus a latency histogram, scraped on every
+///   window boundary. The stored series then answer for the live run:
+///   `histogram_quantile` must land within one log bucket of the live
+///   whole-run p99, and replaying the burn-rate rules over the stored
+///   counters must fire exactly the live alerts.
+///
+/// Writes `DIR/tsdb_snapshot.bin` (byte-deterministic for a seed —
+/// the snapshot of a reloaded snapshot is gated to be identical),
+/// `node-<n>.dash.txt` + `serving.dash.txt` sparkline dashboards, and
+/// `timeline.txt`. Exits 1 on any gate. With `--bench-subset`, the
+/// scrape is shortened (the fast per-PR tier).
+fn tsdb_pass(args: &Args) {
+    use bdb_obs::{phase_salt, ObsConfig, ObsPipeline, TraceId};
+    use bdb_serving::queue::RequestOutcome;
+    use bdb_serving::{QueuePolicy, QueueSim};
+    use bdb_telemetry::MetricsRegistry;
+    use bdb_tsdb::{
+        histogram_quantile, reconstruct_writes, render_node_dashboard, render_timeline,
+        replay_burn_rules, select, Scraper, TimelineEvent, Tsdb, TsdbConfig,
+    };
+    use std::time::Duration;
+
+    const TSDB_SEED: u64 = 42;
+    const THRESHOLD: Duration = Duration::from_millis(50);
+    const STEP_US: u64 = 500;
+    const SCRAPE_US: u64 = 500_000;
+    const DASH_WIDTH: usize = 40;
+
+    section("TSDB — time-series store + cluster-wide tracing");
+    let dir = args.tsdb_dir.as_ref().expect("tsdb_pass called without --tsdb");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("creating {}: {e}", dir.display())));
+
+    let short = args.bench_subset.is_some();
+    let (writes, steady, overload) = if short {
+        eprintln!("subset tier: shortened scrape");
+        (24u64, Duration::from_secs(8), Duration::from_secs(4))
+    } else {
+        (48u64, Duration::from_secs(16), Duration::from_secs(8))
+    };
+
+    let mut db = Tsdb::new(TsdbConfig::default());
+
+    // --- Cluster half: traced writes under faults, scraped per tick.
+    const NODES: usize = 4;
+    let scratch = dir.join("cluster-scratch");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let plan = bdb_faults::FaultPlan::builder(TSDB_SEED)
+        .io_error_nth(bdb_cluster::sites::SHIP_WRITE, 2)
+        .build();
+    let mut cluster =
+        bdb_cluster::Cluster::open(&scratch, bdb_cluster::ClusterConfig::default(), plan)
+            .unwrap_or_else(|e| die(&format!("opening cluster: {e}")));
+    let mut scraper = Scraper::new();
+    let node_names: Vec<String> = (0..NODES).map(|n| n.to_string()).collect();
+    for (n, name) in node_names.iter().enumerate() {
+        scraper.add_target(&[("workload", "CloudOLTP"), ("node", name)], cluster.node_metrics(n));
+    }
+    let salt = phase_salt("cluster-write");
+    let mut t_us = 0u64;
+    for i in 0..writes {
+        t_us += STEP_US;
+        cluster.advance(Duration::from_micros(t_us));
+        // Mid-run, the primary of the shard being written dies: the
+        // write itself forces the failover and a retried span chain.
+        let key = format!("row{:06}", i % 16).into_bytes();
+        if i == writes / 3 {
+            cluster.kill_node(cluster.primary_of_shard(cluster.shard_of(&key)));
+        }
+        if i == 2 * writes / 3 {
+            for n in 0..NODES {
+                if !cluster.alive(n) {
+                    cluster
+                        .rejoin_node(n)
+                        .unwrap_or_else(|e| die(&format!("rejoining node {n}: {e}")));
+                }
+            }
+        }
+        let value = format!("v{i}-t{t_us}").into_bytes();
+        let trace = TraceId::derive(TSDB_SEED, salt, i).0;
+        cluster
+            .put_traced(&key, &value, trace)
+            .unwrap_or_else(|e| die(&format!("traced write {i}: {e}")));
+        scraper.scrape_at(&mut db, t_us);
+    }
+    cluster.reconcile_all().unwrap_or_else(|e| die(&format!("final repair: {e}")));
+    scraper.scrape_at(&mut db, t_us + STEP_US);
+
+    let spans = cluster.take_trace_spans();
+    let chains = reconstruct_writes(&spans);
+    if chains.len() != writes as usize {
+        die(&format!("tsdb: {} of {writes} traced writes left a span chain", chains.len()));
+    }
+    let incomplete = chains.iter().filter(|c| !c.complete).count();
+    if incomplete > 0 {
+        die(&format!("tsdb: {incomplete} of {writes} span chains are causally incomplete"));
+    }
+    let events: Vec<TimelineEvent> = cluster
+        .take_events()
+        .into_iter()
+        .map(|e| TimelineEvent {
+            at_us: e.at_us,
+            kind: e.kind.to_owned(),
+            node: e.node,
+            shard: if e.shard == usize::MAX { -1 } else { e.shard as i64 },
+        })
+        .collect();
+    if !events.iter().any(|e| e.kind == "failover") {
+        die("tsdb: the cluster run forced no failover; the timeline would be empty of interest");
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // The scraped store must hold the replication telemetry the chains
+    // imply: a lag gauge per node and the primary's quorum-ack
+    // histogram (as expanded _bucket/_count/_sum series).
+    for required in ["cluster.replication_lag_bytes", "cluster.quorum_ack_us_count"] {
+        if select(&db, required, &[], 0, u64::MAX).is_empty() {
+            die(&format!("tsdb: required series {required} was never scraped"));
+        }
+    }
+
+    // --- Serving half: live pipeline and scraped registry in parallel.
+    let svc_seed = TSDB_SEED ^ phase_salt("NutchServer");
+    let model = bdb_serving::search::SearchServer::build(200, TSDB_SEED).service_model();
+    let times = model.sample_times(2048, svc_seed);
+    let steady_run = QueueSim::new(4).run(400.0, steady, &times, svc_seed);
+    let policy =
+        QueuePolicy { queue_capacity: Some(64), deadline: Some(Duration::from_millis(80)) };
+    let overload_run =
+        QueueSim::new(4).with_policy(policy).run(3200.0, overload, &times, svc_seed ^ 0xBEEF);
+
+    let obs_config = ObsConfig::default_for(THRESHOLD, svc_seed);
+    let (spec, rules, window_us) =
+        (obs_config.spec.clone(), obs_config.rules.clone(), obs_config.window.as_micros() as u64);
+    let mut pipe = ObsPipeline::new("NutchServer", obs_config);
+    pipe.ingest_phase("steady", 0, &steady_run.records, &model);
+    pipe.ingest_phase("overload", steady.as_nanos() as u64, &overload_run.records, &model);
+    let obs = pipe.finish();
+
+    // Replay the same terminal events into a registry, scraping on
+    // every window boundary (plus a finer cadence between them), so
+    // the stored cumulative counters can answer for the live run.
+    // Terminal times mirror `ObsPipeline::ingest_phase`: shed at
+    // arrival, timed-out at abandonment, completed at finish.
+    let threshold_us = THRESHOLD.as_micros() as u64;
+    // (t_ns, bad, completed latency µs) per terminal event.
+    let mut terminal: Vec<(u64, bool, Option<u64>)> = Vec::new();
+    for (offset_ns, records) in
+        [(0u64, &steady_run.records), (steady.as_nanos() as u64, &overload_run.records)]
+    {
+        for r in records {
+            let (t, bad, latency_us) = match r.outcome {
+                RequestOutcome::Shed => (Some(r.arrival_ns), true, None),
+                RequestOutcome::TimedOut => (r.start_ns, true, None),
+                RequestOutcome::Completed => {
+                    let us = r.latency_ns() / 1_000;
+                    (r.finish_ns, us >= threshold_us, Some(us))
+                }
+                RequestOutcome::Unfinished => (None, false, None),
+            };
+            if let Some(t) = t {
+                terminal.push((offset_ns + t, bad, latency_us));
+            }
+        }
+    }
+    terminal.sort_unstable();
+
+    let serving_metrics = MetricsRegistry::new();
+    let mut serving_scraper = Scraper::new();
+    serving_scraper
+        .add_target(&[("workload", "NutchServer"), ("node", "serving")], &serving_metrics);
+    let last_t_ns = terminal.last().map_or(0, |&(t, ..)| t);
+    let horizon_us = (last_t_ns / 1_000).div_ceil(window_us) * window_us;
+    let mut next = terminal.iter().peekable();
+    let mut scrape_t = 0u64;
+    while scrape_t <= horizon_us {
+        // Events exactly on a boundary belong to the next window, so
+        // the boundary scrape must not see them yet.
+        while let Some(&&(t_ns, bad, latency_us)) = next.peek() {
+            if t_ns >= scrape_t * 1_000 {
+                break;
+            }
+            next.next();
+            serving_metrics.counter("serving.requests_total").inc();
+            if bad {
+                serving_metrics.counter("serving.bad_total").inc();
+            }
+            if let Some(us) = latency_us {
+                serving_metrics.histogram("serving.request_us").record_micros(us);
+            }
+        }
+        serving_scraper.scrape_at(&mut db, scrape_t);
+        scrape_t += SCRAPE_US;
+    }
+
+    // Gate: the stored histogram answers the live whole-run p99
+    // within one log bucket.
+    let matchers = [("workload", "NutchServer")];
+    let stored_p99 = histogram_quantile(&db, "serving.request_us", &matchers, 0.99, horizon_us)
+        .unwrap_or_else(|| die("tsdb: stored serving histogram is empty"));
+    let live_p99 = obs.whole.percentile(0.99).as_micros() as u64;
+    let (si, li) = (bdb_telemetry::bucket_index(stored_p99), bdb_telemetry::bucket_index(live_p99));
+    if si.abs_diff(li) > 1 {
+        die(&format!(
+            "tsdb: stored p99 ({stored_p99}us) disagrees with the live window ring \
+             ({live_p99}us) by more than one histogram bucket"
+        ));
+    }
+
+    // Gate: replaying the burn-rate rules over the stored counters
+    // fires exactly the live alerts.
+    let series_of = |name: &str| -> Vec<(u64, f64)> {
+        select(&db, name, &matchers, 0, u64::MAX).into_iter().next().map_or(Vec::new(), |(_, s)| s)
+    };
+    let n_windows = obs.window_table.last().map_or(0, |w| w.index + 1);
+    let replayed = replay_burn_rules(
+        spec,
+        rules,
+        window_us,
+        &series_of("serving.bad_total"),
+        &series_of("serving.requests_total"),
+        n_windows,
+    );
+    if replayed.len() != obs.alerts.len()
+        || replayed.iter().zip(&obs.alerts).any(|(r, l)| {
+            r.rule != l.rule || r.window_index != l.window_index || r.at_ns != l.at_ns
+        })
+    {
+        die(&format!(
+            "tsdb: recording-rule replay fired {:?}, the live engine fired {:?}",
+            replayed.iter().map(|a| (&a.rule, a.window_index)).collect::<Vec<_>>(),
+            obs.alerts.iter().map(|a| (&a.rule, a.window_index)).collect::<Vec<_>>(),
+        ));
+    }
+
+    // Gate + artifact: the snapshot is self-describing — reloading it
+    // and snapshotting again must reproduce the bytes exactly.
+    let bytes = db.snapshot_bytes();
+    let reloaded = Tsdb::from_snapshot_bytes(&bytes, TsdbConfig::default())
+        .unwrap_or_else(|e| die(&format!("tsdb: snapshot does not reload: {e}")));
+    if reloaded.snapshot_bytes() != bytes {
+        die("tsdb: snapshot round-trip is not byte-identical");
+    }
+    let snap_path = dir.join("tsdb_snapshot.bin");
+    std::fs::write(&snap_path, &bytes)
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", snap_path.display())));
+    eprintln!(
+        "wrote {} ({} series, {} bytes)",
+        snap_path.display(),
+        db.series_count(),
+        bytes.len()
+    );
+
+    for node in node_names.iter().map(String::as_str).chain(["serving"]) {
+        let path = dir.join(if node == "serving" {
+            "serving.dash.txt".to_owned()
+        } else {
+            format!("node-{node}.dash.txt")
+        });
+        std::fs::write(&path, render_node_dashboard(&db, node, DASH_WIDTH))
+            .unwrap_or_else(|e| die(&format!("writing {}: {e}", path.display())));
+        eprintln!("wrote {}", path.display());
+    }
+    let timeline_path = dir.join("timeline.txt");
+    std::fs::write(&timeline_path, render_timeline(&events, &chains))
+        .unwrap_or_else(|e| die(&format!("writing {}: {e}", timeline_path.display())));
+    eprintln!("wrote {}", timeline_path.display());
+
+    let acked = chains.iter().filter(|c| c.acked).count();
+    let scrapes = series_of("serving.requests_total").len();
+    println!(
+        "tsdb pass PASS: {} series, {scrapes} serving scrapes, {}/{writes} chains acked, \
+         stored p99 {stored_p99}us vs live {live_p99}us, {} alert(s) replayed exactly",
+        db.series_count(),
+        acked,
+        replayed.len(),
     );
 }
 

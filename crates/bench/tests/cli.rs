@@ -37,6 +37,7 @@ fn flag_missing_its_value_is_a_usage_error() {
         "--charmap",
         "--charmap-baseline",
         "--slo",
+        "--tsdb",
     ] {
         let out = reproduce().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag} without value");
@@ -110,6 +111,7 @@ fn help_documents_the_bench_flags() {
         "--fraction",
         "--slo",
         "--chaos",
+        "--tsdb",
     ] {
         assert!(stdout.contains(flag), "help mentions {flag}: {stdout}");
     }
@@ -123,6 +125,10 @@ fn help_documents_the_bench_flags() {
     }
     // So are the observability ones.
     for artifact in ["slo_report.json", ".dash.txt", ".slo.prom.txt", ".slo.trace.json"] {
+        assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
+    }
+    // And the time-series ones.
+    for artifact in ["tsdb_snapshot.bin", "timeline.txt"] {
         assert!(stdout.contains(artifact), "help names the {artifact} artifact: {stdout}");
     }
 }
@@ -157,5 +163,68 @@ fn slo_pass_is_byte_deterministic_and_writes_all_artifacts() {
     let rb = std::fs::read(b.join("slo_report.json")).expect("report b");
     assert!(!ra.is_empty());
     assert_eq!(ra, rb, "same seed must produce a byte-identical slo_report.json");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn trace_pass_writes_grammatical_expositions_for_every_serving_workload() {
+    let dir = std::env::temp_dir().join(format!("bdb-trace-cli-{}", std::process::id()));
+    let out = reproduce()
+        .args(["--fraction", "0.05", "--trace"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for stem in ["nutchserver", "olioserver", "rubisserver"] {
+        let text = std::fs::read_to_string(dir.join(format!("{stem}.prom.txt")))
+            .unwrap_or_else(|e| panic!("{stem}.prom.txt written: {e}"));
+        // The file concatenates periodic scrapes under `# scrape N`
+        // headers; every scrape must parse under the strict grammar.
+        let scrapes: Vec<&str> = text.split("# scrape").filter(|s| !s.trim().is_empty()).collect();
+        assert!(scrapes.len() >= 2, "{stem}: periodic plus final scrape, got {}", scrapes.len());
+        for scrape in scrapes {
+            let body = scrape.split_once('\n').map_or("", |x| x.1);
+            bdb_telemetry::assert_prometheus_grammar(body);
+        }
+        assert!(text.contains("serving_requests"), "{stem}: the request counter is exposed");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tsdb_pass_is_byte_deterministic_and_writes_all_artifacts() {
+    let base = std::env::temp_dir().join(format!("bdb-tsdb-cli-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    for dir in [&a, &b] {
+        let out = reproduce().arg("--tsdb").arg(dir).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "tsdb pass gates hold: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("tsdb pass PASS"), "{stdout}");
+        for name in [
+            "tsdb_snapshot.bin",
+            "node-0.dash.txt",
+            "node-1.dash.txt",
+            "node-2.dash.txt",
+            "node-3.dash.txt",
+            "serving.dash.txt",
+            "timeline.txt",
+        ] {
+            let meta = std::fs::metadata(dir.join(name)).expect("artifact written");
+            assert!(meta.len() > 0, "{name} is non-empty");
+        }
+        let timeline = std::fs::read_to_string(dir.join("timeline.txt")).expect("timeline");
+        assert!(timeline.contains("failover"), "the run forced a failover onto the timeline");
+        assert!(timeline.contains("48 of 48 chains causally complete"), "{timeline}");
+    }
+    let sa = std::fs::read(a.join("tsdb_snapshot.bin")).expect("snapshot a");
+    let sb = std::fs::read(b.join("tsdb_snapshot.bin")).expect("snapshot b");
+    assert!(!sa.is_empty());
+    assert_eq!(sa, sb, "same seed must produce a byte-identical tsdb_snapshot.bin");
+    // The snapshot header is part of the contract.
+    assert_eq!(&sa[..8], b"BDBTSDB1");
     let _ = std::fs::remove_dir_all(&base);
 }

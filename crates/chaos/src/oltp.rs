@@ -95,6 +95,9 @@ pub fn oltp_campaign(
     let mut h = History::new();
     let mut t_us = 0u64;
     let mut unavailable = 0u64;
+    // Max replication lag (bytes) observed on any node's gauge at any
+    // round boundary — the summary the chaos report publishes.
+    let mut max_lag = 0u64;
 
     let tick = |c: &mut Cluster, t_us: &mut u64| {
         *t_us += STEP_US;
@@ -150,8 +153,14 @@ pub fn oltp_campaign(
                 }
             }
         }
-        // Round boundary: every dead node rejoins (tmp cleanup, WAL
-        // replay, anti-entropy) and diverged pairs resync.
+        // Round boundary: poll every node's replication-lag gauge
+        // while divergence from the round's faults is still visible.
+        for node in 0..NODES {
+            let lag = c.node_metrics(node).gauge("cluster.replication_lag_bytes").get();
+            max_lag = max_lag.max(u64::try_from(lag).unwrap_or(0));
+        }
+        // Every dead node rejoins (tmp cleanup, WAL replay,
+        // anti-entropy) and diverged pairs resync.
         rejoin_dead(&mut c, &mut unavailable);
         if c.resync().is_err() {
             unavailable += 1;
@@ -261,6 +270,7 @@ pub fn oltp_campaign(
             ("read_repairs".into(), stats.read_repairs),
             ("reads".into(), stats.reads),
             ("rejoins".into(), stats.rejoins),
+            ("replication_lag".into(), max_lag),
             ("unavailable_retries".into(), unavailable),
         ],
         spans,

@@ -21,6 +21,10 @@ fn oltp_campaign_is_byte_deterministic_and_passes() {
     assert!(a.passed(), "seed 7 must pass every checker:\n{ja}");
     assert!(a.stat("failovers").unwrap() >= 1, "campaign forced a failover");
     assert!(a.stat("read_repairs").unwrap() >= 1, "campaign forced a read repair");
+    assert!(
+        a.stat("replication_lag").unwrap() > 0,
+        "lost ships left a visible max replication lag"
+    );
     // The report is root-path independent by construction.
     assert!(!ja.contains("tmp"), "no filesystem paths leak into the report");
     let c = oltp_campaign(8, &tmproot("oltp-c"), OltpCampaignConfig::default()).unwrap();

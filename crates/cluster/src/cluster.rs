@@ -5,6 +5,7 @@ use crate::shard::ShardMap;
 use crate::{decode_value, encode_value, sites};
 use bdb_faults::FaultPlan;
 use bdb_kvstore::{Store, StoreConfig};
+use bdb_telemetry::{ArgValue, MetricsRegistry, SpanEvent};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -141,6 +142,10 @@ pub struct Cluster {
     /// Rotates the non-primary member of read quorums so every replica
     /// is eventually consulted (and repaired).
     read_rotation: u64,
+    /// One metrics registry per node (scrape targets for `bdb-tsdb`).
+    metrics: Vec<MetricsRegistry>,
+    /// Dapper-style spans emitted by traced writes, in virtual time.
+    trace_spans: Vec<SpanEvent>,
 }
 
 impl Cluster {
@@ -175,6 +180,7 @@ impl Cluster {
         let applied = (0..config.shards)
             .map(|s| map.replicas(s).into_iter().map(|n| (n, 0)).collect())
             .collect();
+        let metrics = (0..config.nodes).map(|_| MetricsRegistry::new()).collect();
         Ok(Self {
             primaries,
             next_seq: vec![0; config.shards],
@@ -189,6 +195,8 @@ impl Cluster {
             faults,
             now: Duration::ZERO,
             read_rotation: 0,
+            metrics,
+            trace_spans: Vec::new(),
         })
     }
 
@@ -208,6 +216,20 @@ impl Cluster {
     /// Drains recorded lifecycle events.
     pub fn take_events(&mut self) -> Vec<ClusterEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Node `id`'s metrics registry — the per-node scrape target.
+    /// Registries are shared handles; clone freely.
+    #[must_use]
+    pub fn node_metrics(&self, id: usize) -> &MetricsRegistry {
+        &self.metrics[id]
+    }
+
+    /// Drains the spans emitted by [`Cluster::put_traced`] calls, in
+    /// emission order. Timestamps are virtual (the cluster clock), so
+    /// the stream is deterministic for a given seed.
+    pub fn take_trace_spans(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.trace_spans)
     }
 
     /// Whether node `id` is online.
@@ -339,27 +361,111 @@ impl Cluster {
     /// Returns an error when the shard has no promotable replica;
     /// injected per-node faults are absorbed into the outcome.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<PutOutcome> {
+        self.put_impl(key, value, None)
+    }
+
+    /// [`Cluster::put`] carrying a Dapper-style trace id: the write's
+    /// hop through shard routing → primary WAL append → replica ship →
+    /// quorum ack is emitted as linked [`SpanEvent`]s (drained via
+    /// [`Cluster::take_trace_spans`]) using the same
+    /// `trace_id`/`span_id`/`parent_span_id` argument convention as
+    /// `bdb-obs` service traces. Span times are virtual, modeled on a
+    /// fixed per-hop cost, so the stream is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::put`].
+    pub fn put_traced(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        trace: u64,
+    ) -> std::io::Result<PutOutcome> {
+        self.put_impl(key, value, Some(trace))
+    }
+
+    /// Modeled per-hop costs for traced writes, microseconds: the WAL
+    /// append starts after routing, each replica ship is pipelined
+    /// behind it, and an ack arrives one network hop after the apply.
+    const ROUTE_US: u64 = 10;
+    const APPEND_US: u64 = 30;
+    const SHIP_US: u64 = 30;
+    const ACK_HOP_US: u64 = 20;
+
+    fn put_impl(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        trace: Option<u64>,
+    ) -> std::io::Result<PutOutcome> {
         let shard = self.map.shard_of(key);
         self.next_seq[shard] += 1;
         let seq = self.next_seq[shard];
         let enc = encode_value(seq, value);
         let rec_len = 10 + key.len() as u64 + enc.len() as u64;
+        let t0 = u64::try_from(self.now.as_micros()).unwrap_or(u64::MAX);
+        let trace_hex = trace.map(|t| format!("{t:016x}"));
+        let span = |name: &'static str,
+                    start: u64,
+                    dur: Option<u64>,
+                    id: i64,
+                    parent: i64,
+                    node: usize,
+                    extra: Vec<(&'static str, ArgValue)>| {
+            let mut args = vec![
+                ("trace_id", ArgValue::Str(trace_hex.clone().unwrap_or_default())),
+                ("span_id", ArgValue::Int(id)),
+            ];
+            if parent != 0 {
+                args.push(("parent_span_id", ArgValue::Int(parent)));
+            }
+            args.push(("node", ArgValue::Int(node as i64)));
+            args.extend(extra);
+            SpanEvent { name, cat: "cluster", start_us: start, dur_us: dur, tid: node as u64, args }
+        };
 
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        let mut retried = false;
         let mut acks = 0usize;
+        let mut ack_at: Option<u64> = None;
+        let mut next_id: i64 = 3;
+        let mut primary_used = 0usize;
         for _attempt in 0..2 {
             let primary = self.ensure_primary(shard)?;
+            primary_used = primary;
             match self.apply_to_node(primary, key, &enc) {
                 Ok(()) => {
                     *self.applied[shard].entry(primary).or_insert(0) += rec_len;
                     acks = 1;
+                    if acks >= self.config.write_quorum {
+                        ack_at = Some(Self::ROUTE_US + Self::APPEND_US);
+                    }
+                    if trace.is_some() {
+                        spans.push(span(
+                            "cluster.wal_append",
+                            t0 + Self::ROUTE_US,
+                            Some(Self::APPEND_US),
+                            2,
+                            1,
+                            primary,
+                            vec![("rec_len", ArgValue::Int(rec_len as i64))],
+                        ));
+                    }
                 }
                 Err(e) if bdb_faults::is_injected(&e) => {
                     self.kill_node(primary);
+                    // The whole pipeline restarts on the new primary.
+                    retried = true;
+                    spans.clear();
+                    acks = 0;
+                    ack_at = None;
+                    next_id = 3;
                     continue; // retry on the promoted primary
                 }
                 Err(e) => return Err(e),
             }
             // Ship to the other in-sync, alive replicas.
+            let mut ship_slot = 0u64;
             for replica in self.map.replicas(shard) {
                 if replica == primary
                     || self.nodes[replica].store.is_none()
@@ -367,22 +473,63 @@ impl Cluster {
                 {
                     continue;
                 }
+                let ship_start = t0 + Self::ROUTE_US + Self::APPEND_US + Self::SHIP_US * ship_slot;
+                ship_slot += 1;
+                let ship_id = next_id;
+                next_id += 1;
                 if let Err(e) = self.faults.fail_io(sites::SHIP_WRITE) {
                     debug_assert!(bdb_faults::is_injected(&e));
                     self.stats.lost_ships += 1;
+                    self.metrics[replica].counter("cluster.ships_lost_total").inc();
                     self.dirty.insert((shard, replica));
                     self.event("ship_lost", replica, shard);
+                    if trace.is_some() {
+                        spans.push(span(
+                            "cluster.ship",
+                            ship_start,
+                            Some(5),
+                            ship_id,
+                            2,
+                            replica,
+                            vec![("outcome", ArgValue::Str("lost".into()))],
+                        ));
+                    }
                     continue;
                 }
                 match self.apply_to_node(replica, key, &enc) {
                     Ok(()) => {
                         *self.applied[shard].entry(replica).or_insert(0) += rec_len;
                         acks += 1;
+                        if acks == self.config.write_quorum {
+                            ack_at = Some(ship_start - t0 + Self::ACK_HOP_US);
+                        }
+                        if trace.is_some() {
+                            spans.push(span(
+                                "cluster.ship",
+                                ship_start,
+                                Some(Self::ACK_HOP_US),
+                                ship_id,
+                                2,
+                                replica,
+                                Vec::new(),
+                            ));
+                        }
                     }
                     Err(e) if bdb_faults::is_injected(&e) => {
                         // The replica crashed mid-apply (possibly a torn
                         // WAL record); it rejoins via anti-entropy.
                         self.kill_node(replica);
+                        if trace.is_some() {
+                            spans.push(span(
+                                "cluster.ship",
+                                ship_start,
+                                Some(8),
+                                ship_id,
+                                2,
+                                replica,
+                                vec![("outcome", ArgValue::Str("crashed".into()))],
+                            ));
+                        }
                     }
                     Err(e) => return Err(e),
                 }
@@ -394,10 +541,69 @@ impl Cluster {
         if acked {
             self.acked_seq[shard] = seq;
             self.stats.acked_writes += 1;
+            let ack_us = ack_at.unwrap_or(Self::ROUTE_US + Self::APPEND_US);
+            self.metrics[primary_used].histogram("cluster.quorum_ack_us").record_micros(ack_us);
+            if trace.is_some() {
+                spans.push(span(
+                    "cluster.quorum_ack",
+                    t0 + ack_us,
+                    None,
+                    next_id,
+                    1,
+                    primary_used,
+                    Vec::new(),
+                ));
+            }
         } else {
             self.stats.failed_writes += 1;
         }
+        if trace.is_some() {
+            let children_end = spans
+                .iter()
+                .map(|s| s.start_us + s.dur_us.unwrap_or(0))
+                .max()
+                .unwrap_or(t0 + Self::ROUTE_US);
+            let mut extra = vec![
+                ("shard", ArgValue::Int(shard as i64)),
+                ("rec_len", ArgValue::Int(rec_len as i64)),
+                ("acked", ArgValue::Int(i64::from(acked))),
+            ];
+            if retried {
+                extra.push(("retried", ArgValue::Int(1)));
+            }
+            let route = span(
+                "cluster.route",
+                t0,
+                Some(children_end.saturating_sub(t0) + Self::ROUTE_US),
+                1,
+                0,
+                primary_used,
+                extra,
+            );
+            self.trace_spans.push(route);
+            self.trace_spans.append(&mut spans);
+        }
+        self.refresh_lag_gauges();
         Ok(PutOutcome { seq, acked })
+    }
+
+    /// Recomputes every node's `cluster.replication_lag_bytes` gauge:
+    /// the worst (max) byte gap, across the shards the node
+    /// replicates, between the shard primary's replicated WAL offset
+    /// and the node's own.
+    fn refresh_lag_gauges(&self) {
+        for node in 0..self.config.nodes {
+            let mut lag = 0u64;
+            for shard in 0..self.config.shards {
+                let applied = &self.applied[shard];
+                let Some(node_off) = applied.get(&node).copied() else {
+                    continue; // node does not replicate this shard
+                };
+                let primary_off = applied.get(&self.primaries[shard]).copied().unwrap_or(0);
+                lag = lag.max(primary_off.saturating_sub(node_off));
+            }
+            self.metrics[node].gauge("cluster.replication_lag_bytes").set(lag as i64);
+        }
     }
 
     /// Quorum read: consults `R` replicas (primary plus a rotating
@@ -489,7 +695,9 @@ impl Cluster {
         let Some(store) = self.nodes[node].store.as_mut() else {
             return Err(Self::offline_error());
         };
-        store.put(key.to_vec(), enc.to_vec())
+        store.put(key.to_vec(), enc.to_vec())?;
+        self.metrics[node].counter("cluster.applies_total").inc();
+        Ok(())
     }
 
     fn read_from_node(
@@ -580,6 +788,7 @@ impl Cluster {
         if repairs > 0 {
             self.event("anti_entropy", node, shard);
         }
+        self.refresh_lag_gauges();
         Ok(())
     }
 

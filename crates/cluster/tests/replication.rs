@@ -135,6 +135,68 @@ fn node_kill_trigger_fires_from_virtual_time() {
 }
 
 #[test]
+fn traced_writes_chain_and_feed_node_metrics() {
+    let root = tmproot("traced");
+    // Lose exactly the second ship so one replica diverges mid-run.
+    let plan = FaultPlan::builder(5).io_error_nth(sites::SHIP_WRITE, 1).build();
+    let mut c = Cluster::open(&root, config(), plan).unwrap();
+    for i in 0..20u32 {
+        c.advance(Duration::from_micros(u64::from(i + 1) * 500));
+        let out = c.put_traced(&key(i), &val(i, 0), 0x1000 + u64::from(i)).unwrap();
+        assert!(out.acked, "W=2 of 3 reached even with one lost ship");
+    }
+
+    // Every write's span chain (route → WAL append → ship → quorum
+    // ack) reconstructs from the flat stream.
+    let spans = c.take_trace_spans();
+    let chains = bdb_tsdb::reconstruct_writes(&spans);
+    assert_eq!(chains.len(), 20);
+    for ch in &chains {
+        assert!(ch.complete, "chain {} causally complete", ch.trace);
+        assert!(ch.shard >= 0);
+        assert!(ch.acked);
+        assert!(ch.quorum_ack_us.is_some());
+        assert!(ch.spans.iter().any(|s| s.name == "cluster.wal_append"));
+        assert!(ch.spans.iter().any(|s| s.name == "cluster.ship"));
+    }
+    assert!(c.take_trace_spans().is_empty(), "drained");
+
+    // The lost ship surfaces in the per-node metrics and as a nonzero
+    // replication-lag gauge on the diverged replica...
+    assert_eq!(c.stats().lost_ships, 1);
+    let nodes = 0..config().nodes;
+    let lost: u64 =
+        nodes.clone().map(|n| c.node_metrics(n).counter("cluster.ships_lost_total").get()).sum();
+    assert_eq!(lost, 1);
+    let max_lag = nodes
+        .clone()
+        .map(|n| c.node_metrics(n).gauge("cluster.replication_lag_bytes").get())
+        .max()
+        .unwrap();
+    assert!(max_lag > 0, "the diverged replica lags the primary");
+    let acks: u64 = nodes
+        .clone()
+        .map(|n| {
+            c.node_metrics(n)
+                .histogram_snapshots()
+                .iter()
+                .find(|(name, _)| name == "cluster.quorum_ack_us")
+                .map_or(0, |(_, h)| h.count())
+        })
+        .sum();
+    assert_eq!(acks, c.stats().acked_writes, "one ack latency recorded per acked write");
+
+    // ...and anti-entropy repairs it back to zero lag everywhere.
+    c.reconcile_all().unwrap();
+    let max_lag = nodes
+        .map(|n| c.node_metrics(n).gauge("cluster.replication_lag_bytes").get())
+        .max()
+        .unwrap();
+    assert_eq!(max_lag, 0, "reconciled replicas no longer lag");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn history_checker_accepts_a_faulty_but_correct_run() {
     let root = tmproot("history");
     let plan = FaultPlan::builder(3).io_error_nth(sites::SHIP_WRITE, 2).build();

@@ -285,6 +285,19 @@ impl WindowRing {
             }
             out.push('\n');
         }
+        // `_created`-style window-start timestamp (seconds): when the
+        // oldest retained window opened. Scraped alongside the
+        // counters, it lets a tsdb align this ring's windows with its
+        // own sample times. The grammar treats `_created` as its own
+        // family, so it carries its own TYPE comment.
+        let start_s = |index: u64| (index * self.width_ns) as f64 / 1e9;
+        let retained_start = start_s(self.closed.front().map_or(self.current.index, |w| w.index));
+        out.push_str("# TYPE obs_requests_created gauge\n");
+        for outcome in ["offered", "completed", "shed", "timed_out"] {
+            out.push_str(&format!(
+                "obs_requests_created{{service=\"{svc}\",outcome=\"{outcome}\"}} {retained_start:.3}\n"
+            ));
+        }
         let hist = self.rolling_hist(rolling);
         out.push_str("# TYPE obs_rolling_request_us histogram\n");
         for (bound, cumulative) in hist.cumulative_buckets() {
@@ -309,6 +322,19 @@ impl WindowRing {
         out.push_str(&format!(
             "obs_rolling_request_us_count{{service=\"{svc}\"}} {}\n",
             hist.count()
+        ));
+        // Start of the oldest window merged into the rolling histogram.
+        let rolling_start = start_s(
+            self.closed
+                .iter()
+                .rev()
+                .take(rolling.max(1))
+                .next_back()
+                .map_or(self.current.index, |w| w.index),
+        );
+        out.push_str("# TYPE obs_rolling_request_us_created gauge\n");
+        out.push_str(&format!(
+            "obs_rolling_request_us_created{{service=\"{svc}\"}} {rolling_start:.3}\n"
         ));
         out.push_str("# TYPE obs_rolling_p99_us gauge\n");
         out.push_str(&format!(
@@ -424,6 +450,40 @@ mod tests {
             .find(|l| l.contains("outcome=\"timed_out\""))
             .expect("timed_out counter present");
         assert!(timeout_line.contains(&format!("trace_id=\"{}\"", TraceId(78).hex())));
+    }
+
+    #[test]
+    fn exposition_emits_created_window_start_timestamps() {
+        let mut ring = WindowRing::new(Duration::from_secs(2), 4, Duration::from_millis(50));
+        let s = 1_000_000_000u64;
+        // Ten 2s windows; the 4-deep ring retains windows 6..=9, so the
+        // oldest retained window opened at 12s. A rolling merge of the
+        // last 2 windows starts at window 8 = 16s.
+        for w in 0..10u64 {
+            ring.observe(2 * w * s + 1, completed(800, w, false));
+        }
+        ring.flush();
+        let text = ring.prometheus_text("svc", 2);
+        assert_prometheus_grammar(&text);
+        assert!(text.contains("# TYPE obs_requests_created gauge"));
+        assert!(text.contains("# TYPE obs_rolling_request_us_created gauge"));
+        for outcome in ["offered", "completed", "shed", "timed_out"] {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with("obs_requests_created") && l.contains(outcome))
+                .unwrap_or_else(|| panic!("missing _created for {outcome}"));
+            assert!(line.ends_with(" 12.000"), "oldest retained window start: {line}");
+        }
+        let rolling = text
+            .lines()
+            .find(|l| l.starts_with("obs_rolling_request_us_created"))
+            .expect("rolling _created present");
+        assert!(rolling.ends_with(" 16.000"), "rolling merge start: {rolling}");
+        // An empty ring anchors to the in-progress window (index 0).
+        let empty = WindowRing::new(Duration::from_secs(2), 4, Duration::from_millis(50));
+        let text = empty.prometheus_text("svc", 2);
+        assert_prometheus_grammar(&text);
+        assert!(text.contains("obs_requests_created{service=\"svc\",outcome=\"offered\"} 0.000"));
     }
 
     #[test]
